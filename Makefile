@@ -1,0 +1,43 @@
+# Convenience targets for the dbpl reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench report examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the end-to-end `go run` example tests.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment (E1–E10) as paper-style tables.
+report:
+	$(GO) run ./cmd/benchreport
+
+report-quick:
+	$(GO) run ./cmd/benchreport -quick
+
+examples:
+	@for d in quickstart figure1 employees parkinglot billofmaterials evolution textsearch; do \
+		echo "=== $$d ==="; $(GO) run ./examples/$$d || exit 1; done
+
+# Short fuzz passes over the decoders and the language pipeline.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshalValue -fuzztime=30s ./internal/persist/codec/
+	$(GO) test -fuzz=FuzzDecodeType -fuzztime=30s ./internal/persist/codec/
+	$(GO) test -fuzz=FuzzRun -fuzztime=30s ./internal/lang/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,154 @@
+// Command dbpl runs programs in the database programming language, or an
+// interactive REPL when no script is given.
+//
+// Usage:
+//
+//	dbpl [-store file] [-rep dir] [script.dbpl ...]
+//
+// With -store, `persistent` declarations and commit/abort are backed by an
+// intrinsic store at the given path; with -rep, extern/intern are backed by
+// a replicating store in the given directory. Scripts run in order in one
+// session, so a later script sees the bindings of earlier ones.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbpl/internal/lang"
+	"dbpl/internal/persist/intrinsic"
+	"dbpl/internal/persist/replicating"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dbpl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	storePath := flag.String("store", "", "intrinsic store file backing `persistent` declarations")
+	repDir := flag.String("rep", "", "replicating store directory backing extern/intern")
+	quiet := flag.Bool("q", false, "suppress the value echo of top-level declarations")
+	flag.Parse()
+
+	in := lang.New(os.Stdout)
+	if *storePath != "" {
+		st, err := intrinsic.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		in.Intrinsic = st
+	}
+	if *repDir != "" {
+		rep, err := replicating.Open(*repDir)
+		if err != nil {
+			return err
+		}
+		in.Replicating = rep
+	}
+
+	if flag.NArg() == 0 {
+		return repl(in)
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		results, err := in.Run(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if !*quiet {
+			for _, r := range results {
+				fmt.Println(r)
+			}
+		}
+	}
+	return nil
+}
+
+// repl reads declarations interactively. Input accumulates until the
+// brackets balance and the line ends with a semicolon (or is blank), so
+// multi-line functions paste naturally.
+func repl(in *lang.Interp) error {
+	fmt.Println("dbpl — a database programming language (SIGMOD '86 reproduction)")
+	fmt.Println(`end inputs with ";" — e.g.  let x = 1;  then  x + 1;`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("dbpl> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		src := pending.String()
+		if strings.TrimSpace(src) == "" {
+			pending.Reset()
+			prompt()
+			continue
+		}
+		if !balanced(src) || !strings.HasSuffix(strings.TrimSpace(src), ";") {
+			prompt()
+			continue
+		}
+		pending.Reset()
+		results, err := in.Run(src)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			for _, r := range results {
+				fmt.Println(r)
+			}
+		}
+		prompt()
+	}
+	fmt.Println()
+	return sc.Err()
+}
+
+// balanced reports whether every bracket in src is closed (strings and
+// comments are respected loosely: quotes toggle, -- skips to newline).
+func balanced(src string) bool {
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inStr = c
+		case '-':
+			if i+1 < len(src) && src[i+1] == '-' {
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+			}
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		}
+	}
+	return depth == 0 && inStr == 0
+}

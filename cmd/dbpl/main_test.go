@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbpl/internal/lang"
+	"dbpl/internal/persist/intrinsic"
+)
+
+func TestBalanced(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"let x = 1;", true},
+		{"let f = fun(x: Int): Int is (", false},
+		{"{A = 1, B = [1, 2]};", true},
+		{"{A = (1", false},
+		{`"an (unbalanced string"`, true}, // brackets in strings don't count
+		{`"unterminated`, false},
+		{"-- a comment with ( and {\n1;", true},
+		{"'single (quoted'", true},
+		{`"escaped \" quote"`, true},
+		{"[(])", true}, // only depth is tracked, the parser rejects later
+	}
+	for _, c := range cases {
+		if got := balanced(c.src); got != c.want {
+			t.Errorf("balanced(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// TestScriptTour runs the bundled tour script through a full interpreter
+// session with stores attached, as the dbpl command would.
+func TestScriptTour(t *testing.T) {
+	src, err := os.ReadFile("../../examples/scripts/tour.dbpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := intrinsic.Open(filepath.Join(t.TempDir(), "tour.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var out bytes.Buffer
+	in := lang.New(&out)
+	in.Intrinsic = st
+	if _, err := in.Run(string(src)); err != nil {
+		t.Fatalf("tour script failed: %v", err)
+	}
+	for _, want := range []string{
+		"persons: 3",
+		"employees: 2",
+		"first employee: E1",
+		"join demo: {Emp_no = 1234, Name = 'J Doe'}",
+		"figure-1-style join size: 2",
+		"area total: 13.0",
+		"query: list({Where = 3, Who = 'J Doe'}, {Where = 1, Who = 'M Dee'})",
+		"committed",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("tour output missing %q; got:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Bill of materials: the paper's closing example. TotalCost over a parts
+// explosion that is a DAG, not a tree, recomputes shared subassemblies
+// exponentially often unless intermediate results are memoized — and the
+// memo fields, attached to *persistent* Part records, are themselves
+// transient: they are invisible to the type system and are not written by
+// commit. The program runs the paper's recursive TotalCost both naive and
+// memoized, on a persistent catalogue, and shows the memo fields vanishing
+// across a reopen.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dbpl"
+	"dbpl/internal/value"
+)
+
+// buildDAG builds a parts DAG of the given depth where every assembly uses
+// the *same* two subassemblies one level down (maximum sharing: 2^depth
+// paths through depth+1 distinct parts).
+func buildDAG(depth int) *value.Record {
+	part := dbpl.Rec("Name", dbpl.Str("base"), "IsBase", dbpl.BoolV(true),
+		"PurchasePrice", dbpl.FloatV(1), "ManufacturingCost", dbpl.FloatV(0),
+		"Components", dbpl.NewList())
+	for i := 1; i <= depth; i++ {
+		part = dbpl.Rec(
+			"Name", dbpl.Str(fmt.Sprintf("asm-%d", i)),
+			"IsBase", dbpl.BoolV(false),
+			"PurchasePrice", dbpl.FloatV(0),
+			"ManufacturingCost", dbpl.FloatV(1),
+			"Components", dbpl.NewList(
+				dbpl.Rec("SubPart", part, "Qty", dbpl.IntV(1)),
+				dbpl.Rec("SubPart", part, "Qty", dbpl.IntV(1)),
+			),
+		)
+	}
+	return part
+}
+
+// totalCostNaive is the paper's recursive program, verbatim: when the parts
+// explosion is a DAG "the total cost will be needlessly recomputed".
+func totalCostNaive(p *value.Record, calls *int) float64 {
+	*calls++
+	if bool(p.MustGet("IsBase").(value.Bool)) {
+		return float64(p.MustGet("PurchasePrice").(value.Float))
+	}
+	cost := float64(p.MustGet("ManufacturingCost").(value.Float))
+	for _, c := range p.MustGet("Components").(*value.List).Elems {
+		comp := c.(*value.Record)
+		sub := comp.MustGet("SubPart").(*value.Record)
+		qty := float64(comp.MustGet("Qty").(value.Int))
+		cost += totalCostNaive(sub, calls) * qty
+	}
+	return cost
+}
+
+// totalCostMemo attaches the intermediate result to the part itself, in a
+// transient "_cost" field, exactly as the paper prescribes: "we need to
+// attach further fields to the Part type in which to store these results …
+// there is no need for the additional information to persist".
+func totalCostMemo(p *value.Record, calls *int) float64 {
+	*calls++
+	if bool(p.MustGet("IsBase").(value.Bool)) {
+		return float64(p.MustGet("PurchasePrice").(value.Float))
+	}
+	if memo, ok := p.Get("_cost"); ok {
+		return float64(memo.(value.Float))
+	}
+	cost := float64(p.MustGet("ManufacturingCost").(value.Float))
+	for _, c := range p.MustGet("Components").(*value.List).Elems {
+		comp := c.(*value.Record)
+		sub := comp.MustGet("SubPart").(*value.Record)
+		qty := float64(comp.MustGet("Qty").(value.Int))
+		cost += totalCostMemo(sub, calls) * qty
+	}
+	p.Set("_cost", dbpl.FloatV(cost))
+	return cost
+}
+
+func main() {
+	const depth = 22
+	root := buildDAG(depth)
+
+	dir, err := os.MkdirTemp("", "dbpl-bom-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "catalogue.log")
+
+	// The catalogue is persistent; the memo fields will not be.
+	st, err := dbpl.OpenStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Bind("catalogue", root, nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("parts DAG: depth %d, %d distinct parts, %d paths\n",
+		depth, depth+1, 1<<depth)
+
+	var nCalls, mCalls int
+	t0 := time.Now()
+	naive := totalCostNaive(root, &nCalls)
+	naiveTime := time.Since(t0)
+
+	t0 = time.Now()
+	memo := totalCostMemo(root, &mCalls)
+	memoTime := time.Since(t0)
+
+	fmt.Printf("naive   : cost=%.0f  calls=%-9d time=%v\n", naive, nCalls, naiveTime)
+	fmt.Printf("memoized: cost=%.0f  calls=%-9d time=%v\n", memo, mCalls, memoTime)
+	if naive != memo {
+		log.Fatalf("memoization changed the answer: %v vs %v", naive, memo)
+	}
+
+	// Commit again: the memo fields are transient, so this is a no-op.
+	stats, err := st.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("commit after memoization wrote %d nodes (memo fields are transient)\n",
+		stats.NodesWritten)
+	st.Close()
+
+	// Reopen: the parts are back, the memos are gone.
+	st2, err := dbpl.OpenStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st2.Close()
+	r, ok := st2.Root("catalogue")
+	if !ok {
+		log.Fatal("catalogue lost")
+	}
+	if _, hasMemo := r.Value.(*value.Record).Get("_cost"); hasMemo {
+		log.Fatal("memo field persisted — it must not")
+	}
+	fmt.Println("✓ catalogue reopened without memo fields; parts intact:",
+		r.Value.(*value.Record).MustGet("Name"))
+}

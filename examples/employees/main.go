@@ -1,0 +1,112 @@
+// Employees: the paper's running person/employee/student database, shown
+// three ways — (1) derived extents via the generic Get, (2) explicit
+// Adaplex-style class extents, and (3) a program in the database
+// programming language using get and open. All three agree, demonstrating
+// that the class construct is derivable from the type hierarchy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dbpl"
+	"dbpl/internal/class"
+	"dbpl/internal/core"
+	"dbpl/internal/value"
+)
+
+func main() {
+	personT := dbpl.MustParseType("{Name: String}")
+	employeeT := dbpl.MustParseType("{Name: String, Empno: Int, Dept: String}")
+	studentT := dbpl.MustParseType("{Name: String, StudentID: Int}")
+
+	people := []*value.Record{
+		dbpl.Rec("Name", dbpl.Str("P1")),
+		dbpl.Rec("Name", dbpl.Str("E1"), "Empno", dbpl.IntV(1), "Dept", dbpl.Str("Sales")),
+		dbpl.Rec("Name", dbpl.Str("E2"), "Empno", dbpl.IntV(2), "Dept", dbpl.Str("Manuf")),
+		dbpl.Rec("Name", dbpl.Str("S1"), "StudentID", dbpl.IntV(100)),
+		dbpl.Rec("Name", dbpl.Str("SE1"), "Empno", dbpl.IntV(3), "Dept", dbpl.Str("Admin"),
+			"StudentID", dbpl.IntV(101)),
+	}
+
+	// (1) Derived extents: no classes anywhere.
+	db := core.New(core.StrategyIndexed)
+	for _, p := range people {
+		db.InsertValue(p)
+	}
+	fmt.Println("— derived extents (generic Get) —")
+	for _, q := range []struct {
+		name string
+		t    dbpl.Type
+	}{{"Person", personT}, {"Employee", employeeT}, {"Student", studentT}} {
+		fmt.Printf("  Get[%s] = %d\n", q.name, len(db.Get(q.t)))
+	}
+
+	// (2) Declared classes: Taxis/Adaplex style, same data.
+	s := class.NewSchema()
+	person := s.MustDeclare("Person", class.VariableClass, "{Name: String}")
+	employee := s.MustDeclare("Employee", class.VariableClass,
+		"{Name: String, Empno: Int, Dept: String}", "Person")
+	student := s.MustDeclare("Student", class.VariableClass,
+		"{Name: String, StudentID: Int}", "Person")
+	both := s.MustDeclare("StudentEmployee", class.VariableClass,
+		"{Name: String, Empno: Int, Dept: String, StudentID: Int}", "Employee", "Student")
+	classOf := func(r *value.Record) *class.Class {
+		_, isE := r.Get("Empno")
+		_, isS := r.Get("StudentID")
+		switch {
+		case isE && isS:
+			return both
+		case isE:
+			return employee
+		case isS:
+			return student
+		default:
+			return person
+		}
+	}
+	for _, p := range people {
+		if _, err := s.NewObject(classOf(p), p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("— declared class extents (Adaplex include semantics) —")
+	for _, c := range []*class.Class{person, employee, student} {
+		ext, _ := c.Extent()
+		fmt.Printf("  %s extent = %d\n", c.Name(), len(ext))
+	}
+
+	// They agree, pointwise.
+	for _, c := range []*class.Class{person, employee, student} {
+		ext, _ := c.Extent()
+		if got := len(db.Get(c.Type())); got != len(ext) {
+			log.Fatalf("derived and declared extents disagree for %s: %d vs %d",
+				c.Name(), got, len(ext))
+		}
+	}
+	fmt.Println("✓ derived extents = declared class extents")
+
+	// (3) The same database inside the language, with an existential open.
+	fmt.Println("— in the language —")
+	in := dbpl.NewInterp(os.Stdout)
+	if _, err := in.Run(`
+		type Person = {Name: String};
+		type Employee = {Name: String, Empno: Int, Dept: String};
+		let db: List[Dynamic] = [
+			dynamic {Name = "P1"},
+			dynamic {Name = "E1", Empno = 1, Dept = "Sales"},
+			dynamic {Name = "E2", Empno = 2, Dept = "Manuf"},
+			dynamic {Name = "S1", StudentID = 100},
+			dynamic {Name = "SE1", Empno = 3, Dept = "Admin", StudentID = 101}
+		];
+		print("  get[Person]   = " ++ show(length(get[Person](db))));
+		print("  get[Employee] = " ++ show(length(get[Employee](db))));
+		-- Open each employee package at its bound and read a Person field.
+		let names = map(fun(e: exists u <= Employee . u): String is
+			open e as (t, x) in x.Name, get[Employee](db));
+		print("  employee names: " ++ show(names))
+	`); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Evolution: the paper's "Persistent Pascal" scenario. A program binds a
+// database handle at DBType; later programs are recompiled with different
+// DBType' declarations. Opening the handle at a *supertype* is a view;
+// opening at a *consistent* type enriches the stored schema to the meet;
+// an inconsistent type is rejected. The whole matrix runs against one
+// intrinsic store, first through the Go API and then as three successive
+// programs in the language.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dbpl"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "dbpl-evolution-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "db.log")
+
+	// Program 1 declares DBType and creates the database.
+	stored := dbpl.MustParseType("{Employees: Set[{Name: String, Empno: Int}]}")
+	st, err := dbpl.OpenStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := dbpl.Rec("Employees", dbpl.NewSet(
+		dbpl.Rec("Name", dbpl.Str("J Doe"), "Empno", dbpl.IntV(1)),
+	))
+	if err := st.Bind("DB", db, stored); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("program 1 bound DB :", stored)
+
+	// Program 2 is compiled against a SUPERTYPE: it sees a view.
+	view := dbpl.MustParseType("{Employees: Set[{Name: String}]}")
+	v, err := st.OpenAs("DB", view)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("program 2 (supertype) sees a view:", v)
+	r, _ := st.Root("DB")
+	fmt.Println("  stored schema unchanged:", r.Declared)
+
+	// Program 3 is compiled against a CONSISTENT type that adds a field:
+	// the value must first be migrated, then the schema enriches to the meet.
+	richer := dbpl.MustParseType("{Employees: Set[{Name: String, Empno: Int}], Departments: Set[{Dept: String}]}")
+	if _, err := st.OpenAs("DB", richer); err != nil {
+		fmt.Println("program 3 (consistent) first attempt:", err)
+	}
+	migrated := dbpl.Rec(
+		"Employees", r.Value.(*dbpl.Record).MustGet("Employees"),
+		"Departments", dbpl.NewSet(),
+	)
+	if err := st.Bind("DB", migrated, r.Declared); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.OpenAs("DB", richer); err != nil {
+		log.Fatal(err)
+	}
+	r2, _ := st.Root("DB")
+	fmt.Println("program 3 enriched the schema to the meet:")
+	fmt.Println("  ", r2.Declared)
+
+	// Program 4 is compiled against an INCONSISTENT type: rejected.
+	if _, err := st.OpenAs("DB", dbpl.MustParseType("{Employees: Int}")); err != nil {
+		fmt.Println("program 4 (inconsistent) rejected:", err)
+	} else {
+		log.Fatal("inconsistent open should have failed")
+	}
+	if _, err := st.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	st.Close()
+
+	// The same story in the language: successive "compilations" of the
+	// paper's program Test against evolving DBType declarations.
+	fmt.Println("\n— in the language —")
+	langPath := filepath.Join(dir, "lang.log")
+	run := func(src string, expectErr bool) {
+		store, err := dbpl.OpenStore(langPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		in := dbpl.NewInterp(os.Stdout)
+		in.Intrinsic = store
+		_, err = in.Run(src)
+		switch {
+		case err != nil && !expectErr:
+			log.Fatal(err)
+		case err != nil:
+			fmt.Println("  rejected as expected:", err)
+		}
+	}
+	run(`
+		persistent DB : {Employees: List[{Name: String, Empno: Int}]} =
+			{Employees = [{Name = "J Doe", Empno = 1}]};
+		commit();
+		print("  program 1 created DB")
+	`, false)
+	run(`
+		persistent DB : {Employees: List[{Name: String}]} = {Employees = []};
+		print("  program 2 views " ++ show(length(DB.Employees)) ++ " employee(s) at the supertype")
+	`, false)
+	run(`persistent DB : {Employees: Int} = {Employees = 0}`, true)
+}

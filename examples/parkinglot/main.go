@@ -1,0 +1,113 @@
+// Parking lot: the paper's instance-hierarchy scenario. "The only
+// information maintained on cars in the University parking lot is the
+// registration number (tag), and make-and-model. Information such as the
+// length, which is used to derive charges and the availability of space, is
+// derived from the make-and-model." A car is an *instance of* a
+// make-and-model; make-and-models are themselves instances of a meta-class.
+// The example also shows the products scenario, where the level in the
+// instance hierarchy depends on an attribute (price).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbpl"
+	"dbpl/internal/class"
+	"dbpl/internal/value"
+)
+
+func main() {
+	s := class.NewSchema()
+
+	// Meta-class: make-and-models carry Make and Length at class level.
+	makeModel, err := s.DeclareMeta("MakeModel",
+		dbpl.MustParseType("{Make: String, Length: Int}"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	carT := dbpl.MustParseType("{Tag: String}")
+	nova, err := s.DeclareInstanceOf(makeModel, "ChevvyNova", class.VariableClass, carT,
+		dbpl.Rec("Make", dbpl.Str("Chevrolet"), "Length", dbpl.IntV(183)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	beetle, err := s.DeclareInstanceOf(makeModel, "VWBeetle", class.VariableClass, carT,
+		dbpl.Rec("Make", dbpl.Str("Volkswagen"), "Length", dbpl.IntV(160)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Park some cars. Two identical Novas can coexist: objects are not
+	// identified by intrinsic properties (they differ only by identity —
+	// exactly the paper's tag-less scenario).
+	tags := []struct {
+		mm  *class.Class
+		tag string
+	}{
+		{nova, "PA-1234"}, {nova, "PA-5678"}, {beetle, "NJ-0001"},
+	}
+	var cars []*class.Object
+	for _, c := range tags {
+		o, err := s.NewObject(c.mm, dbpl.Rec("Tag", dbpl.Str(c.tag)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cars = append(cars, o)
+	}
+
+	// Charge by length, read through the instance hierarchy: the length is
+	// a property of the make-and-model, not the car.
+	fmt.Println("— parking charges (length read from the make-and-model) —")
+	total := 0
+	for _, car := range cars {
+		tag, _ := class.AttrOf(car, "Tag")
+		length, ok := class.AttrOf(car, "Length")
+		if !ok {
+			log.Fatalf("car %s has no derivable length", tag)
+		}
+		charge := int(length.(value.Int)) / 20
+		total += charge
+		fmt.Printf("  %-8s %-10s length=%-4s charge=$%d\n",
+			tag, car.Class().Name(), length, charge)
+	}
+	fmt.Printf("  lot income: $%d\n", total)
+
+	// The meta level is navigable in both directions.
+	fmt.Println("— the instance hierarchy —")
+	for _, mm := range makeModel.ClassInstances() {
+		ext, _ := mm.Extent()
+		mk, _ := mm.ClassAttr("Make")
+		fmt.Printf("  %s (an instance of MakeModel, Make=%s) has %d parked instances\n",
+			mm.Name(), mk, len(ext))
+	}
+
+	// Products: "above a certain price they are treated as individuals …
+	// below that price they are treated as classes".
+	fmt.Println("— products: the level shift on price —")
+	cheapMeta, err := s.DeclareMeta("CheapProduct",
+		dbpl.MustParseType("{Weight: Float, NumberInStock: Int}"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	washer, err := s.DeclareInstanceOf(cheapMeta, "Washer10mm", class.VariableClass,
+		dbpl.MustParseType("{}"),
+		dbpl.Rec("Weight", dbpl.FloatV(0.01), "NumberInStock", dbpl.IntV(12000)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stock, _ := washer.ClassAttr("NumberInStock")
+	fmt.Printf("  Washer10mm is a CLASS: weight and stock are class properties (stock=%s)\n", stock)
+
+	expensive := s.MustDeclare("ExpensiveProduct", class.VariableClass,
+		"{Serial: Int, Weight: Float, CompletionDate: String}")
+	turbine, err := s.NewObject(expensive, dbpl.Rec(
+		"Serial", dbpl.IntV(77), "Weight", dbpl.FloatV(1200),
+		"CompletionDate", dbpl.Str("1986-05-28")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, _ := class.AttrOf(turbine, "Weight")
+	fmt.Printf("  turbine #77 is an INDIVIDUAL: weight lives on the object (weight=%s)\n", w)
+}

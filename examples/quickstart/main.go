@@ -1,0 +1,92 @@
+// Quickstart: a tour of the dbpl public API — types with subtyping, the
+// derived-extent Get, object-level join, generalized relations, and the
+// three forms of persistence.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dbpl"
+)
+
+func main() {
+	// --- Types: the Person/Employee hierarchy is structural. -------------
+	person := dbpl.MustParseType("{Name: String, Address: {City: String}}")
+	employee := dbpl.MustParseType("{Name: String, Address: {City: String}, Empno: Int, Dept: String}")
+	fmt.Println("Employee ≤ Person:", dbpl.Subtype(employee, person))
+	fmt.Println("Person ≤ Employee:", dbpl.Subtype(person, employee))
+
+	// --- The database: a heterogeneous bag of dynamics. ------------------
+	db := dbpl.NewDatabase(dbpl.StrategyIndexed)
+	db.InsertValue(dbpl.Rec("Name", dbpl.Str("P Buneman"),
+		"Address", dbpl.Rec("City", dbpl.Str("Philadelphia"))))
+	db.InsertValue(dbpl.Rec("Name", dbpl.Str("M Atkinson"),
+		"Address", dbpl.Rec("City", dbpl.Str("Glasgow")),
+		"Empno", dbpl.IntV(1), "Dept", dbpl.Str("Computing Science")))
+	db.InsertValue(dbpl.IntV(1986)) // anything goes in
+
+	fmt.Printf("Get[Person]: %d objects, Get[Employee]: %d objects\n",
+		len(db.Get(person)), len(db.Get(employee)))
+	fmt.Println("Get's own type:", dbpl.GetType)
+
+	// --- Object-level inheritance: add information with ⊔. ---------------
+	p := dbpl.Rec("Name", dbpl.Str("J Doe"))
+	e, err := dbpl.JoinValues(p, dbpl.Rec("Emp_no", dbpl.IntV(1234)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("person ⊔ employee-info =", e)
+
+	// --- Generalized relations: partial tuples join like Figure 1. -------
+	r1 := dbpl.NewRelation(
+		dbpl.Rec("Name", dbpl.Str("N Bug")),
+		dbpl.Rec("Name", dbpl.Str("J Doe"), "Dept", dbpl.Str("Sales")),
+	)
+	r2 := dbpl.NewRelation(dbpl.Rec("Dept", dbpl.Str("Sales"), "Floor", dbpl.IntV(3)))
+	fmt.Println("generalized join:", dbpl.JoinRelations(r1, r2))
+
+	// --- Intrinsic persistence: handles, commit, reopen. ------------------
+	dir, err := os.MkdirTemp("", "dbpl-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "store.log")
+
+	st, err := dbpl.OpenStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Bind("company", dbpl.Rec("Employees", dbpl.NewSet(e)), nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := dbpl.OpenStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st2.Close()
+	root, _ := st2.Root("company")
+	fmt.Println("reopened store, company =", root.Value)
+	fmt.Println("stored schema          =", root.Declared)
+
+	// --- And the language itself. -----------------------------------------
+	in := dbpl.NewInterp(os.Stdout)
+	if _, err := in.Run(`
+		type Person = {Name: String};
+		let db: List[Dynamic] = [
+			dynamic {Name = "P1"},
+			dynamic {Name = "E1", Empno = 1}
+		];
+		print("persons in the language db: " ++ show(length(get[Person](db))))
+	`); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Textsearch: the paper's point about non-persistent extents. "Merrett
+// gives several examples of the use of relational algebra to solve a
+// variety of problems drawn from areas as diverse as computational geometry
+// and text processing." Here relations are used as a *data structure*: an
+// inverted index over a small corpus is a flat relation, conjunctive
+// queries are natural joins, and every intermediate relation is a
+// transient extent that never touches a persistent store — type, extent
+// and persistence used à la carte.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dbpl"
+	"dbpl/internal/relation"
+	"dbpl/internal/value"
+)
+
+var corpus = map[string]string{
+	"sigmod86": "inheritance and persistence in database programming languages",
+	"amber":    "amber supports inheritance on types and a general form of persistence",
+	"pascalr":  "pascal r separates relation types and the database that gives persistence",
+	"taxis":    "taxis ties classes to extents in the language",
+	"psalgol":  "ps algol allows arbitrary values to persist in a database",
+	"galileo":  "galileo is a strongly typed conceptual language with classes",
+}
+
+// index builds the inverted index as a flat relation Posting(Word, Doc).
+func index() *relation.Flat {
+	post := relation.NewFlat("Word", "Doc")
+	for doc, text := range corpus {
+		for _, w := range strings.Fields(text) {
+			// Set semantics deduplicate repeated words per document.
+			if err := post.Insert(dbpl.Rec("Word", dbpl.Str(w), "Doc", dbpl.Str(doc))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return post
+}
+
+// docsWith selects the postings for one word and projects onto Doc — a
+// transient relation.
+func docsWith(post *relation.Flat, word string) *relation.Flat {
+	sel := relation.SelectFlat(post, func(r *value.Record) bool {
+		w, _ := r.Get("Word")
+		return value.Equal(w, dbpl.Str(word))
+	})
+	p, err := relation.ProjectFlat(sel, "Doc")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// query answers a conjunctive keyword query by joining the per-word
+// document relations: the natural join over the shared Doc attribute is
+// set intersection.
+func query(post *relation.Flat, words ...string) []string {
+	if len(words) == 0 {
+		return nil
+	}
+	acc := docsWith(post, words[0])
+	for _, w := range words[1:] {
+		acc = relation.NaturalJoin(acc, docsWith(post, w))
+	}
+	var out []string
+	for _, t := range acc.Tuples() {
+		d, _ := t.Get("Doc")
+		out = append(out, string(d.(value.String)))
+	}
+	return out
+}
+
+func main() {
+	post := index()
+	fmt.Printf("inverted index: %d postings over %d documents\n", post.Len(), len(corpus))
+
+	queries := [][]string{
+		{"persistence"},
+		{"inheritance"},
+		{"persistence", "database"},
+		{"inheritance", "persistence"},
+		{"classes", "language"},
+		{"nonexistent"},
+	}
+	for _, q := range queries {
+		docs := query(post, q...)
+		fmt.Printf("  %-28s -> %v\n", strings.Join(q, " AND "), docs)
+	}
+
+	// The same computation with generalized relations and partial records:
+	// a query is itself a relation of required fields, joined against the
+	// postings — no special query language needed.
+	fmt.Println("\nas a generalized-relation join:")
+	gen := post.Generalize()
+	q := dbpl.NewRelation(dbpl.Rec("Word", dbpl.Str("persistence")))
+	res := dbpl.Project(dbpl.JoinRelations(gen, q), "Doc")
+	fmt.Println("  persistence ->", res)
+}

@@ -1,0 +1,112 @@
+package dbpl_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end with `go run`. Each
+// must exit zero; a few key output lines are checked so a silently broken
+// example cannot pass. Skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are end-to-end; skipped with -short")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"Employee ≤ Person: true", "persons in the language db: 2"}},
+		{"figure1", []string{"matches the paper's published Figure 1"}},
+		{"employees", []string{"derived extents = declared class extents", "employee names"}},
+		{"parkinglot", []string{"lot income", "turbine #77 is an INDIVIDUAL"}},
+		{"billofmaterials", []string{"memo fields are transient", "catalogue reopened without memo fields"}},
+		{"evolution", []string{"enriched the schema to the meet", "rejected as expected"}},
+		{"textsearch", []string{"inverted index", "persistence AND database"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestREPL drives the interactive loop of cmd/dbpl over a pipe: multi-line
+// input accumulates until brackets balance, errors are reported and the
+// session continues, state persists across inputs.
+func TestREPL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end; skipped with -short")
+	}
+	input := strings.Join([]string{
+		`let x = 40;`,
+		`x + 2;`,
+		`let f = fun(n: Int): Int is`, // multi-line: no semicolon yet
+		`  n * 10;`,
+		`f(x);`,
+		`1 + true;`, // a type error must not kill the session
+		`"still alive";`,
+	}, "\n") + "\n"
+	cmd := exec.Command("go", "run", "./cmd/dbpl")
+	cmd.Stdin = strings.NewReader(input)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("repl failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"x : Int = 40",
+		"42 : Int",
+		"400 : Int",
+		"type error",
+		"'still alive' : String",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("repl output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScriptRunner exercises cmd/dbpl end to end on the tour script.
+func TestScriptRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end; skipped with -short")
+	}
+	store := t.TempDir() + "/tour.log"
+	out, err := exec.Command("go", "run", "./cmd/dbpl",
+		"-store", store, "-q", "examples/scripts/tour.dbpl").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dbpl runner failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"persons: 3", "committed"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("runner output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The replicating-persistence script, with a -rep store attached.
+	out, err = exec.Command("go", "run", "./cmd/dbpl",
+		"-rep", t.TempDir(), "-q", "examples/scripts/replicating.dbpl").CombinedOutput()
+	if err != nil {
+		t.Fatalf("replicating script failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"interned employees: 1",
+		"after un-externed modification, still: 1",
+		"typeof survives: true",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("replicating output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module dbpl
+
+go 1.22

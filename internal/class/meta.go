@@ -1,0 +1,88 @@
+package class
+
+import (
+	"fmt"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// This file models the paper's *instance hierarchy* (is-a-kind-of), as
+// opposed to the subclass hierarchy (is-a): classes are themselves
+// instances of meta-classes, and may carry attribute values of their own.
+// Taxis is the only surveyed language supporting this, "and then only in a
+// limited three-level framework"; the same three levels are provided here:
+//
+//	meta-class  —  class  —  object
+//
+// The paper motivates this with two scenarios. In the university parking
+// lot, a car is an instance of a make-and-model, and properties such as the
+// length used to derive charges live on the make-and-model, not the car.
+// In the manufacturing plant, products above a certain price are treated as
+// individuals (objects with weight and completion date) while below it they
+// are treated as classes with weight and number-in-stock as properties *of
+// the class*.
+
+// ErrMetaConformance is returned when a class's attribute record does not
+// conform to its meta-class's type.
+var ErrMetaConformance = fmt.Errorf("class: attributes do not conform to meta-class type")
+
+// DeclareMeta declares a meta-class: a class whose instances are classes.
+// typ describes the attribute records its instance classes must carry.
+func (s *Schema) DeclareMeta(name string, typ types.Type) (*Class, error) {
+	return s.Declare(name, VariableClass, typ)
+}
+
+// DeclareInstanceOf declares a new class that is an instance of the given
+// meta-class, with class-level attributes attrs (which must conform to the
+// meta-class type) and instance type typ for its own objects.
+func (s *Schema) DeclareInstanceOf(meta *Class, name string, kind Kind, typ types.Type, attrs *value.Record, isa ...string) (*Class, error) {
+	if attrs == nil {
+		attrs = value.NewRecord()
+	}
+	if !value.Conforms(attrs, meta.typ) {
+		return nil, fmt.Errorf("%w: %s : %s", ErrMetaConformance, attrs, meta.typ)
+	}
+	c, err := s.Declare(name, kind, typ, isa...)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.meta = meta
+	c.attrs = attrs
+	meta.classInstances = append(meta.classInstances, c)
+	return c, nil
+}
+
+// Meta returns the class's meta-class, if any.
+func (c *Class) Meta() (*Class, bool) { return c.meta, c.meta != nil }
+
+// ClassInstances returns the classes that are instances of this
+// (meta-)class.
+func (c *Class) ClassInstances() []*Class {
+	c.schema.mu.RLock()
+	defer c.schema.mu.RUnlock()
+	return append([]*Class(nil), c.classInstances...)
+}
+
+// ClassAttr reads a class-level attribute, ascending the *instance*
+// hierarchy exactly one level the way "my car is a Chevvy Nova; the Chevvy
+// Nova weighs 3,000 pounds" ascends from token to kind.
+func (c *Class) ClassAttr(label string) (value.Value, bool) {
+	if c.attrs == nil {
+		return nil, false
+	}
+	return c.attrs.Get(label)
+}
+
+// AttrOf reads an attribute of an object by looking first at the object
+// itself and then at its class's class-level attributes — the two-level
+// switch of the parking-lot example: a car's Length is a property of its
+// make-and-model.
+func AttrOf(o *Object, label string) (value.Value, bool) {
+	if v, ok := o.Record().Get(label); ok {
+		return v, true
+	}
+	return o.Class().ClassAttr(label)
+}

@@ -1,0 +1,288 @@
+// Package core implements the paper's primary contribution: a database that
+// is nothing but a collection of dynamic values, together with a single
+// generic extraction function
+//
+//	Get : forall t . Database -> List[exists t' <= t . t']
+//
+// that returns every object in the database whose runtime type is a subtype
+// of the requested type. Extents are therefore *derived from the type
+// hierarchy* instead of being tied to a distinguished class construct:
+// Get[Person] always contains Get[Employee], with no class declarations at
+// all. Persistence is provided separately (package persist), completing the
+// separation of type, extent and persistence the paper argues for.
+//
+// The paper discusses the efficiency of this design: a naive implementation
+// "has to traverse the whole database" and "check the structure of each
+// value". The package provides both that naive strategy (StrategyScan) and
+// the remedy the paper sketches — "a set of (statically) typed lists with
+// appropriate structure sharing" (StrategyIndexed), which maintains shared
+// per-type extents incrementally. The two are interchangeable behind the
+// same Get, which is the ablation of experiment E2.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dbpl/internal/dynamic"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// Packed is an element of Get's result list: a value packaged with the
+// witness type at which it lives in the database. It is the concrete
+// rendering of the existential type exists t' <= t . t' — "all we know is
+// that we can perform on it any operation associated with the type t".
+type Packed struct {
+	Value   value.Value
+	Witness types.Type
+}
+
+// String renders the package with its witness.
+func (p Packed) String() string {
+	return fmt.Sprintf("pack(%s : %s)", p.Value, p.Witness)
+}
+
+// Open reveals the packed value at the requested type; it fails unless the
+// witness is a subtype of want. This mirrors opening an existential package
+// at its bound.
+func (p Packed) Open(want types.Type) (value.Value, error) {
+	if !types.Subtype(p.Witness, want) {
+		return nil, &dynamic.CoerceError{Have: p.Witness, Want: want}
+	}
+	return p.Value, nil
+}
+
+// Strategy selects how Get locates objects.
+type Strategy int
+
+const (
+	// StrategyScan is the paper's first solution: traverse the whole
+	// database interrogating each dynamic's type. Cost ∝ database size.
+	StrategyScan Strategy = iota
+	// StrategyIndexed maintains per-type extents with structure sharing:
+	// the first Get at a type pays one scan, after which inserts keep the
+	// extent current and Get costs ∝ result size.
+	StrategyIndexed
+)
+
+// String returns the strategy's name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyScan:
+		return "scan"
+	case StrategyIndexed:
+		return "indexed"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// extent is a maintained list of the database members conforming to a type.
+// The slices share the same *dynamic.Dynamic pointers as the main list —
+// the "appropriate structure sharing" of the paper.
+type extent struct {
+	typ   types.Type
+	items []*dynamic.Dynamic
+}
+
+// Database is an unconstrained, heterogeneous collection of dynamic values
+// — "we can put any dynamic value in it". Order of insertion is preserved.
+// A Database is safe for concurrent use.
+type Database struct {
+	mu       sync.RWMutex
+	items    []*dynamic.Dynamic
+	strategy Strategy
+	extents  map[string]*extent // types.Key -> extent
+}
+
+// New returns an empty database using the given strategy.
+func New(strategy Strategy) *Database {
+	return &Database{strategy: strategy, extents: map[string]*extent{}}
+}
+
+// GetType is the Cardelli–Wegner type of the generic Get function itself,
+//
+//	forall t . List[Dynamic] -> List[exists u <= t . u]
+//
+// which the paper writes ∀t. Database → List[∃t' ≤ t]. It is exported so
+// callers (and tests) can exhibit that the extraction function has a single
+// static type for every instantiation.
+var GetType = types.NewForAll("t", nil,
+	types.NewFunc(
+		[]types.Type{types.NewList(types.Dynamic)},
+		types.NewList(types.NewExists("u", types.NewVar("t"), types.NewVar("u"))),
+	))
+
+// Strategy reports the database's current strategy.
+func (db *Database) Strategy() Strategy {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.strategy
+}
+
+// SetStrategy switches strategies. Switching to StrategyScan drops all
+// maintained extents; switching to StrategyIndexed starts with none (they
+// are built lazily on first Get).
+func (db *Database) SetStrategy(s Strategy) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.strategy = s
+	db.extents = map[string]*extent{}
+}
+
+// Len reports the number of objects in the database.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.items)
+}
+
+// Insert adds a dynamic value to the database.
+func (db *Database) Insert(d *dynamic.Dynamic) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.items = append(db.items, d)
+	for _, ext := range db.extents {
+		if d.Is(ext.typ) {
+			ext.items = append(ext.items, d)
+		}
+	}
+}
+
+// InsertValue wraps v in a dynamic at its most specific type and inserts it.
+// It returns the dynamic so callers can later Remove it.
+func (db *Database) InsertValue(v value.Value) *dynamic.Dynamic {
+	d := dynamic.Make(v)
+	db.Insert(d)
+	return d
+}
+
+// Remove deletes the given dynamic (by identity), reporting whether it was
+// present.
+func (db *Database) Remove(d *dynamic.Dynamic) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	found := false
+	for i, it := range db.items {
+		if it == d {
+			db.items = append(db.items[:i], db.items[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	for _, ext := range db.extents {
+		for i, it := range ext.items {
+			if it == d {
+				ext.items = append(ext.items[:i], ext.items[i+1:]...)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// All returns the database contents in insertion order.
+func (db *Database) All() []*dynamic.Dynamic {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*dynamic.Dynamic(nil), db.items...)
+}
+
+// Get is the generic extraction function: it returns, in insertion order,
+// an existential package for every object whose type is a subtype of t.
+// Get[Employee] ⊆ Get[Person] holds for every database because Employee ≤
+// Person — the class hierarchy is derived from the type hierarchy.
+func (db *Database) Get(t types.Type) []Packed {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch db.strategy {
+	case StrategyIndexed:
+		key := types.Key(t)
+		ext, ok := db.extents[key]
+		if !ok {
+			ext = &extent{typ: t}
+			for _, d := range db.items {
+				if d.Is(t) {
+					ext.items = append(ext.items, d)
+				}
+			}
+			db.extents[key] = ext
+		}
+		out := make([]Packed, len(ext.items))
+		for i, d := range ext.items {
+			out[i] = Packed{Value: d.Value(), Witness: d.Type()}
+		}
+		return out
+	default:
+		var out []Packed
+		for _, d := range db.items {
+			if d.Is(t) {
+				out = append(out, Packed{Value: d.Value(), Witness: d.Type()})
+			}
+		}
+		return out
+	}
+}
+
+// GetValues is Get without the witnesses, for callers that only need the
+// values.
+func (db *Database) GetValues(t types.Type) []value.Value {
+	ps := db.Get(t)
+	out := make([]value.Value, len(ps))
+	for i, p := range ps {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Count returns the number of objects whose type is a subtype of t without
+// materializing the result list. A maintained extent answers in O(1).
+func (db *Database) Count(t types.Type) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.strategy == StrategyIndexed {
+		if ext, ok := db.extents[types.Key(t)]; ok {
+			return len(ext.items)
+		}
+	}
+	n := 0
+	for _, d := range db.items {
+		if d.Is(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Fork returns an independent database with the same contents. The two
+// databases share the member objects (structure sharing) but their
+// memberships evolve separately — this supports the paper's case for
+// multiple extents per type: "one may want to experiment with hypothetical
+// states of the database", which a unique type-coupled extent cannot
+// express.
+func (db *Database) Fork() *Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := New(db.strategy)
+	out.items = append([]*dynamic.Dynamic(nil), db.items...)
+	for k, e := range db.extents {
+		out.extents[k] = &extent{typ: e.typ, items: append([]*dynamic.Dynamic(nil), e.items...)}
+	}
+	return out
+}
+
+// ExtentTypes reports the types for which maintained extents currently
+// exist (StrategyIndexed only); useful for inspection and tests.
+func (db *Database) ExtentTypes() []types.Type {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]types.Type, 0, len(db.extents))
+	for _, e := range db.extents {
+		out = append(out, e.typ)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Package dynamic implements Amber-style dynamic values: a value paired
+// with a description of its type. Ordinary values are made dynamic with
+// Make and recovered with Coerce, which checks — at run time — that the
+// carried type is a subtype of the requested one. In the paper:
+//
+//	let d = dynamic 3;
+//	let i = coerce d to Int;     -- binds 3
+//	let s = coerce d to String;  -- raises a run-time exception
+//
+// Dynamics are the paper's vehicle for both heterogeneous databases (a
+// database is a list of dynamics) and replicating persistence (extern
+// writes a dynamic so the value's type survives with it, principle P2).
+package dynamic
+
+import (
+	"fmt"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// Dynamic is a value that carries its own type. It is itself a value (of
+// the basic type Dynamic), so dynamics can be stored in records, lists and
+// databases like anything else.
+type Dynamic struct {
+	v value.Value
+	t types.Type
+}
+
+// Kind implements value.Value.
+func (*Dynamic) Kind() value.Kind { return value.KindOpaque }
+
+// String implements value.Value.
+func (d *Dynamic) String() string {
+	return fmt.Sprintf("dynamic(%s : %s)", d.v, d.t)
+}
+
+// Make pairs v with the most specific type that can be computed for it.
+func Make(v value.Value) *Dynamic {
+	return &Dynamic{v: v, t: value.TypeOf(v)}
+}
+
+// MakeAt pairs v with the declared type t, which must be conformed to; the
+// declared type may be a supertype of v's most specific type (this is how a
+// statically typed program injects an Employee into a database of Persons
+// without losing the record's extra fields — the value keeps them, only the
+// label changes).
+func MakeAt(v value.Value, t types.Type) (*Dynamic, error) {
+	if !value.Conforms(v, t) {
+		return nil, &CoerceError{Have: value.TypeOf(v), Want: t}
+	}
+	return &Dynamic{v: v, t: t}, nil
+}
+
+// Value returns the carried value without any check. Use Coerce for the
+// type-safe accessor.
+func (d *Dynamic) Value() value.Value { return d.v }
+
+// Type returns the carried type description — the paper's typeOf function
+// on dynamics.
+func (d *Dynamic) Type() types.Type { return d.t }
+
+// TypeVal returns the carried type reified as a value of type Type.
+func (d *Dynamic) TypeVal() *value.TypeVal { return value.NewTypeVal(d.t) }
+
+// CoerceError reports a failed coercion: the dynamic's type is not a
+// subtype of the requested type.
+type CoerceError struct {
+	Have types.Type // the type carried by the dynamic
+	Want types.Type // the type requested by coerce
+}
+
+// Error implements error.
+func (e *CoerceError) Error() string {
+	return fmt.Sprintf("dynamic: cannot coerce %s to %s", e.Have, e.Want)
+}
+
+// Coerce reveals the carried value at type want. It succeeds when the
+// carried type is a subtype of want (subsumption: a dynamic Employee
+// coerces to Person). On failure it returns a *CoerceError, the statically
+// typed analogue of Amber's run-time exception.
+func (d *Dynamic) Coerce(want types.Type) (value.Value, error) {
+	if !types.Subtype(d.t, want) {
+		return nil, &CoerceError{Have: d.t, Want: want}
+	}
+	return d.v, nil
+}
+
+// Is reports whether the dynamic's carried type is a subtype of t — the
+// test at the heart of the generic Get function.
+func (d *Dynamic) Is(t types.Type) bool { return types.Subtype(d.t, t) }

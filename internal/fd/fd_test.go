@@ -1,0 +1,266 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbpl/internal/relation"
+	"dbpl/internal/value"
+)
+
+func TestClosureTextbook(t *testing.T) {
+	// R(A,B,C,D,E,F) with A,B → C; B,C → A,D; D → E; C,F → B.
+	fds := []FD{
+		Dep("A,B", "C"),
+		Dep("B,C", "A,D"),
+		Dep("D", "E"),
+		Dep("C,F", "B"),
+	}
+	got := Closure(NewAttrSet("A", "B"), fds)
+	want := NewAttrSet("A", "B", "C", "D", "E")
+	if !got.Equal(want) {
+		t.Errorf("{A,B}+ = %s, want %s", got, want)
+	}
+	got = Closure(NewAttrSet("D"), fds)
+	if !got.Equal(NewAttrSet("D", "E")) {
+		t.Errorf("{D}+ = %s, want {D, E}", got)
+	}
+}
+
+func TestArmstrongAxiomsDerivable(t *testing.T) {
+	// Reflexivity: X → Y for Y ⊆ X, from no dependencies at all.
+	if !Implies(nil, Dep("A,B", "A")) {
+		t.Error("reflexivity failed")
+	}
+	// Augmentation: from A → B derive A,C → B,C.
+	if !Implies([]FD{Dep("A", "B")}, Dep("A,C", "B,C")) {
+		t.Error("augmentation failed")
+	}
+	// Transitivity: from A → B and B → C derive A → C.
+	if !Implies([]FD{Dep("A", "B"), Dep("B", "C")}, Dep("A", "C")) {
+		t.Error("transitivity failed")
+	}
+	// Pseudo-transitivity: A → B and B,C → D give A,C → D.
+	if !Implies([]FD{Dep("A", "B"), Dep("B,C", "D")}, Dep("A,C", "D")) {
+		t.Error("pseudo-transitivity failed")
+	}
+	// Non-implication.
+	if Implies([]FD{Dep("A", "B")}, Dep("B", "A")) {
+		t.Error("implication must not invert dependencies")
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	fds := []FD{
+		Dep("A", "B,C"),
+		Dep("B", "C"),
+		Dep("A,B", "C"), // redundant given A → B and B → C
+		Dep("A", "A"),   // trivial
+	}
+	mc := MinimalCover(fds)
+	if !Equivalent(mc, fds) {
+		t.Fatalf("minimal cover %v not equivalent to input", mc)
+	}
+	for _, f := range mc {
+		if len(f.To) != 1 {
+			t.Errorf("cover FD %s has non-singleton RHS", f)
+		}
+		if f.Trivial() {
+			t.Errorf("cover contains trivial FD %s", f)
+		}
+	}
+	// A → B and B → C suffice; A → C is derivable and must be gone.
+	if len(mc) != 2 {
+		t.Errorf("cover = %v, want 2 dependencies", mc)
+	}
+}
+
+func TestMinimalCoverExtraneousLHS(t *testing.T) {
+	// In A,B → C with A → C, B is extraneous.
+	fds := []FD{Dep("A,B", "C"), Dep("A", "C")}
+	mc := MinimalCover(fds)
+	if !Equivalent(mc, fds) {
+		t.Fatal("cover not equivalent")
+	}
+	for _, f := range mc {
+		if len(f.From) > 1 {
+			t.Errorf("cover FD %s kept an extraneous attribute", f)
+		}
+	}
+}
+
+func TestCandidateKeys(t *testing.T) {
+	// R(A,B,C) with A → B, B → C: key is {A}.
+	keys := CandidateKeys(NewAttrSet("A", "B", "C"), []FD{Dep("A", "B"), Dep("B", "C")})
+	if len(keys) != 1 || !keys[0].Equal(NewAttrSet("A")) {
+		t.Errorf("keys = %v, want [{A}]", keys)
+	}
+	// R(A,B) with A → B and B → A: both {A} and {B}.
+	keys = CandidateKeys(NewAttrSet("A", "B"), []FD{Dep("A", "B"), Dep("B", "A")})
+	if len(keys) != 2 {
+		t.Errorf("keys = %v, want two", keys)
+	}
+	// No dependencies: the whole schema is the only key.
+	keys = CandidateKeys(NewAttrSet("A", "B"), nil)
+	if len(keys) != 1 || !keys[0].Equal(NewAttrSet("A", "B")) {
+		t.Errorf("keys = %v, want [{A, B}]", keys)
+	}
+}
+
+func mkFlat(t *testing.T, rows [][3]string) *relation.Flat {
+	t.Helper()
+	f := relation.NewFlat("Name", "Dept", "Floor")
+	for _, r := range rows {
+		err := f.Insert(value.Rec(
+			"Name", value.String(r[0]),
+			"Dept", value.String(r[1]),
+			"Floor", value.String(r[2])))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestSatisfiedFlat(t *testing.T) {
+	good := mkFlat(t, [][3]string{
+		{"J Doe", "Sales", "3"},
+		{"M Dee", "Manuf", "1"},
+		{"N Bug", "Manuf", "1"},
+	})
+	if !SatisfiedFlat(good, Dep("Name", "Dept")) {
+		t.Error("Name → Dept should hold")
+	}
+	if !SatisfiedFlat(good, Dep("Dept", "Floor")) {
+		t.Error("Dept → Floor should hold")
+	}
+	bad := mkFlat(t, [][3]string{
+		{"J Doe", "Sales", "3"},
+		{"J Doe", "Manuf", "1"},
+	})
+	if SatisfiedFlat(bad, Dep("Name", "Dept")) {
+		t.Error("violated dependency reported satisfied")
+	}
+}
+
+func TestSatisfiedGen(t *testing.T) {
+	// Members silent on part of the LHS make no claim.
+	r := relation.New(
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales")),
+		value.Rec("Name", value.String("J Doe")), // silent on Dept — subsumed? No: comparable!
+	)
+	// The comparable pair collapses by subsumption, so build explicitly:
+	r = relation.New(
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales")),
+		value.Rec("Name", value.String("M Dee")),
+	)
+	if !SatisfiedGen(r, Dep("Name", "Dept")) {
+		t.Error("silence is not a violation")
+	}
+	// Two members agreeing on Name with conflicting Dept: violation.
+	viol := relation.New(
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales"), "A", value.Int(1)),
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Manuf"), "B", value.Int(2)),
+	)
+	if SatisfiedGen(viol, Dep("Name", "Dept")) {
+		t.Error("conflicting Dept under equal Name should violate")
+	}
+	// Agreement where one is silent on the RHS: joinable, hence fine.
+	partial := relation.New(
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales"), "A", value.Int(1)),
+		value.Rec("Name", value.String("J Doe"), "B", value.Int(2)),
+	)
+	if !SatisfiedGen(partial, Dep("Name", "Dept")) {
+		t.Error("a silent RHS is joinable with anything")
+	}
+}
+
+func TestGenCoincidesWithFlatOnFlatData(t *testing.T) {
+	flat := mkFlat(t, [][3]string{
+		{"J Doe", "Sales", "3"},
+		{"M Dee", "Manuf", "1"},
+		{"N Bug", "Manuf", "2"}, // violates Dept → Floor
+	})
+	gen := flat.Generalize()
+	for _, f := range []FD{
+		Dep("Name", "Dept"), Dep("Dept", "Floor"), Dep("Name", "Floor"),
+		Dep("Floor", "Dept"), Dep("Dept,Floor", "Name"),
+	} {
+		if SatisfiedFlat(flat, f) != SatisfiedGen(gen, f) {
+			t.Errorf("flat and generalized satisfaction disagree on %s", f)
+		}
+	}
+}
+
+func TestQuickGenCoincidesWithFlat(t *testing.T) {
+	// Property: on randomly generated flat data, the generalized reading of
+	// FD satisfaction coincides with the classical one.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		flat := relation.NewFlat("A", "B", "C")
+		for i := 0; i < 10; i++ {
+			_ = flat.Insert(value.Rec(
+				"A", value.Int(int64(rng.Intn(3))),
+				"B", value.Int(int64(rng.Intn(3))),
+				"C", value.Int(int64(rng.Intn(3)))))
+		}
+		gen := flat.Generalize()
+		for _, d := range []FD{Dep("A", "B"), Dep("B", "C"), Dep("A,B", "C"), Dep("C", "A,B")} {
+			if SatisfiedFlat(flat, d) != SatisfiedGen(gen, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClosureMonotoneAndIdempotent(t *testing.T) {
+	gen := func(rng *rand.Rand) []FD {
+		attrs := []string{"A", "B", "C", "D"}
+		var fds []FD
+		for i := 0; i < rng.Intn(5); i++ {
+			from := NewAttrSet(attrs[rng.Intn(4)])
+			to := NewAttrSet(attrs[rng.Intn(4)])
+			fds = append(fds, FD{From: from, To: to})
+		}
+		return fds
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fds := gen(rng)
+		x := NewAttrSet("A")
+		cx := Closure(x, fds)
+		// X ⊆ X⁺, (X⁺)⁺ = X⁺, and closure is monotone.
+		if !cx.Contains(x) {
+			return false
+		}
+		if !Closure(cx, fds).Equal(cx) {
+			return false
+		}
+		bigger := x.Union(NewAttrSet("B"))
+		return Closure(bigger, fds).Contains(cx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepParsingAndString(t *testing.T) {
+	d := Dep(" A , B ", "C")
+	if d.String() != "A, B -> C" {
+		t.Errorf("String = %q", d.String())
+	}
+	if !d.From.Equal(NewAttrSet("A", "B")) {
+		t.Error("Dep did not trim attribute names")
+	}
+	if !Dep("A,B", "A").Trivial() {
+		t.Error("A,B → A is trivial")
+	}
+	if Dep("A", "B").Trivial() {
+		t.Error("A → B is not trivial")
+	}
+}

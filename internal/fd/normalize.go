@@ -1,0 +1,232 @@
+package fd
+
+import "sort"
+
+// This file carries the dependency theory through to schema normalization:
+// BCNF violation detection and decomposition, 3NF synthesis from a minimal
+// cover, and the binary lossless-join test. The paper points at [Bune86]
+// for "the basic results of the theory of functional dependencies"; these
+// are the standard consequences a database programming language's schema
+// layer builds on.
+
+// Superkey reports whether x determines every attribute of the (sub)schema.
+func Superkey(x AttrSet, schema AttrSet, fds []FD) bool {
+	return Closure(x, fds).Contains(schema)
+}
+
+// BCNFViolation finds a nontrivial dependency X → Y over the given
+// (sub)schema, implied by fds, whose left side is not a superkey of the
+// subschema. ok is false when the subschema is in BCNF. The search
+// enumerates subsets of the subschema and is exponential in its width, as
+// the problem demands; schemas are small.
+func BCNFViolation(schema AttrSet, fds []FD) (FD, bool) {
+	attrs := schema.Sorted()
+	n := len(attrs)
+	// Enumerate proper nonempty subsets X in order of increasing size so the
+	// reported violation has a minimal left side.
+	for size := 1; size < n; size++ {
+		var found FD
+		ok := false
+		var walk func(start int, cur []string)
+		walk = func(start int, cur []string) {
+			if ok {
+				return
+			}
+			if len(cur) == size {
+				x := NewAttrSet(cur...)
+				closure := Closure(x, fds)
+				// Restrict to the subschema.
+				y := AttrSet{}
+				for a := range closure {
+					if schema[a] && !x[a] {
+						y[a] = true
+					}
+				}
+				if len(y) > 0 && !closure.Contains(schema) {
+					found = FD{From: x, To: y}
+					ok = true
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				walk(i+1, append(cur, attrs[i]))
+			}
+		}
+		walk(0, nil)
+		if ok {
+			return found, true
+		}
+	}
+	return FD{}, false
+}
+
+// IsBCNF reports whether the (sub)schema is in Boyce–Codd normal form with
+// respect to the dependencies.
+func IsBCNF(schema AttrSet, fds []FD) bool {
+	_, violated := BCNFViolation(schema, fds)
+	return !violated
+}
+
+// DecomposeBCNF splits the schema into BCNF subschemas by the classical
+// recursive algorithm: on a violation X → Y, split into X ∪ Y and
+// schema − Y. Every split is lossless (X is shared and X → X ∪ Y).
+// Dependency preservation is not guaranteed, as usual.
+func DecomposeBCNF(schema AttrSet, fds []FD) []AttrSet {
+	v, violated := BCNFViolation(schema, fds)
+	if !violated {
+		return []AttrSet{schema}
+	}
+	left := v.From.Union(v.To)
+	right := AttrSet{}
+	for a := range schema {
+		if !v.To[a] || v.From[a] {
+			right[a] = true
+		}
+	}
+	out := DecomposeBCNF(left, fds)
+	out = append(out, DecomposeBCNF(right, fds)...)
+	return dedupeSchemas(out)
+}
+
+// Synthesize3NF produces a third-normal-form, dependency-preserving,
+// lossless decomposition by the synthesis algorithm: one subschema per
+// minimal-cover group (same left side), plus a candidate key if no
+// subschema contains one, with subsumed subschemas dropped.
+func Synthesize3NF(schema AttrSet, fds []FD) []AttrSet {
+	mc := MinimalCover(fds)
+	// Group by left-hand side.
+	groups := map[string]AttrSet{}
+	for _, f := range mc {
+		k := f.From.String()
+		g, ok := groups[k]
+		if !ok {
+			g = f.From.Union(nil)
+		}
+		groups[k] = g.Union(f.To)
+	}
+	var out []AttrSet
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	// Ensure some subschema contains a candidate key of the whole schema.
+	cks := CandidateKeys(schema, fds)
+	hasKey := false
+	for _, sub := range out {
+		for _, ck := range cks {
+			if sub.Contains(ck) {
+				hasKey = true
+				break
+			}
+		}
+		if hasKey {
+			break
+		}
+	}
+	if !hasKey && len(cks) > 0 {
+		out = append(out, cks[0])
+	}
+	// Attributes in no dependency still need a home: put them with a key.
+	covered := AttrSet{}
+	for _, sub := range out {
+		covered = covered.Union(sub)
+	}
+	loose := AttrSet{}
+	for a := range schema {
+		if !covered[a] {
+			loose[a] = true
+		}
+	}
+	if len(loose) > 0 {
+		if len(cks) > 0 {
+			out = append(out, cks[0].Union(loose))
+		} else {
+			out = append(out, loose)
+		}
+	}
+	return dedupeSchemas(out)
+}
+
+// dedupeSchemas removes subschemas contained in another subschema.
+func dedupeSchemas(in []AttrSet) []AttrSet {
+	var out []AttrSet
+	for i, a := range in {
+		subsumed := false
+		for j, b := range in {
+			if i == j {
+				continue
+			}
+			if b.Contains(a) && (!a.Contains(b) || j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ProjectFDs computes the dependencies implied on a subschema: for every
+// subset X of the subschema, X → (X⁺ ∩ subschema). Exponential in the
+// subschema width, as the problem demands. Trivial dependencies are
+// omitted.
+func ProjectFDs(sub AttrSet, fds []FD) []FD {
+	attrs := sub.Sorted()
+	n := len(attrs)
+	var out []FD
+	for mask := 1; mask < (1 << n); mask++ {
+		x := AttrSet{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x[attrs[i]] = true
+			}
+		}
+		closure := Closure(x, fds)
+		y := AttrSet{}
+		for a := range closure {
+			if sub[a] && !x[a] {
+				y[a] = true
+			}
+		}
+		if len(y) > 0 {
+			out = append(out, FD{From: x, To: y})
+		}
+	}
+	return out
+}
+
+// PreservesDependencies reports whether a decomposition preserves the
+// dependencies: the union of the projections onto the parts implies every
+// original dependency.
+func PreservesDependencies(parts []AttrSet, fds []FD) bool {
+	var projected []FD
+	for _, p := range parts {
+		projected = append(projected, ProjectFDs(p, fds)...)
+	}
+	for _, f := range fds {
+		if !Implies(projected, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// LosslessSplit reports whether splitting schema into (r1, r2) is a
+// lossless-join decomposition under fds: the shared attributes must
+// functionally determine one side (r1 ∩ r2 → r1 or r1 ∩ r2 → r2).
+func LosslessSplit(r1, r2 AttrSet, fds []FD) bool {
+	shared := AttrSet{}
+	for a := range r1 {
+		if r2[a] {
+			shared[a] = true
+		}
+	}
+	c := Closure(shared, fds)
+	return c.Contains(r1) || c.Contains(r2)
+}

@@ -1,0 +1,208 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuperkey(t *testing.T) {
+	schema := NewAttrSet("A", "B", "C")
+	fds := []FD{Dep("A", "B"), Dep("B", "C")}
+	if !Superkey(NewAttrSet("A"), schema, fds) {
+		t.Error("{A} is a superkey")
+	}
+	if Superkey(NewAttrSet("B"), schema, fds) {
+		t.Error("{B} is not a superkey")
+	}
+	if !Superkey(NewAttrSet("A", "B"), schema, fds) {
+		t.Error("supersets of keys are superkeys")
+	}
+}
+
+func TestBCNFViolation(t *testing.T) {
+	// The classic: R(Street, City, Zip) with Street,City → Zip and
+	// Zip → City. Zip → City violates BCNF (Zip is not a superkey).
+	schema := NewAttrSet("Street", "City", "Zip")
+	fds := []FD{Dep("Street,City", "Zip"), Dep("Zip", "City")}
+	v, violated := BCNFViolation(schema, fds)
+	if !violated {
+		t.Fatal("schema should violate BCNF")
+	}
+	if !v.From.Equal(NewAttrSet("Zip")) {
+		t.Errorf("minimal violation LHS = %s, want {Zip}", v.From)
+	}
+	if IsBCNF(schema, fds) {
+		t.Error("IsBCNF disagrees with BCNFViolation")
+	}
+	// A key-determined schema is in BCNF.
+	if !IsBCNF(NewAttrSet("A", "B"), []FD{Dep("A", "B")}) {
+		t.Error("R(A,B) with A → B is in BCNF")
+	}
+	if !IsBCNF(NewAttrSet("A", "B"), nil) {
+		t.Error("a schema with no dependencies is in BCNF")
+	}
+}
+
+func TestDecomposeBCNF(t *testing.T) {
+	schema := NewAttrSet("Street", "City", "Zip")
+	fds := []FD{Dep("Street,City", "Zip"), Dep("Zip", "City")}
+	parts := DecomposeBCNF(schema, fds)
+	// Every part is in BCNF and the union covers the schema.
+	union := AttrSet{}
+	for _, p := range parts {
+		if !IsBCNF(p, fds) {
+			t.Errorf("part %s is not in BCNF", p)
+		}
+		union = union.Union(p)
+	}
+	if !union.Equal(schema) {
+		t.Errorf("decomposition loses attributes: %v", parts)
+	}
+	// The classic result: {Zip, City} and {Zip, Street}.
+	if len(parts) != 2 {
+		t.Fatalf("parts = %v, want 2", parts)
+	}
+	if !LosslessSplit(parts[0], parts[1], fds) {
+		t.Error("BCNF decomposition must be lossless")
+	}
+}
+
+func TestDecomposeBCNFAlreadyNormal(t *testing.T) {
+	schema := NewAttrSet("A", "B", "C")
+	fds := []FD{Dep("A", "B,C")}
+	parts := DecomposeBCNF(schema, fds)
+	if len(parts) != 1 || !parts[0].Equal(schema) {
+		t.Errorf("BCNF schema should not split: %v", parts)
+	}
+}
+
+func TestSynthesize3NF(t *testing.T) {
+	// R(A,B,C,D) with A → B, B → C: synthesis gives {A,B}, {B,C} and a key
+	// subschema containing D.
+	schema := NewAttrSet("A", "B", "C", "D")
+	fds := []FD{Dep("A", "B"), Dep("B", "C")}
+	parts := Synthesize3NF(schema, fds)
+	union := AttrSet{}
+	for _, p := range parts {
+		union = union.Union(p)
+	}
+	if !union.Equal(schema) {
+		t.Errorf("synthesis loses attributes: %v", parts)
+	}
+	// Some part must contain a candidate key ({A, D}).
+	hasKey := false
+	for _, p := range parts {
+		if p.Contains(NewAttrSet("A", "D")) {
+			hasKey = true
+		}
+	}
+	if !hasKey {
+		t.Errorf("no part contains the key {A, D}: %v", parts)
+	}
+	// Dependency preservation: each original FD is implied by the FDs
+	// projected onto some part — for synthesis, each minimal-cover FD lives
+	// whole in a part.
+	for _, f := range MinimalCover(fds) {
+		lives := false
+		for _, p := range parts {
+			if p.Contains(f.From) && p.Contains(f.To) {
+				lives = true
+				break
+			}
+		}
+		if !lives {
+			t.Errorf("dependency %s not preserved by %v", f, parts)
+		}
+	}
+}
+
+func TestSynthesize3NFNoFDs(t *testing.T) {
+	schema := NewAttrSet("A", "B")
+	parts := Synthesize3NF(schema, nil)
+	if len(parts) != 1 || !parts[0].Equal(schema) {
+		t.Errorf("no dependencies: whole schema is the only part, got %v", parts)
+	}
+}
+
+func TestLosslessSplit(t *testing.T) {
+	fds := []FD{Dep("Zip", "City")}
+	if !LosslessSplit(NewAttrSet("Zip", "City"), NewAttrSet("Zip", "Street"), fds) {
+		t.Error("split on Zip (which determines City) is lossless")
+	}
+	if LosslessSplit(NewAttrSet("A", "B"), NewAttrSet("C", "B"), nil) {
+		t.Error("split sharing a non-determining attribute is lossy")
+	}
+}
+
+func TestQuickDecompositionInvariants(t *testing.T) {
+	attrs := []string{"A", "B", "C", "D", "E"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var fds []FD
+		for i := 0; i < rng.Intn(5); i++ {
+			from := NewAttrSet(attrs[rng.Intn(5)])
+			if rng.Intn(2) == 0 {
+				from[attrs[rng.Intn(5)]] = true
+			}
+			to := NewAttrSet(attrs[rng.Intn(5)])
+			fds = append(fds, FD{From: from, To: to})
+		}
+		schema := NewAttrSet(attrs...)
+		parts := DecomposeBCNF(schema, fds)
+		union := AttrSet{}
+		for _, p := range parts {
+			if !IsBCNF(p, fds) {
+				return false
+			}
+			union = union.Union(p)
+		}
+		if !union.Equal(schema) {
+			return false
+		}
+		// 3NF synthesis also covers the schema and keeps a key.
+		sparts := Synthesize3NF(schema, fds)
+		sunion := AttrSet{}
+		hasKey := false
+		cks := CandidateKeys(schema, fds)
+		for _, p := range sparts {
+			sunion = sunion.Union(p)
+			for _, ck := range cks {
+				if p.Contains(ck) {
+					hasKey = true
+				}
+			}
+		}
+		return sunion.Equal(schema) && hasKey
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectFDsAndPreservation(t *testing.T) {
+	fds := []FD{Dep("A", "B"), Dep("B", "C")}
+	// Projecting onto {A, C} reveals the transitive A → C even though no
+	// given dependency mentions only those attributes.
+	proj := ProjectFDs(NewAttrSet("A", "C"), fds)
+	if !Implies(proj, Dep("A", "C")) {
+		t.Errorf("projection lost A → C: %v", proj)
+	}
+	if Implies(proj, Dep("C", "A")) {
+		t.Error("projection invented C → A")
+	}
+	// 3NF synthesis preserves dependencies; this particular BCNF
+	// decomposition famously does not.
+	schema := NewAttrSet("Street", "City", "Zip")
+	zipFDs := []FD{Dep("Street,City", "Zip"), Dep("Zip", "City")}
+	if !PreservesDependencies(Synthesize3NF(schema, zipFDs), zipFDs) {
+		t.Error("3NF synthesis should preserve dependencies")
+	}
+	if PreservesDependencies(DecomposeBCNF(schema, zipFDs), zipFDs) {
+		t.Error("the Street/City/Zip BCNF decomposition is the classic dependency-loss example")
+	}
+	// Trivially, projecting onto the whole schema preserves everything.
+	if !PreservesDependencies([]AttrSet{NewAttrSet("A", "B", "C")}, fds) {
+		t.Error("identity decomposition must preserve dependencies")
+	}
+}

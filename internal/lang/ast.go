@@ -1,0 +1,327 @@
+package lang
+
+import (
+	"dbpl/internal/types"
+)
+
+// Decl is a top-level declaration or expression statement.
+type Decl interface{ declPos() Pos }
+
+// DLet binds a name: let [rec] name [: T] = expr.
+type DLet struct {
+	Pos  Pos
+	Rec  bool
+	Name string
+	Ann  types.Type // nil if unannotated
+	Init Expr
+}
+
+// DType declares a type abbreviation: type Name = T. Self-references in T
+// are closed into a recursive type at parse time.
+type DType struct {
+	Pos  Pos
+	Name string
+	Type types.Type
+}
+
+// DPersistent binds a handle in the intrinsic store:
+// persistent name : T = expr. If the store already has the handle, it is
+// opened at T under the paper's schema-evolution rules and expr is not
+// evaluated; otherwise expr initializes it.
+type DPersistent struct {
+	Pos  Pos
+	Name string
+	Ann  types.Type
+	Init Expr
+}
+
+// DExpr is a bare expression evaluated for its value and effects.
+type DExpr struct {
+	Pos Pos
+	X   Expr
+}
+
+func (d *DLet) declPos() Pos        { return d.Pos }
+func (d *DType) declPos() Pos       { return d.Pos }
+func (d *DPersistent) declPos() Pos { return d.Pos }
+func (d *DExpr) declPos() Pos       { return d.Pos }
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// EInt is an integer literal.
+type EInt struct {
+	Pos Pos
+	V   int64
+}
+
+// EFloat is a float literal.
+type EFloat struct {
+	Pos Pos
+	V   float64
+}
+
+// EString is a string literal.
+type EString struct {
+	Pos Pos
+	V   string
+}
+
+// EBool is true or false.
+type EBool struct {
+	Pos Pos
+	V   bool
+}
+
+// EUnit is the unit literal.
+type EUnit struct{ Pos Pos }
+
+// EVar is a variable reference.
+type EVar struct {
+	Pos  Pos
+	Name string
+}
+
+// FieldExpr is one field of a record literal.
+type FieldExpr struct {
+	Label string
+	X     Expr
+}
+
+// ERecord is a record literal {L1 = e1, ..., Ln = en}.
+type ERecord struct {
+	Pos    Pos
+	Fields []FieldExpr
+}
+
+// EList is a list literal [e1, ..., en].
+type EList struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// EField is field selection e.Label.
+type EField struct {
+	Pos   Pos
+	X     Expr
+	Label string
+}
+
+// EWith is functional record extension/override: e with {L = v, ...}.
+type EWith struct {
+	Pos Pos
+	X   Expr
+	R   *ERecord
+}
+
+// ECall is function application f(e1, ..., en).
+type ECall struct {
+	Pos  Pos
+	Fn   Expr
+	Args []Expr
+}
+
+// ETypeApp is type application f[T1, ..., Tn] on a polymorphic value.
+type ETypeApp struct {
+	Pos   Pos
+	Fn    Expr
+	Types []types.Type
+}
+
+// TypeParam is a bounded type parameter of a function: t <= Bound.
+type TypeParam struct {
+	Name  string
+	Bound types.Type // Top if unbounded
+}
+
+// Param is a typed value parameter.
+type Param struct {
+	Name string
+	Type types.Type
+}
+
+// EFun is a (possibly polymorphic) function literal:
+// fun[t <= B](x: T, ...): R is body.
+type EFun struct {
+	Pos        Pos
+	TypeParams []TypeParam
+	Params     []Param
+	Result     types.Type // nil: inferred from the body
+	Body       Expr
+	// SelfName is set for let rec bindings so the closure can see itself.
+	SelfName string
+}
+
+// EIf is if c then t else e.
+type EIf struct {
+	Pos  Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// ELetIn is a let expression: let name [: T] = e1 in e2.
+type ELetIn struct {
+	Pos  Pos
+	Name string
+	Ann  types.Type
+	Init Expr
+	Body Expr
+}
+
+// Binary operators.
+type BinOp int
+
+// The binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpConcat: "++", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAnd: "and", OpOr: "or",
+}
+
+// String returns the operator's source spelling.
+func (o BinOp) String() string { return binOpNames[o] }
+
+// EBinary is a binary operation.
+type EBinary struct {
+	Pos  Pos
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary operators.
+type UnOp int
+
+// The unary operators.
+const (
+	OpNeg UnOp = iota
+	OpNot
+)
+
+// EUnary is a unary operation.
+type EUnary struct {
+	Pos Pos
+	Op  UnOp
+	X   Expr
+}
+
+// EDynamic injects a value into Dynamic: dynamic e.
+type EDynamic struct {
+	Pos Pos
+	X   Expr
+}
+
+// ECoerce projects a Dynamic at a type: coerce e to T. It fails at run
+// time when the carried type is not a subtype of T.
+type ECoerce struct {
+	Pos Pos
+	X   Expr
+	T   types.Type
+}
+
+// ETypeOf reifies the type of a Dynamic: typeof e, of type Type.
+type ETypeOf struct {
+	Pos Pos
+	X   Expr
+}
+
+// Qualifier is one clause of a comprehension: either a generator
+// (Var <- Source) or, when Var is empty, a boolean guard (Source is the
+// condition).
+type Qualifier struct {
+	Var    string
+	Source Expr
+}
+
+// ECompr is a list comprehension:
+//
+//	[ head | x <- xs, cond, y <- ys, ... ]
+//
+// the query notation of database programming languages: generators draw
+// from lists left to right (later generators iterate fastest), guards
+// filter, and the head is evaluated per surviving binding.
+type ECompr struct {
+	Pos   Pos
+	Head  Expr
+	Quals []Qualifier
+}
+
+// EVariant injects a value into a variant: <Label = e>, of the singleton
+// variant type [Label: T], which widens by subsumption to any variant
+// carrying that tag.
+type EVariant struct {
+	Pos   Pos
+	Label string
+	X     Expr
+}
+
+// CaseArm is one branch of a case expression: Label(Var) is Body.
+type CaseArm struct {
+	Label string
+	Var   string
+	Body  Expr
+}
+
+// ECase eliminates a variant:
+//
+//	case e of Circle(x) is … | Square(y) is … end
+//
+// The arms must cover every tag of e's variant type.
+type ECase struct {
+	Pos  Pos
+	X    Expr
+	Arms []CaseArm
+}
+
+// EOpen eliminates an existential package: open e as (t, x) in body.
+// Statically e must have type exists u <= B . T; within body the type
+// variable t has bound B and x has type T[u := t].
+type EOpen struct {
+	Pos  Pos
+	X    Expr
+	TVar string
+	Var  string
+	Body Expr
+}
+
+func (e *EInt) exprPos() Pos     { return e.Pos }
+func (e *EFloat) exprPos() Pos   { return e.Pos }
+func (e *EString) exprPos() Pos  { return e.Pos }
+func (e *EBool) exprPos() Pos    { return e.Pos }
+func (e *EUnit) exprPos() Pos    { return e.Pos }
+func (e *EVar) exprPos() Pos     { return e.Pos }
+func (e *ERecord) exprPos() Pos  { return e.Pos }
+func (e *EList) exprPos() Pos    { return e.Pos }
+func (e *EField) exprPos() Pos   { return e.Pos }
+func (e *EWith) exprPos() Pos    { return e.Pos }
+func (e *ECall) exprPos() Pos    { return e.Pos }
+func (e *ETypeApp) exprPos() Pos { return e.Pos }
+func (e *EFun) exprPos() Pos     { return e.Pos }
+func (e *EIf) exprPos() Pos      { return e.Pos }
+func (e *ELetIn) exprPos() Pos   { return e.Pos }
+func (e *EBinary) exprPos() Pos  { return e.Pos }
+func (e *EUnary) exprPos() Pos   { return e.Pos }
+func (e *EDynamic) exprPos() Pos { return e.Pos }
+func (e *ECoerce) exprPos() Pos  { return e.Pos }
+func (e *ETypeOf) exprPos() Pos  { return e.Pos }
+func (e *EOpen) exprPos() Pos    { return e.Pos }
+func (e *EVariant) exprPos() Pos { return e.Pos }
+func (e *ECompr) exprPos() Pos   { return e.Pos }
+func (e *ECase) exprPos() Pos    { return e.Pos }

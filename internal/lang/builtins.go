@@ -1,0 +1,680 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"dbpl/internal/dynamic"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// This file defines the standard library: list and set primitives,
+// generalized-relation operations (cochain insertion, the Figure 1 join,
+// projection), the object-level join ⊔, the generic get over a database of
+// dynamics, the replicating-persistence extern/intern pair and the
+// intrinsic-persistence commit/abort pair, and the transient memo fields of
+// the bill-of-materials example.
+
+func t(src string) types.Type { return types.MustParse(src) }
+
+// builtins returns the global primitive bindings.
+func builtins() []*Builtin {
+	return []*Builtin{
+		{
+			Name: "print", Type: t("forall a . a -> Unit"), Arity: 1,
+			Fn: func(in *Interp, _ Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				fmt.Fprintln(in.Out, render(args[0]))
+				return value.Unit, nil
+			},
+		},
+		{
+			Name: "show", Type: t("forall a . a -> String"), Arity: 1,
+			Fn: func(_ *Interp, _ Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				return value.String(render(args[0])), nil
+			},
+		},
+		{
+			Name: "fail", Type: t("forall a . String -> a"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				return nil, errAt(pos, "run", "fail: %s", args[0])
+			},
+		},
+
+		// ----- lists ---------------------------------------------------
+		{
+			Name: "cons", Type: t("forall a . (a, List[a]) -> List[a]"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "cons", args[1])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewList(args[0])
+				out.Elems = append(out.Elems, lst.Elems...)
+				return out, nil
+			},
+		},
+		{
+			Name: "insert", Type: t("forall a . (List[a], a) -> List[a]"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "insert", args[0])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewList(lst.Elems...)
+				out.Append(args[1])
+				return out, nil
+			},
+		},
+		{
+			Name: "head", Type: t("forall a . List[a] -> a"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "head", args[0])
+				if err != nil {
+					return nil, err
+				}
+				if lst.Len() == 0 {
+					return nil, errAt(pos, "run", "head of empty list")
+				}
+				return lst.Elems[0], nil
+			},
+		},
+		{
+			Name: "tail", Type: t("forall a . List[a] -> List[a]"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "tail", args[0])
+				if err != nil {
+					return nil, err
+				}
+				if lst.Len() == 0 {
+					return nil, errAt(pos, "run", "tail of empty list")
+				}
+				return value.NewList(lst.Elems[1:]...), nil
+			},
+		},
+		{
+			Name: "nth", Type: t("forall a . (List[a], Int) -> a"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "nth", args[0])
+				if err != nil {
+					return nil, err
+				}
+				i, ok := args[1].(value.Int)
+				if !ok || int64(i) < 0 || int64(i) >= int64(lst.Len()) {
+					return nil, errAt(pos, "run", "nth: index %s out of range [0, %d)", args[1], lst.Len())
+				}
+				return lst.Elems[i], nil
+			},
+		},
+		{
+			Name: "length", Type: t("forall a . List[a] -> Int"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "length", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Int(int64(lst.Len())), nil
+			},
+		},
+		{
+			Name: "isEmpty", Type: t("forall a . List[a] -> Bool"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "isEmpty", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Bool(lst.Len() == 0), nil
+			},
+		},
+		{
+			Name: "append", Type: t("forall a . (List[a], List[a]) -> List[a]"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				a, err := wantList(pos, "append", args[0])
+				if err != nil {
+					return nil, err
+				}
+				b, err := wantList(pos, "append", args[1])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewList(a.Elems...)
+				out.Elems = append(out.Elems, b.Elems...)
+				return out, nil
+			},
+		},
+		{
+			Name: "map", Type: t("forall a . forall b . ((a) -> b, List[a]) -> List[b]"), Arity: 2,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "map", args[1])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewList()
+				for _, el := range lst.Elems {
+					v, err := in.apply(pos, args[0], []value.Value{el})
+					if err != nil {
+						return nil, err
+					}
+					out.Append(v)
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "filter", Type: t("forall a . ((a) -> Bool, List[a]) -> List[a]"), Arity: 2,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "filter", args[1])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewList()
+				for _, el := range lst.Elems {
+					keep, err := in.apply(pos, args[0], []value.Value{el})
+					if err != nil {
+						return nil, err
+					}
+					b, ok := keep.(value.Bool)
+					if !ok {
+						return nil, errAt(pos, "run", "filter predicate returned %s", keep)
+					}
+					if bool(b) {
+						out.Append(el)
+					}
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "fold", Type: t("forall a . forall b . ((b, a) -> b, b, List[a]) -> b"), Arity: 3,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "fold", args[2])
+				if err != nil {
+					return nil, err
+				}
+				acc := args[1]
+				for _, el := range lst.Elems {
+					if acc, err = in.apply(pos, args[0], []value.Value{acc, el}); err != nil {
+						return nil, err
+					}
+				}
+				return acc, nil
+			},
+		},
+
+		// ----- the paper's generic Get ----------------------------------
+		{
+			// get : forall t . List[Dynamic] -> List[exists u <= t . u]
+			// The single generic function that derives every class extent
+			// from the type hierarchy.
+			Name: "get", Type: types.NewForAll("t", nil, types.NewFunc(
+				[]types.Type{types.NewList(types.Dynamic)},
+				types.NewList(types.NewExists("u", types.NewVar("t"), types.NewVar("u"))))),
+			Arity: 1,
+			Fn: func(_ *Interp, pos Pos, targs []types.Type, args []value.Value) (value.Value, error) {
+				want := types.Type(types.Top)
+				if len(targs) >= 1 {
+					want = targs[0]
+				}
+				lst, err := wantList(pos, "get", args[0])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewList()
+				for _, el := range lst.Elems {
+					d, ok := el.(*dynamic.Dynamic)
+					if !ok {
+						return nil, errAt(pos, "run", "database element is not a dynamic: %s", el)
+					}
+					if d.Is(want) {
+						out.Append(d.Value())
+					}
+				}
+				return out, nil
+			},
+		},
+
+		// ----- sets and generalized relations ---------------------------
+		{
+			Name: "setof", Type: t("forall a . List[a] -> Set[a]"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "setof", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.NewSet(lst.Elems...), nil
+			},
+		},
+		{
+			// relation builds a cochain: comparable members are subsumed.
+			Name: "relation", Type: t("forall a . List[a] -> Set[a]"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				lst, err := wantList(pos, "relation", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.NewSet(value.Maximal(lst.Elems)...), nil
+			},
+		},
+		{
+			Name: "members", Type: t("forall a . Set[a] -> List[a]"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, err := wantSet(pos, "members", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.NewList(s.Elems()...), nil
+			},
+		},
+		{
+			Name: "size", Type: t("forall a . Set[a] -> Int"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, err := wantSet(pos, "size", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Int(int64(s.Len())), nil
+			},
+		},
+		{
+			Name: "contains", Type: t("forall a . (Set[a], a) -> Bool"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, err := wantSet(pos, "contains", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Bool(s.Contains(args[1])), nil
+			},
+		},
+		{
+			// rinsert applies the paper's subsumption rule.
+			Name: "rinsert", Type: t("forall a . (Set[a], a) -> Set[a]"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, err := wantSet(pos, "rinsert", args[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.NewSet(value.Maximal(append(s.Elems(), args[1]))...), nil
+			},
+		},
+		{
+			// rjoin is the generalized natural join of Figure 1. Per
+			// [Bune85], a direct call is typed Set[T1 ⊓ T2]: joined tuples
+			// carry the information of both sides (an inconsistent element
+			// meet types the always-empty result as Set[Bottom]).
+			Name: "rjoin", Type: t("forall a . (Set[a], Set[a]) -> Set[a]"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				a, err := wantSet(pos, "rjoin", args[0])
+				if err != nil {
+					return nil, err
+				}
+				b, err := wantSet(pos, "rjoin", args[1])
+				if err != nil {
+					return nil, err
+				}
+				return value.SetJoin(a, b), nil
+			},
+			Refine: func(argTs []types.Type) (types.Type, bool) {
+				s1, ok1 := argTs[0].(*types.Set)
+				s2, ok2 := argTs[1].(*types.Set)
+				if !ok1 || !ok2 {
+					return nil, false
+				}
+				m, ok := types.Meet(s1.Elem, s2.Elem)
+				if !ok {
+					m = types.Bottom // join of inconsistent relations is empty
+				}
+				return types.NewSet(m), true
+			},
+		},
+		{
+			Name: "runion", Type: t("forall a . (Set[a], Set[a]) -> Set[a]"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				a, err := wantSet(pos, "runion", args[0])
+				if err != nil {
+					return nil, err
+				}
+				b, err := wantSet(pos, "runion", args[1])
+				if err != nil {
+					return nil, err
+				}
+				return value.NewSet(value.Maximal(append(a.Elems(), b.Elems()...))...), nil
+			},
+		},
+		{
+			// project restricts records to the given labels; the result is
+			// typed Set[{}] — every record type is a supertype of the
+			// projections' types.
+			Name: "project", Type: t("forall a . (Set[a], List[String]) -> Set[{}]"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, err := wantSet(pos, "project", args[0])
+				if err != nil {
+					return nil, err
+				}
+				ls, err := wantList(pos, "project", args[1])
+				if err != nil {
+					return nil, err
+				}
+				want := map[string]bool{}
+				for _, l := range ls.Elems {
+					str, ok := l.(value.String)
+					if !ok {
+						return nil, errAt(pos, "run", "project labels must be strings")
+					}
+					want[string(str)] = true
+				}
+				var projected []value.Value
+				s.Each(func(m value.Value) {
+					rec, ok := m.(*value.Record)
+					if !ok {
+						return
+					}
+					p := value.NewRecord()
+					rec.Each(func(l string, v value.Value) {
+						if want[l] {
+							p.Set(l, v)
+						}
+					})
+					projected = append(projected, p)
+				})
+				return value.NewSet(value.Maximal(projected)...), nil
+			},
+		},
+		{
+			Name: "sfilter", Type: t("forall a . ((a) -> Bool, Set[a]) -> Set[a]"), Arity: 2,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, err := wantSet(pos, "sfilter", args[1])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewSet()
+				for _, el := range s.Elems() {
+					keep, err := in.apply(pos, args[0], []value.Value{el})
+					if err != nil {
+						return nil, err
+					}
+					b, ok := keep.(value.Bool)
+					if !ok {
+						return nil, errAt(pos, "run", "sfilter predicate returned %s", keep)
+					}
+					if bool(b) {
+						out.Add(el)
+					}
+				}
+				return out, nil
+			},
+		},
+
+		{
+			// rextract is the type-as-relation extraction: the members of a
+			// relation whose most specific type is a subtype of T. Like
+			// get, the type parameter does not occur in the argument types
+			// and so must be instantiated explicitly: rextract[T](r).
+			Name: "rextract", Type: types.NewForAll("t", nil, types.NewFunc(
+				[]types.Type{types.NewSet(types.Top)},
+				types.NewSet(types.NewVar("t")))),
+			Arity: 1,
+			Fn: func(_ *Interp, pos Pos, targs []types.Type, args []value.Value) (value.Value, error) {
+				want := types.Type(types.Top)
+				if len(targs) >= 1 {
+					want = targs[0]
+				}
+				s, err := wantSet(pos, "rextract", args[0])
+				if err != nil {
+					return nil, err
+				}
+				out := value.NewSet()
+				s.Each(func(m value.Value) {
+					if value.Conforms(m, want) {
+						out.Add(m)
+					}
+				})
+				return out, nil
+			},
+		},
+
+		{
+			// subtypeOf computes the subtype relation on reified types —
+			// "one solution is to treat types as values"; the compiler's
+			// type-level computation exposed at run time.
+			Name: "subtypeOf", Type: t("(Type, Type) -> Bool"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				a, ok1 := args[0].(*value.TypeVal)
+				b, ok2 := args[1].(*value.TypeVal)
+				if !ok1 || !ok2 {
+					return nil, errAt(pos, "run", "subtypeOf requires two Type values")
+				}
+				return value.Bool(types.Subtype(a.T, b.T)), nil
+			},
+		},
+
+		// ----- strings ---------------------------------------------------
+		{
+			Name: "strlen", Type: t("String -> Int"), Arity: 1,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, ok := args[0].(value.String)
+				if !ok {
+					return nil, errAt(pos, "run", "strlen: not a string")
+				}
+				return value.Int(int64(len(s))), nil
+			},
+		},
+		{
+			Name: "substring", Type: t("(String, Int, Int) -> String"), Arity: 3,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, ok := args[0].(value.String)
+				lo, ok2 := args[1].(value.Int)
+				hi, ok3 := args[2].(value.Int)
+				if !ok || !ok2 || !ok3 {
+					return nil, errAt(pos, "run", "substring: bad arguments")
+				}
+				if lo < 0 || hi < lo || int64(hi) > int64(len(s)) {
+					return nil, errAt(pos, "run", "substring: range [%d, %d) out of bounds for length %d", lo, hi, len(s))
+				}
+				return s[lo:hi], nil
+			},
+		},
+		{
+			Name: "strContains", Type: t("(String, String) -> Bool"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				s, ok := args[0].(value.String)
+				sub, ok2 := args[1].(value.String)
+				if !ok || !ok2 {
+					return nil, errAt(pos, "run", "strContains: bad arguments")
+				}
+				return value.Bool(strings.Contains(string(s), string(sub))), nil
+			},
+		},
+
+		// ----- object-level inheritance ---------------------------------
+		{
+			// join is the paper's ⊔: merge the information in two objects;
+			// a conflict is a runtime error. Per [Bune85], a direct call
+			// is typed precisely at the meet of the argument types: joining
+			// a Person-typed and an Employee-info-typed record yields a
+			// value typed with *both* sets of fields.
+			Name: "join", Type: t("forall a . (a, a) -> a"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				j, err := value.Join(args[0], args[1])
+				if err != nil {
+					return nil, errAt(pos, "run", "%v", err)
+				}
+				return j, nil
+			},
+			Refine: func(argTs []types.Type) (types.Type, bool) {
+				return types.Meet(argTs[0], argTs[1])
+			},
+		},
+		{
+			Name: "joinable", Type: t("forall a . (a, a) -> Bool"), Arity: 2,
+			Fn: func(_ *Interp, _ Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				_, err := value.Join(args[0], args[1])
+				return value.Bool(err == nil), nil
+			},
+		},
+		{
+			// leq is the information ordering o ⊑ o'.
+			Name: "leq", Type: t("forall a . (a, a) -> Bool"), Arity: 2,
+			Fn: func(_ *Interp, _ Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				return value.Bool(value.Leq(args[0], args[1])), nil
+			},
+		},
+
+		// ----- replicating persistence ----------------------------------
+		{
+			Name: "extern", Type: t("(String, Dynamic) -> Unit"), Arity: 2,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				if in.Replicating == nil {
+					return nil, errAt(pos, "run", "no replicating store attached")
+				}
+				h, ok := args[0].(value.String)
+				if !ok {
+					return nil, errAt(pos, "run", "extern handle must be a string")
+				}
+				d, ok := args[1].(*dynamic.Dynamic)
+				if !ok {
+					return nil, errAt(pos, "run", "extern requires a dynamic value")
+				}
+				if err := in.Replicating.Extern(string(h), d); err != nil {
+					return nil, errAt(pos, "run", "extern: %v", err)
+				}
+				return value.Unit, nil
+			},
+		},
+		{
+			Name: "intern", Type: t("String -> Dynamic"), Arity: 1,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				if in.Replicating == nil {
+					return nil, errAt(pos, "run", "no replicating store attached")
+				}
+				h, ok := args[0].(value.String)
+				if !ok {
+					return nil, errAt(pos, "run", "intern handle must be a string")
+				}
+				d, err := in.Replicating.Intern(string(h))
+				if err != nil {
+					return nil, errAt(pos, "run", "intern: %v", err)
+				}
+				return d, nil
+			},
+		},
+
+		// ----- intrinsic persistence ------------------------------------
+		{
+			Name: "commit", Type: t("() -> Unit"), Arity: 0,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, _ []value.Value) (value.Value, error) {
+				if in.Intrinsic == nil {
+					return nil, errAt(pos, "run", "no intrinsic store attached")
+				}
+				if _, err := in.Intrinsic.Commit(); err != nil {
+					return nil, errAt(pos, "run", "commit: %v", err)
+				}
+				return value.Unit, nil
+			},
+		},
+		{
+			Name: "abort", Type: t("() -> Unit"), Arity: 0,
+			Fn: func(in *Interp, pos Pos, _ []types.Type, _ []value.Value) (value.Value, error) {
+				if in.Intrinsic == nil {
+					return nil, errAt(pos, "run", "no intrinsic store attached")
+				}
+				if err := in.Intrinsic.Abort(); err != nil {
+					return nil, errAt(pos, "run", "abort: %v", err)
+				}
+				// Rebind persistent globals to the reverted values.
+				for name := range in.persistentNames {
+					if r, ok := in.Intrinsic.Root(name); ok {
+						in.globals[name] = r.Value
+					} else {
+						delete(in.globals, name)
+					}
+				}
+				return value.Unit, nil
+			},
+		},
+
+		// ----- transient memo fields (bill of materials) -----------------
+		{
+			// memoSet attaches a transient field (label must begin with
+			// "_") to a record in place. Transient fields are invisible to
+			// the type system and are not persisted.
+			Name: "memoSet", Type: t("forall a . (a, String, Dynamic) -> Unit"), Arity: 3,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				rec, label, err := memoArgs(pos, args)
+				if err != nil {
+					return nil, err
+				}
+				rec.Set(label, args[2])
+				return value.Unit, nil
+			},
+		},
+		{
+			Name: "memoGet", Type: t("forall a . (a, String) -> Dynamic"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				rec, label, err := memoArgs(pos, args)
+				if err != nil {
+					return nil, err
+				}
+				v, ok := rec.Get(label)
+				if !ok {
+					return nil, errAt(pos, "run", "memoGet: no memo %q", label)
+				}
+				d, ok := v.(*dynamic.Dynamic)
+				if !ok {
+					return nil, errAt(pos, "run", "memo %q does not hold a dynamic", label)
+				}
+				return d, nil
+			},
+		},
+		{
+			Name: "memoHas", Type: t("forall a . (a, String) -> Bool"), Arity: 2,
+			Fn: func(_ *Interp, pos Pos, _ []types.Type, args []value.Value) (value.Value, error) {
+				rec, label, err := memoArgs(pos, args)
+				if err != nil {
+					return nil, err
+				}
+				_, ok := rec.Get(label)
+				return value.Bool(ok), nil
+			},
+		},
+	}
+}
+
+func wantList(pos Pos, who string, v value.Value) (*value.List, error) {
+	lst, ok := v.(*value.List)
+	if !ok {
+		return nil, errAt(pos, "run", "%s: expected a list, got %s", who, v)
+	}
+	return lst, nil
+}
+
+func wantSet(pos Pos, who string, v value.Value) (*value.Set, error) {
+	s, ok := v.(*value.Set)
+	if !ok {
+		return nil, errAt(pos, "run", "%s: expected a set, got %s", who, v)
+	}
+	return s, nil
+}
+
+func memoArgs(pos Pos, args []value.Value) (*value.Record, string, error) {
+	rec, ok := args[0].(*value.Record)
+	if !ok {
+		return nil, "", errAt(pos, "run", "memo operations require a record, got %s", args[0])
+	}
+	label, ok := args[1].(value.String)
+	if !ok {
+		return nil, "", errAt(pos, "run", "memo label must be a string")
+	}
+	if !strings.HasPrefix(string(label), "_") {
+		return nil, "", errAt(pos, "run", "memo labels must begin with %q (transient fields)", "_")
+	}
+	return rec, string(label), nil
+}
+
+// render prints a value for the user; dynamics render with their type, and
+// plain strings render without the quote marks print would otherwise show.
+func render(v value.Value) string {
+	if s, ok := v.(value.String); ok {
+		return string(s)
+	}
+	return v.String()
+}

@@ -1,0 +1,664 @@
+package lang
+
+import (
+	"dbpl/internal/types"
+)
+
+// checker performs static type checking: record subtyping, Kernel-Fun
+// bounded quantification, existential elimination, and Dynamic as the
+// boundary between the static and dynamic worlds — "a certain amount of
+// dynamic type-checking … is necessary" (Atkinson & Morrison), but it is
+// confined to coerce and to the implementation of get.
+type checker struct {
+	globals map[string]types.Type
+	// refines holds the [Bune85]-style precise result typings of builtins
+	// (join, rjoin); see Builtin.Refine. rebound records builtin names the
+	// program has redefined, whose refinement must no longer apply — a
+	// user function with the same generic type need not satisfy it.
+	refines map[string]refineEntry
+	rebound map[string]bool
+}
+
+// refineEntry pairs a builtin's declared type with its refinement function.
+type refineEntry struct {
+	declared types.Type
+	fn       func(argTs []types.Type) (types.Type, bool)
+}
+
+// tenv is a lexical environment of value bindings.
+type tenv struct {
+	parent *tenv
+	name   string
+	typ    types.Type
+}
+
+func (e *tenv) bind(name string, t types.Type) *tenv {
+	return &tenv{parent: e, name: name, typ: t}
+}
+
+func (e *tenv) lookup(name string) (types.Type, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.name == name {
+			return cur.typ, true
+		}
+	}
+	return nil, false
+}
+
+// checkDecl type-checks one declaration against the current globals and
+// returns the binding it introduces (name may be empty for expressions).
+func (c *checker) checkDecl(d Decl) (name string, t types.Type, err error) {
+	switch dd := d.(type) {
+	case *DType:
+		return "", nil, nil // expanded at parse time
+	case *DLet:
+		inferred, err := c.infer(nil, nil, dd.Init)
+		if err != nil {
+			return "", nil, err
+		}
+		bound := inferred
+		if dd.Ann != nil {
+			if err := c.validateType(nil, dd.Ann, dd.Pos); err != nil {
+				return "", nil, err
+			}
+			if !types.Subtype(inferred, dd.Ann) {
+				return "", nil, errAt(dd.Pos, "type", "cannot bind %s value to %s", inferred, dd.Ann)
+			}
+			bound = dd.Ann
+		}
+		c.globals[dd.Name] = bound
+		c.markRebound(dd.Name)
+		return dd.Name, bound, nil
+	case *DPersistent:
+		if err := c.validateType(nil, dd.Ann, dd.Pos); err != nil {
+			return "", nil, err
+		}
+		inferred, err := c.infer(nil, nil, dd.Init)
+		if err != nil {
+			return "", nil, err
+		}
+		if !types.Subtype(inferred, dd.Ann) {
+			return "", nil, errAt(dd.Pos, "type", "initializer %s does not conform to declared %s", inferred, dd.Ann)
+		}
+		c.globals[dd.Name] = dd.Ann
+		c.markRebound(dd.Name)
+		return dd.Name, dd.Ann, nil
+	case *DExpr:
+		t, err := c.infer(nil, nil, dd.X)
+		if err != nil {
+			return "", nil, err
+		}
+		return "", t, nil
+	default:
+		return "", nil, errAt(d.declPos(), "type", "unknown declaration %T", d)
+	}
+}
+
+// markRebound records that the program redefined a refinable builtin.
+func (c *checker) markRebound(name string) {
+	if _, ok := c.refines[name]; ok {
+		c.rebound[name] = true
+	}
+}
+
+// validateType checks that every free type variable of t is bound in ctx.
+func (c *checker) validateType(ctx *types.Context, t types.Type, pos Pos) error {
+	for v := range types.FreeVars(t) {
+		if _, ok := ctx.Bound(v); !ok {
+			return errAt(pos, "type", "unbound type variable %q", v)
+		}
+	}
+	return nil
+}
+
+// resolveStruct unfolds a type to its structural head: variables resolve to
+// their bounds, recursive types unfold. It is used to look inside a type
+// for field selection, application, etc.
+func resolveStruct(ctx *types.Context, t types.Type) types.Type {
+	for i := 0; i < 64; i++ {
+		switch tt := t.(type) {
+		case *types.Var:
+			b, ok := ctx.Bound(tt.Name)
+			if !ok {
+				return t
+			}
+			t = b
+		case *types.Rec:
+			t = tt.Unfold()
+		default:
+			return t
+		}
+	}
+	return t
+}
+
+func (c *checker) infer(ctx *types.Context, env *tenv, e Expr) (types.Type, error) {
+	switch ee := e.(type) {
+	case *EInt:
+		return types.Int, nil
+	case *EFloat:
+		return types.Float, nil
+	case *EString:
+		return types.String, nil
+	case *EBool:
+		return types.Bool, nil
+	case *EUnit:
+		return types.Unit, nil
+
+	case *EVar:
+		if t, ok := env.lookup(ee.Name); ok {
+			return t, nil
+		}
+		if t, ok := c.globals[ee.Name]; ok {
+			return t, nil
+		}
+		return nil, errAt(ee.Pos, "type", "unknown variable %q", ee.Name)
+
+	case *ERecord:
+		fs := make([]types.Field, len(ee.Fields))
+		for i, f := range ee.Fields {
+			ft, err := c.infer(ctx, env, f.X)
+			if err != nil {
+				return nil, err
+			}
+			fs[i] = types.Field{Label: f.Label, Type: ft}
+		}
+		return types.NewRecord(fs...), nil
+
+	case *EList:
+		elem := types.Type(types.Bottom)
+		for _, el := range ee.Elems {
+			t, err := c.infer(ctx, env, el)
+			if err != nil {
+				return nil, err
+			}
+			elem = types.Join(elem, t)
+		}
+		return types.NewList(elem), nil
+
+	case *EField:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := resolveStruct(ctx, xt).(*types.Record)
+		if !ok {
+			return nil, errAt(ee.Pos, "type", "field selection on non-record %s", xt)
+		}
+		ft, ok := rec.Lookup(ee.Label)
+		if !ok {
+			return nil, errAt(ee.Pos, "type", "%s has no field %q", xt, ee.Label)
+		}
+		return ft, nil
+
+	case *EWith:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := resolveStruct(ctx, xt).(*types.Record)
+		if !ok {
+			return nil, errAt(ee.Pos, "type", "'with' requires a record, got %s", xt)
+		}
+		rt, err := c.infer(ctx, env, ee.R)
+		if err != nil {
+			return nil, err
+		}
+		over := rt.(*types.Record)
+		merged := map[string]types.Type{}
+		for i := 0; i < rec.Len(); i++ {
+			f := rec.Field(i)
+			merged[f.Label] = f.Type
+		}
+		for i := 0; i < over.Len(); i++ {
+			f := over.Field(i)
+			merged[f.Label] = f.Type
+		}
+		fs := make([]types.Field, 0, len(merged))
+		for l, t := range merged {
+			fs = append(fs, types.Field{Label: l, Type: t})
+		}
+		return types.NewRecord(fs...), nil
+
+	case *ECall:
+		ft, err := c.infer(ctx, env, ee.Fn)
+		if err != nil {
+			return nil, err
+		}
+		argTs := make([]types.Type, len(ee.Args))
+		for i, a := range ee.Args {
+			if argTs[i], err = c.infer(ctx, env, a); err != nil {
+				return nil, err
+			}
+		}
+		// Local inference: a universally quantified function applied
+		// directly has its type arguments inferred from the value
+		// arguments (head(xs) instead of head[Int](xs)). Explicit [T]
+		// instantiation always remains available and is required when a
+		// parameter does not mention the variable (notably get[T]).
+		head := resolveStruct(ctx, ft)
+		if q, isQ := head.(*types.Quant); isQ && q.Kind() == types.KindForAll {
+			inst, err := inferTypeArgs(ctx, q, argTs, ee.Pos)
+			if err != nil {
+				return nil, err
+			}
+			head = inst
+		}
+		fn, ok := head.(*types.Func)
+		if !ok {
+			return nil, errAt(ee.Pos, "type", "cannot call non-function %s", ft)
+		}
+		if len(ee.Args) != len(fn.Params) {
+			return nil, errAt(ee.Pos, "type", "wrong number of arguments: have %d, want %d", len(ee.Args), len(fn.Params))
+		}
+		for i, a := range ee.Args {
+			if !types.SubtypeIn(ctx, argTs[i], fn.Params[i]) {
+				return nil, errAt(a.exprPos(), "type", "argument %d: %s is not a subtype of %s", i+1, argTs[i], fn.Params[i])
+			}
+		}
+		// [Bune85] refinement: a direct call of an unshadowed relational
+		// builtin gets a result type computed from the argument types
+		// (e.g. join : (T1, T2) → T1 ⊓ T2), always a subtype of the
+		// declared generic result.
+		if ev, ok := ee.Fn.(*EVar); ok {
+			if _, shadowed := env.lookup(ev.Name); !shadowed && !c.rebound[ev.Name] {
+				if r, ok := c.refines[ev.Name]; ok && types.Equal(c.globals[ev.Name], r.declared) {
+					if precise, ok := r.fn(argTs); ok && types.SubtypeIn(ctx, precise, fn.Result) {
+						return precise, nil
+					}
+				}
+			}
+		}
+		return fn.Result, nil
+
+	case *ETypeApp:
+		ft, err := c.infer(ctx, env, ee.Fn)
+		if err != nil {
+			return nil, err
+		}
+		cur := ft
+		for _, targ := range ee.Types {
+			if err := c.validateType(ctx, targ, ee.Pos); err != nil {
+				return nil, err
+			}
+			q, ok := resolveStruct(ctx, cur).(*types.Quant)
+			if !ok || q.Kind() != types.KindForAll {
+				return nil, errAt(ee.Pos, "type", "%s is not universally quantified", cur)
+			}
+			if !types.SubtypeIn(ctx, targ, q.Bound) {
+				return nil, errAt(ee.Pos, "type", "type argument %s exceeds bound %s", targ, q.Bound)
+			}
+			cur = types.Substitute(q.Body, q.Param, targ)
+		}
+		return cur, nil
+
+	case *EFun:
+		fctx := ctx
+		for _, tp := range ee.TypeParams {
+			if err := c.validateType(fctx, tp.Bound, ee.Pos); err != nil {
+				return nil, err
+			}
+			fctx = fctx.Extend(tp.Name, tp.Bound)
+		}
+		fenv := env
+		params := make([]types.Type, len(ee.Params))
+		for i, p := range ee.Params {
+			if err := c.validateType(fctx, p.Type, ee.Pos); err != nil {
+				return nil, err
+			}
+			params[i] = p.Type
+			fenv = fenv.bind(p.Name, p.Type)
+		}
+		if ee.Result != nil {
+			if err := c.validateType(fctx, ee.Result, ee.Pos); err != nil {
+				return nil, err
+			}
+		}
+		mkType := func(result types.Type) types.Type {
+			var t types.Type = types.NewFunc(params, result)
+			for i := len(ee.TypeParams) - 1; i >= 0; i-- {
+				t = types.NewForAll(ee.TypeParams[i].Name, ee.TypeParams[i].Bound, t)
+			}
+			return t
+		}
+		if ee.SelfName != "" {
+			// let rec: the body sees the fully annotated self.
+			fenv = fenv.bind(ee.SelfName, mkType(ee.Result))
+		}
+		bodyT, err := c.infer(fctx, fenv, ee.Body)
+		if err != nil {
+			return nil, err
+		}
+		result := bodyT
+		if ee.Result != nil {
+			if !types.SubtypeIn(fctx, bodyT, ee.Result) {
+				return nil, errAt(ee.Pos, "type", "body has type %s, not a subtype of declared result %s", bodyT, ee.Result)
+			}
+			result = ee.Result
+		}
+		return mkType(result), nil
+
+	case *EIf:
+		ct, err := c.infer(ctx, env, ee.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if !types.SubtypeIn(ctx, ct, types.Bool) {
+			return nil, errAt(ee.Cond.exprPos(), "type", "condition must be Bool, got %s", ct)
+		}
+		tt, err := c.infer(ctx, env, ee.Then)
+		if err != nil {
+			return nil, err
+		}
+		et, err := c.infer(ctx, env, ee.Else)
+		if err != nil {
+			return nil, err
+		}
+		return types.Join(tt, et), nil
+
+	case *ELetIn:
+		it, err := c.infer(ctx, env, ee.Init)
+		if err != nil {
+			return nil, err
+		}
+		bound := it
+		if ee.Ann != nil {
+			if err := c.validateType(ctx, ee.Ann, ee.Pos); err != nil {
+				return nil, err
+			}
+			if !types.SubtypeIn(ctx, it, ee.Ann) {
+				return nil, errAt(ee.Pos, "type", "cannot bind %s value to %s", it, ee.Ann)
+			}
+			bound = ee.Ann
+		}
+		return c.infer(ctx, env.bind(ee.Name, bound), ee.Body)
+
+	case *EBinary:
+		return c.inferBinary(ctx, env, ee)
+
+	case *EUnary:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		switch ee.Op {
+		case OpNeg:
+			if !types.SubtypeIn(ctx, xt, types.Float) {
+				return nil, errAt(ee.Pos, "type", "cannot negate %s", xt)
+			}
+			return xt, nil
+		case OpNot:
+			if !types.SubtypeIn(ctx, xt, types.Bool) {
+				return nil, errAt(ee.Pos, "type", "'not' requires Bool, got %s", xt)
+			}
+			return types.Bool, nil
+		}
+		return nil, errAt(ee.Pos, "type", "unknown unary operator")
+
+	case *EDynamic:
+		if _, err := c.infer(ctx, env, ee.X); err != nil {
+			return nil, err
+		}
+		return types.Dynamic, nil
+
+	case *ECoerce:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		if !types.SubtypeIn(ctx, xt, types.Dynamic) {
+			return nil, errAt(ee.Pos, "type", "coerce requires a Dynamic, got %s", xt)
+		}
+		if err := c.validateType(ctx, ee.T, ee.Pos); err != nil {
+			return nil, err
+		}
+		return ee.T, nil
+
+	case *ETypeOf:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		if !types.SubtypeIn(ctx, xt, types.Dynamic) {
+			return nil, errAt(ee.Pos, "type", "typeof requires a Dynamic, got %s", xt)
+		}
+		return types.TypeRep, nil
+
+	case *EVariant:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		return types.NewVariant(types.Field{Label: ee.Label, Type: xt}), nil
+
+	case *ECompr:
+		qenv := env
+		for _, q := range ee.Quals {
+			if q.Var == "" {
+				gt, err := c.infer(ctx, qenv, q.Source)
+				if err != nil {
+					return nil, err
+				}
+				if !types.SubtypeIn(ctx, gt, types.Bool) {
+					return nil, errAt(q.Source.exprPos(), "type", "comprehension guard must be Bool, got %s", gt)
+				}
+				continue
+			}
+			st, err := c.infer(ctx, qenv, q.Source)
+			if err != nil {
+				return nil, err
+			}
+			lst, ok := resolveStruct(ctx, st).(*types.List)
+			if !ok {
+				return nil, errAt(q.Source.exprPos(), "type", "comprehension generator must draw from a List, got %s", st)
+			}
+			qenv = qenv.bind(q.Var, lst.Elem)
+		}
+		ht, err := c.infer(ctx, qenv, ee.Head)
+		if err != nil {
+			return nil, err
+		}
+		return types.NewList(ht), nil
+
+	case *ECase:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := resolveStruct(ctx, xt).(*types.Variant)
+		if !ok {
+			return nil, errAt(ee.Pos, "type", "case requires a variant, got %s", xt)
+		}
+		covered := map[string]bool{}
+		result := types.Type(types.Bottom)
+		for _, arm := range ee.Arms {
+			payload, ok := v.Lookup(arm.Label)
+			if !ok {
+				return nil, errAt(ee.Pos, "type", "case arm %q is not a tag of %s", arm.Label, xt)
+			}
+			covered[arm.Label] = true
+			bt, err := c.infer(ctx, env.bind(arm.Var, payload), arm.Body)
+			if err != nil {
+				return nil, err
+			}
+			result = types.Join(result, bt)
+		}
+		for i := 0; i < v.Len(); i++ {
+			if tag := v.Tag(i); !covered[tag.Label] {
+				return nil, errAt(ee.Pos, "type", "case does not cover tag %q of %s", tag.Label, xt)
+			}
+		}
+		return result, nil
+
+	case *EOpen:
+		xt, err := c.infer(ctx, env, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		q, ok := resolveStruct(ctx, xt).(*types.Quant)
+		if !ok || q.Kind() != types.KindExists {
+			return nil, errAt(ee.Pos, "type", "open requires an existential package, got %s", xt)
+		}
+		if _, shadow := ctx.Bound(ee.TVar); shadow {
+			return nil, errAt(ee.Pos, "type", "type variable %q is already in scope", ee.TVar)
+		}
+		bctx := ctx.Extend(ee.TVar, q.Bound)
+		benv := env.bind(ee.Var, types.Substitute(q.Body, q.Param, types.NewVar(ee.TVar)))
+		bt, err := c.infer(bctx, benv, ee.Body)
+		if err != nil {
+			return nil, err
+		}
+		if types.FreeVars(bt)[ee.TVar] {
+			return nil, errAt(ee.Pos, "type", "type variable %q escapes its open scope in %s", ee.TVar, bt)
+		}
+		return bt, nil
+
+	default:
+		return nil, errAt(e.exprPos(), "type", "unknown expression %T", e)
+	}
+}
+
+// inferTypeArgs instantiates a chain of universal quantifiers by matching
+// the declared parameter types against the actual argument types. A
+// variable with no occurrence in any parameter falls back to its bound
+// (always a sound instantiation). The caller's subsequent argument subtype
+// checks guarantee soundness of the guesses.
+func inferTypeArgs(ctx *types.Context, q *types.Quant, argTs []types.Type, pos Pos) (types.Type, error) {
+	var names []string
+	var bounds []types.Type
+	var cur types.Type = q
+	for {
+		qq, ok := resolveStruct(ctx, cur).(*types.Quant)
+		if !ok || qq.Kind() != types.KindForAll {
+			break
+		}
+		names = append(names, qq.Param)
+		bounds = append(bounds, qq.Bound)
+		cur = qq.Body
+	}
+	fn, ok := resolveStruct(ctx, cur).(*types.Func)
+	if !ok {
+		return nil, errAt(pos, "type", "polymorphic value must be instantiated with [T] before application")
+	}
+	if len(fn.Params) != len(argTs) {
+		return nil, errAt(pos, "type", "wrong number of arguments: have %d, want %d", len(argTs), len(fn.Params))
+	}
+	vars := map[string]bool{}
+	for _, n := range names {
+		vars[n] = true
+	}
+	cands := map[string]types.Type{}
+	for i, p := range fn.Params {
+		matchInfer(p, argTs[i], vars, cands)
+	}
+	// Instantiate in binding order; later bounds may mention earlier
+	// variables (F-bounded style), so substitute as we go.
+	result := types.Type(fn)
+	for i, n := range names {
+		bound := bounds[i]
+		for j := 0; j < i; j++ {
+			bound = types.Substitute(bound, names[j], cands[names[j]])
+		}
+		arg, ok := cands[n]
+		if !ok {
+			arg = bound
+			cands[n] = arg
+		}
+		if !types.SubtypeIn(ctx, arg, bound) {
+			return nil, errAt(pos, "type", "inferred type argument %s for %q exceeds bound %s; instantiate explicitly with [T]", arg, n, bound)
+		}
+		result = types.Substitute(result, n, arg)
+	}
+	return result, nil
+}
+
+// matchInfer records candidate instantiations by structurally matching the
+// declared type against the actual type. Multiple occurrences of one
+// variable join their candidates.
+func matchInfer(decl, actual types.Type, vars map[string]bool, cands map[string]types.Type) {
+	switch d := decl.(type) {
+	case *types.Var:
+		if vars[d.Name] {
+			if prev, ok := cands[d.Name]; ok {
+				cands[d.Name] = types.Join(prev, actual)
+			} else {
+				cands[d.Name] = actual
+			}
+		}
+	case *types.Record:
+		a, ok := actual.(*types.Record)
+		if !ok {
+			return
+		}
+		for i := 0; i < d.Len(); i++ {
+			f := d.Field(i)
+			if at, ok := a.Lookup(f.Label); ok {
+				matchInfer(f.Type, at, vars, cands)
+			}
+		}
+	case *types.List:
+		if a, ok := actual.(*types.List); ok {
+			matchInfer(d.Elem, a.Elem, vars, cands)
+		}
+	case *types.Set:
+		if a, ok := actual.(*types.Set); ok {
+			matchInfer(d.Elem, a.Elem, vars, cands)
+		}
+	case *types.Func:
+		a, ok := actual.(*types.Func)
+		if !ok || len(a.Params) != len(d.Params) {
+			return
+		}
+		for i := range d.Params {
+			matchInfer(d.Params[i], a.Params[i], vars, cands)
+		}
+		matchInfer(d.Result, a.Result, vars, cands)
+	}
+}
+
+func (c *checker) inferBinary(ctx *types.Context, env *tenv, ee *EBinary) (types.Type, error) {
+	lt, err := c.infer(ctx, env, ee.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.infer(ctx, env, ee.R)
+	if err != nil {
+		return nil, err
+	}
+	numeric := func(t types.Type) bool { return types.SubtypeIn(ctx, t, types.Float) }
+	isInt := func(t types.Type) bool { return types.SubtypeIn(ctx, t, types.Int) }
+	isString := func(t types.Type) bool { return types.SubtypeIn(ctx, t, types.String) }
+	switch ee.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if !numeric(lt) || !numeric(rt) {
+			return nil, errAt(ee.Pos, "type", "operator %s requires numbers, got %s and %s", ee.Op, lt, rt)
+		}
+		if isInt(lt) && isInt(rt) {
+			return types.Int, nil
+		}
+		return types.Float, nil
+	case OpMod:
+		if !isInt(lt) || !isInt(rt) {
+			return nil, errAt(ee.Pos, "type", "%% requires integers, got %s and %s", lt, rt)
+		}
+		return types.Int, nil
+	case OpConcat:
+		if !isString(lt) || !isString(rt) {
+			return nil, errAt(ee.Pos, "type", "++ requires strings, got %s and %s", lt, rt)
+		}
+		return types.String, nil
+	case OpEq, OpNe:
+		return types.Bool, nil
+	case OpLt, OpLe, OpGt, OpGe:
+		if (numeric(lt) && numeric(rt)) || (isString(lt) && isString(rt)) {
+			return types.Bool, nil
+		}
+		return nil, errAt(ee.Pos, "type", "operator %s requires two numbers or two strings, got %s and %s", ee.Op, lt, rt)
+	case OpAnd, OpOr:
+		if !types.SubtypeIn(ctx, lt, types.Bool) || !types.SubtypeIn(ctx, rt, types.Bool) {
+			return nil, errAt(ee.Pos, "type", "operator %s requires Bool operands", ee.Op)
+		}
+		return types.Bool, nil
+	}
+	return nil, errAt(ee.Pos, "type", "unknown operator")
+}

@@ -1,0 +1,84 @@
+package lang
+
+import (
+	"testing"
+
+	"dbpl/internal/value"
+)
+
+func TestComprehensionBasics(t *testing.T) {
+	wantVal(t, `[x * x | x <- [1, 2, 3]]`,
+		value.NewList(value.Int(1), value.Int(4), value.Int(9)))
+	wantVal(t, `[x | x <- [1, 2, 3, 4], x % 2 == 0]`,
+		value.NewList(value.Int(2), value.Int(4)))
+	wantVal(t, `length([x | x <- []])`, value.Int(0))
+	wantType(t, `[x + 0.5 | x <- [1, 2]]`, "List[Float]")
+	// Guards can interleave with generators freely.
+	wantVal(t, `[x + y | x <- [10, 20], x > 10, y <- [1, 2]]`,
+		value.NewList(value.Int(21), value.Int(22)))
+}
+
+func TestComprehensionCrossProductOrder(t *testing.T) {
+	// Later generators iterate fastest, as in the classical notation.
+	wantVal(t, `[x * 10 + y | x <- [1, 2], y <- [1, 2]]`,
+		value.NewList(value.Int(11), value.Int(12), value.Int(21), value.Int(22)))
+	// A later generator may depend on an earlier binding.
+	wantVal(t, `[y | x <- [[1, 2], [3]], y <- x]`,
+		value.NewList(value.Int(1), value.Int(2), value.Int(3)))
+}
+
+func TestComprehensionAsQuery(t *testing.T) {
+	// The database-programming use: a join written as a comprehension over
+	// two relations, selecting and projecting in one expression.
+	src := `
+		type Emp = {Name: String, Dept: String};
+		type Dept = {Dept: String, Floor: Int};
+		let emps: List[Emp] = [
+			{Name = "J Doe", Dept = "Sales"},
+			{Name = "M Dee", Dept = "Manuf"},
+			{Name = "N Bug", Dept = "Manuf"}
+		];
+		let depts: List[Dept] = [
+			{Dept = "Sales", Floor = 3},
+			{Dept = "Manuf", Floor = 1}
+		];
+		[{Who = e.Name, Where = d.Floor} |
+			e <- emps, d <- depts, e.Dept == d.Dept, d.Floor < 2]
+	`
+	wantVal(t, src, value.NewList(
+		value.Rec("Who", value.String("M Dee"), "Where", value.Int(1)),
+		value.Rec("Who", value.String("N Bug"), "Where", value.Int(1)),
+	))
+	wantType(t, src, "List[{Who: String, Where: Int}]")
+}
+
+func TestComprehensionOverGet(t *testing.T) {
+	// Comprehensions compose with the generic get: draw the existential
+	// packages, open each, and project a Person field.
+	src := `
+		type Person = {Name: String};
+		let db: List[Dynamic] = [
+			dynamic {Name = "P1"},
+			dynamic {Name = "E1", Empno = 1}
+		];
+		[open p as (t, x) in x.Name | p <- get[Person](db)]
+	`
+	wantVal(t, src, value.NewList(value.String("P1"), value.String("E1")))
+}
+
+func TestComprehensionErrors(t *testing.T) {
+	failRun(t, `[x | x <- 3]`, "type")          // non-list generator
+	failRun(t, `[x | x <- [1], x + 1]`, "type") // non-Bool guard
+	failRun(t, `[y | x <- [1]]`, "type")        // unbound head variable
+	failRun(t, `[x | x <- [1]`, "parse")        // unterminated
+	failRun(t, `[x |]`, "parse")
+	// The generator variable scopes only over the comprehension.
+	failRun(t, `let a = [x | x <- [1]]; x`, "type")
+}
+
+func TestComprehensionShadowing(t *testing.T) {
+	wantVal(t, `
+		let x = 100;
+		head([x | x <- [7]]) + x
+	`, value.Int(107))
+}

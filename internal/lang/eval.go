@@ -1,0 +1,577 @@
+package lang
+
+import (
+	"math"
+
+	"dbpl/internal/dynamic"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// renv is a lexical runtime environment.
+type renv struct {
+	parent *renv
+	name   string
+	val    value.Value
+}
+
+func (e *renv) bind(name string, v value.Value) *renv {
+	return &renv{parent: e, name: name, val: v}
+}
+
+func (e *renv) lookup(name string) (value.Value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.name == name {
+			return cur.val, true
+		}
+	}
+	return nil, false
+}
+
+// tsub is a runtime substitution for type variables introduced by type
+// application and by open. It makes coerce/dynamic/get meaningful inside
+// polymorphic code.
+type tsub struct {
+	parent *tsub
+	name   string
+	typ    types.Type
+}
+
+func (s *tsub) bind(name string, t types.Type) *tsub {
+	return &tsub{parent: s, name: name, typ: t}
+}
+
+// apply substitutes all bound variables in t.
+func (s *tsub) apply(t types.Type) types.Type {
+	for cur := s; cur != nil; cur = cur.parent {
+		t = types.Substitute(t, cur.name, cur.typ)
+	}
+	return t
+}
+
+// Closure is a function value: the literal, its captured environment and
+// the type substitution in force at capture, plus any type arguments
+// applied so far.
+type Closure struct {
+	Fn    *EFun
+	Env   *renv
+	Sub   *tsub
+	TArgs []types.Type
+}
+
+// Kind implements value.Value.
+func (*Closure) Kind() value.Kind { return value.KindOpaque }
+
+// String implements value.Value.
+func (c *Closure) String() string { return "<fun>" }
+
+// Builtin is a primitive function with a declared (possibly polymorphic)
+// type. targs receives the resolved type arguments when the builtin was
+// instantiated with [T].
+type Builtin struct {
+	Name  string
+	Type  types.Type
+	Arity int
+	Fn    func(in *Interp, pos Pos, targs []types.Type, args []value.Value) (value.Value, error)
+	// Refine, when set, computes a more precise result type from the
+	// argument types for a *direct* (uninstantiated) call. It is the
+	// paper's [Bune85] extension: "a rather minor modification … to the
+	// type system of Amber to allow for object-level inheritance and to
+	// use this to assign a type to relational operators such as join".
+	// Returning ok=false falls back to the declared polymorphic type.
+	Refine func(argTs []types.Type) (types.Type, bool)
+}
+
+// Kind implements value.Value.
+func (*Builtin) Kind() value.Kind { return value.KindOpaque }
+
+// String implements value.Value.
+func (b *Builtin) String() string { return "<builtin " + b.Name + ">" }
+
+// boundBuiltin is a builtin with type arguments already applied.
+type boundBuiltin struct {
+	b     *Builtin
+	targs []types.Type
+}
+
+// Kind implements value.Value.
+func (*boundBuiltin) Kind() value.Kind { return value.KindOpaque }
+
+// String implements value.Value.
+func (b *boundBuiltin) String() string { return b.b.String() }
+
+// eval evaluates an expression.
+func (in *Interp) eval(env *renv, sub *tsub, e Expr) (value.Value, error) {
+	switch ee := e.(type) {
+	case *EInt:
+		return value.Int(ee.V), nil
+	case *EFloat:
+		return value.Float(ee.V), nil
+	case *EString:
+		return value.String(ee.V), nil
+	case *EBool:
+		return value.Bool(ee.V), nil
+	case *EUnit:
+		return value.Unit, nil
+
+	case *EVar:
+		if v, ok := env.lookup(ee.Name); ok {
+			return v, nil
+		}
+		if v, ok := in.globals[ee.Name]; ok {
+			return v, nil
+		}
+		return nil, errAt(ee.Pos, "run", "unbound variable %q", ee.Name)
+
+	case *ERecord:
+		rec := value.NewRecord()
+		for _, f := range ee.Fields {
+			v, err := in.eval(env, sub, f.X)
+			if err != nil {
+				return nil, err
+			}
+			rec.Set(f.Label, v)
+		}
+		return rec, nil
+
+	case *EList:
+		lst := value.NewList()
+		for _, el := range ee.Elems {
+			v, err := in.eval(env, sub, el)
+			if err != nil {
+				return nil, err
+			}
+			lst.Append(v)
+		}
+		return lst, nil
+
+	case *EField:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := x.(*value.Record)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "field selection on non-record %s", x)
+		}
+		v, ok := rec.Get(ee.Label)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "record has no field %q", ee.Label)
+		}
+		return v, nil
+
+	case *EWith:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := x.(*value.Record)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "'with' on non-record %s", x)
+		}
+		out := rec.Copy()
+		for _, f := range ee.R.Fields {
+			v, err := in.eval(env, sub, f.X)
+			if err != nil {
+				return nil, err
+			}
+			out.Set(f.Label, v)
+		}
+		return out, nil
+
+	case *ECall:
+		fn, err := in.eval(env, sub, ee.Fn)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]value.Value, len(ee.Args))
+		for i, a := range ee.Args {
+			if args[i], err = in.eval(env, sub, a); err != nil {
+				return nil, err
+			}
+		}
+		return in.apply(ee.Pos, fn, args)
+
+	case *ETypeApp:
+		fn, err := in.eval(env, sub, ee.Fn)
+		if err != nil {
+			return nil, err
+		}
+		resolved := make([]types.Type, len(ee.Types))
+		for i, t := range ee.Types {
+			resolved[i] = sub.apply(t)
+		}
+		switch f := fn.(type) {
+		case *Closure:
+			return &Closure{Fn: f.Fn, Env: f.Env, Sub: f.Sub,
+				TArgs: append(append([]types.Type(nil), f.TArgs...), resolved...)}, nil
+		case *Builtin:
+			return &boundBuiltin{b: f, targs: resolved}, nil
+		case *boundBuiltin:
+			return &boundBuiltin{b: f.b, targs: append(append([]types.Type(nil), f.targs...), resolved...)}, nil
+		default:
+			return nil, errAt(ee.Pos, "run", "type application on non-polymorphic value %s", fn)
+		}
+
+	case *EFun:
+		return &Closure{Fn: ee, Env: env, Sub: sub}, nil
+
+	case *EIf:
+		cond, err := in.eval(env, sub, ee.Cond)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := cond.(value.Bool)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "condition is not a Bool: %s", cond)
+		}
+		if bool(b) {
+			return in.eval(env, sub, ee.Then)
+		}
+		return in.eval(env, sub, ee.Else)
+
+	case *ELetIn:
+		v, err := in.eval(env, sub, ee.Init)
+		if err != nil {
+			return nil, err
+		}
+		return in.eval(env.bind(ee.Name, v), sub, ee.Body)
+
+	case *EBinary:
+		return in.evalBinary(env, sub, ee)
+
+	case *EUnary:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		switch ee.Op {
+		case OpNeg:
+			switch n := x.(type) {
+			case value.Int:
+				return value.Int(-n), nil
+			case value.Float:
+				return value.Float(-n), nil
+			}
+			return nil, errAt(ee.Pos, "run", "cannot negate %s", x)
+		case OpNot:
+			b, ok := x.(value.Bool)
+			if !ok {
+				return nil, errAt(ee.Pos, "run", "'not' on non-Bool %s", x)
+			}
+			return value.Bool(!b), nil
+		}
+		return nil, errAt(ee.Pos, "run", "unknown unary op")
+
+	case *EDynamic:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		return dynamic.Make(x), nil
+
+	case *ECoerce:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		d, ok := x.(*dynamic.Dynamic)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "coerce on non-dynamic %s", x)
+		}
+		want := sub.apply(ee.T)
+		v, err := d.Coerce(want)
+		if err != nil {
+			return nil, errAt(ee.Pos, "run", "%v", err)
+		}
+		return v, nil
+
+	case *ETypeOf:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		d, ok := x.(*dynamic.Dynamic)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "typeof on non-dynamic %s", x)
+		}
+		return d.TypeVal(), nil
+
+	case *EVariant:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		return value.NewTag(ee.Label, x), nil
+
+	case *ECompr:
+		out := value.NewList()
+		if err := in.evalCompr(env, sub, ee, 0, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case *ECase:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		tag, ok := x.(*value.Tag)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "case on non-variant %s", x)
+		}
+		for _, arm := range ee.Arms {
+			if arm.Label == tag.Label {
+				return in.eval(env.bind(arm.Var, tag.Payload), sub, arm.Body)
+			}
+		}
+		return nil, errAt(ee.Pos, "run", "no case arm for tag %q", tag.Label)
+
+	case *EOpen:
+		x, err := in.eval(env, sub, ee.X)
+		if err != nil {
+			return nil, err
+		}
+		// At run time an existential package is its underlying value; the
+		// hidden witness type is the value's most specific type.
+		bsub := sub.bind(ee.TVar, value.TypeOf(x))
+		return in.eval(env.bind(ee.Var, x), bsub, ee.Body)
+
+	default:
+		return nil, errAt(e.exprPos(), "run", "unknown expression %T", e)
+	}
+}
+
+// evalCompr runs a comprehension's qualifiers from position idx onward,
+// appending one head value per surviving binding. Generators iterate in
+// source order, so later generators vary fastest.
+func (in *Interp) evalCompr(env *renv, sub *tsub, ee *ECompr, idx int, out *value.List) error {
+	if idx == len(ee.Quals) {
+		v, err := in.eval(env, sub, ee.Head)
+		if err != nil {
+			return err
+		}
+		out.Append(v)
+		return nil
+	}
+	q := ee.Quals[idx]
+	if q.Var == "" {
+		cond, err := in.eval(env, sub, q.Source)
+		if err != nil {
+			return err
+		}
+		b, ok := cond.(value.Bool)
+		if !ok {
+			return errAt(q.Source.exprPos(), "run", "guard is not a Bool: %s", cond)
+		}
+		if bool(b) {
+			return in.evalCompr(env, sub, ee, idx+1, out)
+		}
+		return nil
+	}
+	src, err := in.eval(env, sub, q.Source)
+	if err != nil {
+		return err
+	}
+	lst, ok := src.(*value.List)
+	if !ok {
+		return errAt(q.Source.exprPos(), "run", "generator source is not a list: %s", src)
+	}
+	for _, el := range lst.Elems {
+		if err := in.evalCompr(env.bind(q.Var, el), sub, ee, idx+1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply calls a function value with evaluated arguments.
+func (in *Interp) apply(pos Pos, fn value.Value, args []value.Value) (value.Value, error) {
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > maxCallDepth {
+		return nil, errAt(pos, "run", "call depth exceeds %d (runaway recursion?)", maxCallDepth)
+	}
+	switch f := fn.(type) {
+	case *Closure:
+		if len(args) != len(f.Fn.Params) {
+			return nil, errAt(pos, "run", "wrong number of arguments: have %d, want %d", len(args), len(f.Fn.Params))
+		}
+		env := f.Env
+		if f.Fn.SelfName != "" {
+			env = env.bind(f.Fn.SelfName, f)
+		}
+		sub := f.Sub
+		for i, tp := range f.Fn.TypeParams {
+			if i < len(f.TArgs) {
+				sub = sub.bind(tp.Name, f.TArgs[i])
+			} else {
+				// Un-instantiated type parameter: fall back to its bound.
+				sub = sub.bind(tp.Name, tp.Bound)
+			}
+		}
+		for i, p := range f.Fn.Params {
+			env = env.bind(p.Name, args[i])
+		}
+		return in.eval(env, sub, f.Fn.Body)
+	case *Builtin:
+		if len(args) != f.Arity {
+			return nil, errAt(pos, "run", "builtin %s: have %d arguments, want %d", f.Name, len(args), f.Arity)
+		}
+		return f.Fn(in, pos, nil, args)
+	case *boundBuiltin:
+		if len(args) != f.b.Arity {
+			return nil, errAt(pos, "run", "builtin %s: have %d arguments, want %d", f.b.Name, len(args), f.b.Arity)
+		}
+		return f.b.Fn(in, pos, f.targs, args)
+	default:
+		return nil, errAt(pos, "run", "cannot call %s", fn)
+	}
+}
+
+// maxCallDepth bounds recursion so runaway programs fail fast rather than
+// exhausting the goroutine stack.
+const maxCallDepth = 10000
+
+func (in *Interp) evalBinary(env *renv, sub *tsub, ee *EBinary) (value.Value, error) {
+	// and/or short-circuit.
+	if ee.Op == OpAnd || ee.Op == OpOr {
+		l, err := in.eval(env, sub, ee.L)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(value.Bool)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "%s on non-Bool %s", ee.Op, l)
+		}
+		if ee.Op == OpAnd && !bool(lb) {
+			return value.Bool(false), nil
+		}
+		if ee.Op == OpOr && bool(lb) {
+			return value.Bool(true), nil
+		}
+		r, err := in.eval(env, sub, ee.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(value.Bool)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "%s on non-Bool %s", ee.Op, r)
+		}
+		return rb, nil
+	}
+
+	l, err := in.eval(env, sub, ee.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(env, sub, ee.R)
+	if err != nil {
+		return nil, err
+	}
+	switch ee.Op {
+	case OpEq:
+		return value.Bool(value.Equal(l, r)), nil
+	case OpNe:
+		return value.Bool(!value.Equal(l, r)), nil
+	case OpConcat:
+		ls, ok1 := l.(value.String)
+		rs, ok2 := r.(value.String)
+		if !ok1 || !ok2 {
+			return nil, errAt(ee.Pos, "run", "++ on non-strings")
+		}
+		return ls + rs, nil
+	case OpMod:
+		li, ok1 := l.(value.Int)
+		ri, ok2 := r.(value.Int)
+		if !ok1 || !ok2 {
+			return nil, errAt(ee.Pos, "run", "%% on non-integers")
+		}
+		if ri == 0 {
+			return nil, errAt(ee.Pos, "run", "division by zero")
+		}
+		return li % ri, nil
+	}
+
+	// String comparisons.
+	if ls, ok := l.(value.String); ok {
+		rs, ok := r.(value.String)
+		if !ok {
+			return nil, errAt(ee.Pos, "run", "%s on mixed operand kinds", ee.Op)
+		}
+		switch ee.Op {
+		case OpLt:
+			return value.Bool(ls < rs), nil
+		case OpLe:
+			return value.Bool(ls <= rs), nil
+		case OpGt:
+			return value.Bool(ls > rs), nil
+		case OpGe:
+			return value.Bool(ls >= rs), nil
+		}
+	}
+
+	// Numeric operations with Int ≤ Float promotion.
+	li, lInt := l.(value.Int)
+	ri, rInt := r.(value.Int)
+	if lInt && rInt {
+		switch ee.Op {
+		case OpAdd:
+			return li + ri, nil
+		case OpSub:
+			return li - ri, nil
+		case OpMul:
+			return li * ri, nil
+		case OpDiv:
+			if ri == 0 {
+				return nil, errAt(ee.Pos, "run", "division by zero")
+			}
+			return li / ri, nil
+		case OpLt:
+			return value.Bool(li < ri), nil
+		case OpLe:
+			return value.Bool(li <= ri), nil
+		case OpGt:
+			return value.Bool(li > ri), nil
+		case OpGe:
+			return value.Bool(li >= ri), nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, errAt(ee.Pos, "run", "%s on non-numeric operands %s, %s", ee.Op, l, r)
+	}
+	switch ee.Op {
+	case OpAdd:
+		return value.Float(lf + rf), nil
+	case OpSub:
+		return value.Float(lf - rf), nil
+	case OpMul:
+		return value.Float(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return nil, errAt(ee.Pos, "run", "division by zero")
+		}
+		return value.Float(lf / rf), nil
+	case OpLt:
+		return value.Bool(lf < rf), nil
+	case OpLe:
+		return value.Bool(lf <= rf), nil
+	case OpGt:
+		return value.Bool(lf > rf), nil
+	case OpGe:
+		return value.Bool(lf >= rf), nil
+	}
+	return nil, errAt(ee.Pos, "run", "unknown operator %s", ee.Op)
+}
+
+func toFloat(v value.Value) (float64, bool) {
+	switch n := v.(type) {
+	case value.Int:
+		return float64(n), true
+	case value.Float:
+		return float64(n), true
+	}
+	return math.NaN(), false
+}

@@ -1,0 +1,45 @@
+package lang
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRun feeds arbitrary source through the whole pipeline — lexer,
+// parser, checker and (when everything passes) the evaluator. The invariant
+// is no panic and no hang on any input; programs that pass the checker must
+// evaluate without internal errors other than positioned runtime errors.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		"",
+		"1 + 2 * 3",
+		`let x = {Name = "J"} in x.Name`,
+		"type Person = {Name: String}; length(get[Person]([dynamic {Name = \"J\"}]))",
+		"let rec fact = fun(n: Int): Int is if n <= 1 then 1 else n * fact(n - 1); fact(5)",
+		"case <A = 1> of A(x) is x end",
+		"open head(get([dynamic 1])) as (t, x) in 0",
+		"coerce (dynamic 3) to Int",
+		"join({A = 1}, {B = 2})",
+		"forall t . t", // type syntax in expression position: parse error
+		"let x: rec t . {N: t} = 1",
+		"-- comment only",
+		"\"unterminated",
+		"((((((((((",
+		"<A = <B = <C = 1>>>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // keep the checker's worst cases bounded
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Run(%q) panicked: %v", src, r)
+			}
+		}()
+		in := New(new(bytes.Buffer))
+		_, _ = in.Run(src)
+	})
+}

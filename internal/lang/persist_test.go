@@ -1,0 +1,268 @@
+package lang
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbpl/internal/persist/intrinsic"
+	"dbpl/internal/persist/replicating"
+	"dbpl/internal/value"
+)
+
+// newPersistentInterp builds an interpreter with both stores attached.
+func newPersistentInterp(t *testing.T, dir string) *Interp {
+	t.Helper()
+	rep, err := replicating.Open(filepath.Join(dir, "rep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intr, err := intrinsic.Open(filepath.Join(dir, "store.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { intr.Close() })
+	in := New(new(bytes.Buffer))
+	in.Replicating = rep
+	in.Intrinsic = intr
+	return in
+}
+
+func TestExternInternInLanguage(t *testing.T) {
+	// The paper's Amber program, in our syntax:
+	//	type Database = ...; var d : database = ...;
+	//	extern('DBFile', dynamic d)
+	// and in a subsequent program
+	//	var x = intern 'DBFile'; var d = coerce x to database
+	dir := t.TempDir()
+	in1 := newPersistentInterp(t, dir)
+	if _, err := in1.Run(`
+		type Database = {Employees: List[{Name: String}]};
+		let d: Database = {Employees = [{Name = "J Doe"}]};
+		extern("DBFile", dynamic d)
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	in2 := newPersistentInterp(t, dir)
+	rs, err := in2.Run(`
+		type Database = {Employees: List[{Name: String}]};
+		let x = intern("DBFile");
+		let d = coerce x to Database;
+		(head(d.Employees)).Name
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(rs[len(rs)-1].Value, value.String("J Doe")) {
+		t.Errorf("cross-program intern = %s", rs[len(rs)-1].Value)
+	}
+
+	// Coercing at the wrong type is the run-time failure the paper
+	// describes.
+	in3 := newPersistentInterp(t, dir)
+	_, err = in3.Run(`coerce intern("DBFile") to Int`)
+	if err == nil || !strings.Contains(err.Error(), "run error") {
+		t.Errorf("wrong-type intern err = %v", err)
+	}
+}
+
+func TestReplicatingLostUpdateInLanguage(t *testing.T) {
+	// var x = intern 'DBFile'; -- code that modifies x; x = intern 'DBFile'
+	// "the modifications to x will not survive the second intern".
+	dir := t.TempDir()
+	in := newPersistentInterp(t, dir)
+	rs, err := in.Run(`
+		extern("H", dynamic {Count = 0});
+		let x = coerce intern("H") to {Count: Int};
+		let modified = x with {Count = 99};     -- modify the copy (not re-externed)
+		let x2 = coerce intern("H") to {Count: Int};
+		x2.Count
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(rs[len(rs)-1].Value, value.Int(0)) {
+		t.Errorf("modification survived without extern: %s", rs[len(rs)-1].Value)
+	}
+}
+
+func TestPersistentDeclarationCreatesAndReopens(t *testing.T) {
+	dir := t.TempDir()
+	// First program: the handle does not exist; the initializer runs.
+	in1 := newPersistentInterp(t, dir)
+	if _, err := in1.Run(`
+		type DBType = {Employees: List[{Name: String}]};
+		persistent DB : DBType = {Employees = [{Name = "J Doe"}]};
+		commit()
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second program: the handle exists; the initializer must NOT run
+	// (it would reset the database).
+	in2 := newPersistentInterp(t, dir)
+	rs, err := in2.Run(`
+		type DBType = {Employees: List[{Name: String}]};
+		persistent DB : DBType = fail[DBType]("initializer must not run");
+		length(DB.Employees)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(rs[len(rs)-1].Value, value.Int(1)) {
+		t.Errorf("reopened DB = %s", rs[len(rs)-1].Value)
+	}
+}
+
+func TestPersistentSchemaEvolutionInLanguage(t *testing.T) {
+	dir := t.TempDir()
+	in1 := newPersistentInterp(t, dir)
+	if _, err := in1.Run(`
+		persistent DB : {Employees: List[{Name: String, Empno: Int}]} =
+			{Employees = [{Name = "J Doe", Empno = 1}]};
+		commit()
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompiled program with a *supertype* DBType': works as a view.
+	in2 := newPersistentInterp(t, dir)
+	rs, err := in2.Run(`
+		persistent DB : {Employees: List[{Name: String}]} = {Employees = []};
+		(head(DB.Employees)).Name
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(rs[len(rs)-1].Value, value.String("J Doe")) {
+		t.Errorf("view = %s", rs[len(rs)-1].Value)
+	}
+
+	// Recompiled with an inconsistent type: rejected at the handle, in the
+	// run phase (the program itself is well typed).
+	in3 := newPersistentInterp(t, dir)
+	_, err = in3.Run(`persistent DB : {Employees: Int} = {Employees = 0}; DB`)
+	if err == nil {
+		t.Fatal("inconsistent reopen should fail")
+	}
+	if le, ok := err.(*Error); !ok || le.Phase != "run" || !strings.Contains(le.Msg, "inconsistent") {
+		t.Errorf("err = %v, want a run-phase inconsistency error", err)
+	}
+}
+
+func TestCommitAbortInLanguage(t *testing.T) {
+	dir := t.TempDir()
+	in := newPersistentInterp(t, dir)
+	if _, err := in.Run(`
+		persistent X : {K: Int} = {K = 1};
+		commit()
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind the handle to a diverged value, then abort.
+	if _, err := in.Run(`
+		persistent Y : {K: Int} = {K = 99}
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run(`abort()`); err != nil {
+		t.Fatal(err)
+	}
+	// Y was never committed: it is gone after abort.
+	if _, err := in.Run(`Y`); err == nil {
+		t.Error("uncommitted persistent binding survived abort")
+	}
+	rs, err := in.Run(`X.K`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(rs[len(rs)-1].Value, value.Int(1)) {
+		t.Errorf("X.K after abort = %s", rs[len(rs)-1].Value)
+	}
+}
+
+func TestPersistenceRequiresStores(t *testing.T) {
+	in := New(new(bytes.Buffer))
+	if _, err := in.Run(`extern("h", dynamic 1)`); err == nil {
+		t.Error("extern without a store should fail")
+	}
+	if _, err := in.Run(`persistent X : Int = 1`); err == nil {
+		t.Error("persistent without a store should fail")
+	}
+	if _, err := in.Run(`commit()`); err == nil {
+		t.Error("commit without a store should fail")
+	}
+}
+
+func TestBillOfMaterialsInLanguage(t *testing.T) {
+	// The paper's TotalCost with memoization on a DAG-shaped parts
+	// explosion, using transient memo fields on persistent parts.
+	dir := t.TempDir()
+	in := newPersistentInterp(t, dir)
+	src := `
+		type Part = {
+			Name: String, IsBase: Bool,
+			PurchasePrice: Float, ManufacturingCost: Float,
+			Components: List[{SubPart: Part, Qty: Int}]
+		};
+		let mkBase = fun(n: String, price: Float): Part is
+			{Name = n, IsBase = true, PurchasePrice = price,
+			 ManufacturingCost = 0.0, Components = []};
+		let bolt = mkBase("bolt", 0.5);
+		let plate = mkBase("plate", 4.0);
+		let bracket: Part = {Name = "bracket", IsBase = false,
+			PurchasePrice = 0.0, ManufacturingCost = 1.0,
+			Components = [{SubPart = bolt, Qty = 4}, {SubPart = plate, Qty = 1}]};
+		let frame: Part = {Name = "frame", IsBase = false,
+			PurchasePrice = 0.0, ManufacturingCost = 10.0,
+			Components = [{SubPart = bracket, Qty = 2}, {SubPart = plate, Qty = 2}]};
+
+		let rec totalCost = fun(p: Part): Float is
+			if p.IsBase then p.PurchasePrice
+			else if memoHas(p, "_cost") then coerce memoGet(p, "_cost") to Float
+			else let c = p.ManufacturingCost +
+				fold(fun(acc: Float, comp: {SubPart: Part, Qty: Int}): Float is
+					acc + totalCost(comp.SubPart) * comp.Qty,
+					0.0, p.Components) in
+			let ignore = memoSet(p, "_cost", dynamic c) in c;
+
+		persistent Catalogue : {Root: Part} = {Root = frame};
+		commit();
+		totalCost(frame)
+	`
+	rs, err := in.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bracket = 1 + 4*0.5 + 4 = 7; frame = 10 + 2*7 + 2*4 = 32.
+	if !value.Equal(rs[len(rs)-1].Value, value.Float(32)) {
+		t.Errorf("totalCost = %s, want 32.0", rs[len(rs)-1].Value)
+	}
+	// The memo fields must not have been persisted.
+	r, ok := in.Intrinsic.Root("Catalogue")
+	if !ok {
+		t.Fatal("Catalogue lost")
+	}
+	if _, err := in.Intrinsic.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+	in2 := newPersistentInterp(t, dir)
+	rs2, err := in2.Run(`
+		type Part = {
+			Name: String, IsBase: Bool,
+			PurchasePrice: Float, ManufacturingCost: Float,
+			Components: List[{SubPart: Part, Qty: Int}]
+		};
+		persistent Catalogue : {Root: Part} = fail[{Root: Part}]("must reopen");
+		memoHas(Catalogue.Root, "_cost")
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(rs2[len(rs2)-1].Value, value.Bool(false)) {
+		t.Error("transient memo field persisted across programs")
+	}
+}

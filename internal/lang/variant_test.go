@@ -1,0 +1,100 @@
+package lang
+
+import (
+	"testing"
+
+	"dbpl/internal/value"
+)
+
+func TestVariantConstruction(t *testing.T) {
+	wantType(t, `<Circle = 2.5>`, "[Circle: Float]")
+	wantType(t, `<Point = {X = 1, Y = 2}>`, "[Point: {X: Int, Y: Int}]")
+	// Subsumption: fewer tags ≤ more tags, so the annotation widens.
+	wantType(t, `
+		type Shape = [Circle: Float, Square: Float];
+		let s: Shape = <Circle = 2.5>;
+		s
+	`, "[Circle: Float, Square: Float]")
+	// Payload binds tighter than comparison; parentheses admit one.
+	wantType(t, `<Flag = (1 < 2)>`, "[Flag: Bool]")
+	wantType(t, `<N = 1 + 2 * 3>`, "[N: Int]")
+}
+
+func TestCaseElimination(t *testing.T) {
+	src := `
+		type Shape = [Circle: Float, Square: Float];
+		let area = fun(s: Shape): Float is
+			case s of
+			  Circle(r) is 3.14159 * r * r
+			| Square(w) is w * w
+			end;
+	`
+	wantVal(t, src+`area(<Square = 3.0>)`, value.Float(9))
+	r := last(t, src+`area(<Circle = 1.0>)`)
+	if f, ok := r.Value.(value.Float); !ok || float64(f) < 3.14 || float64(f) > 3.15 {
+		t.Errorf("area(circle) = %s", r.Value)
+	}
+	// Branch results join.
+	wantType(t, `
+		case <A = 1> of A(x) is x end
+	`, "Int")
+	wantType(t, `
+		type E = [L: Int, R: Float];
+		let v: E = <L = 1>;
+		case v of L(x) is x | R(y) is y end
+	`, "Float")
+}
+
+func TestCaseExhaustiveness(t *testing.T) {
+	// Missing tag: static error.
+	failRun(t, `
+		type Shape = [Circle: Float, Square: Float];
+		let s: Shape = <Circle = 1.0>;
+		case s of Circle(r) is r end
+	`, "type")
+	// Unknown tag: static error.
+	failRun(t, `
+		case <A = 1> of A(x) is x | B(y) is y end
+	`, "type")
+	// Case on a non-variant: static error.
+	failRun(t, `case 3 of A(x) is x end`, "type")
+	// Duplicate arm: parse error.
+	failRun(t, `case <A = 1> of A(x) is x | A(y) is y end`, "parse")
+}
+
+func TestVariantInFunctionsAndLists(t *testing.T) {
+	// A heterogeneous-but-typed list of shapes, folded.
+	src := `
+		type Shape = [Circle: Float, Square: Float];
+		let shapes: List[Shape] = [<Circle = 1.0>, <Square = 2.0>, <Square = 3.0>];
+		let area = fun(s: Shape): Float is
+			case s of Circle(r) is 3.0 * r * r | Square(w) is w * w end;
+		fold(fun(a: Float, s: Shape): Float is a + area(s), 0.0, shapes)
+	`
+	wantVal(t, src, value.Float(16))
+}
+
+func TestVariantDynamics(t *testing.T) {
+	// Variants interact with dynamics like everything else.
+	wantVal(t, `
+		let d = dynamic <Circle = 2.5>;
+		case (coerce d to [Circle: Float, Square: Float]) of
+		  Circle(r) is r
+		| Square(w) is w
+		end
+	`, value.Float(2.5))
+}
+
+func TestVariantRecursiveType(t *testing.T) {
+	// The canonical recursive sum: an integer list as a variant, folded.
+	src := `
+		type IntList = [Nil: Unit, Cons: {Head: Int, Tail: IntList}];
+		let rec sum = fun(l: IntList): Int is
+			case l of
+			  Nil(u) is 0
+			| Cons(c) is c.Head + sum(c.Tail)
+			end;
+		sum(<Cons = {Head = 1, Tail = <Cons = {Head = 2, Tail = <Nil = unit>}>}>)
+	`
+	wantVal(t, src, value.Int(3))
+}

@@ -1,0 +1,213 @@
+package pascalr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbpl/internal/relation"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+func employeeRel(t *testing.T) RelType {
+	t.Helper()
+	rt, err := NewRelType(types.MustParse("{Name: String, Dept: String, Salary: Int}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestOnlyRelationsPersist(t *testing.T) {
+	// The restriction the paper criticizes: element types must be flat
+	// records of scalars.
+	bad := []string{
+		"Int",                    // not a record at all
+		"{Addr: {City: String}}", // nested record
+		"{Tags: List[String]}",   // bulk attribute
+		"{Rel: Set[{A: Int}]}",   // relation-valued attribute (non-1NF)
+		"{F: Int -> Int}",        // function attribute
+	}
+	for _, src := range bad {
+		if _, err := NewRelType(types.MustParse(src)); !errors.Is(err, ErrNotRelation) {
+			t.Errorf("NewRelType(%s) err = %v, want ErrNotRelation", src, err)
+		}
+	}
+	if _, err := NewRelType(types.MustParse("{Name: String, Salary: Int}")); err != nil {
+		t.Errorf("flat scalar record rejected: %v", err)
+	}
+}
+
+func TestDeclareInsertSaveReopen(t *testing.T) {
+	// The paper's EmpDB: var EmpDB = database Employees: EmpRel end.
+	path := filepath.Join(t.TempDir(), "empdb")
+	schema := map[string]RelType{"Employees": employeeRel(t)}
+	db, err := Declare(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		name, dept string
+		sal        int64
+	}{{"J Doe", "Sales", 100}, {"M Dee", "Manuf", 200}} {
+		err := db.Insert("Employees", value.Rec(
+			"Name", value.String(e.name), "Dept", value.String(e.dept),
+			"Salary", value.Int(e.sal)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A later program re-declares the same database and finds the data.
+	db2, err := Declare(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db2.Rel("Employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Errorf("reopened relation has %d tuples, want 2", rel.Len())
+	}
+	// The relation supports the usual algebra.
+	sales := relation.SelectFlat(rel, func(r *value.Record) bool {
+		d, _ := r.Get("Dept")
+		return value.Equal(d, value.String("Sales"))
+	})
+	if sales.Len() != 1 {
+		t.Errorf("select = %d", sales.Len())
+	}
+}
+
+func TestInsertConformance(t *testing.T) {
+	db, err := Declare(filepath.Join(t.TempDir(), "db"),
+		map[string]RelType{"Employees": employeeRel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Employees", value.Rec("Name", value.String("X"))); err == nil {
+		t.Error("non-conforming tuple accepted")
+	}
+	if err := db.Insert("Nope", value.Rec()); !errors.Is(err, ErrNoField) {
+		t.Errorf("err = %v, want ErrNoField", err)
+	}
+	if _, err := db.Rel("Nope"); !errors.Is(err, ErrNoField) {
+		t.Errorf("err = %v, want ErrNoField", err)
+	}
+	if fs := db.Fields(); len(fs) != 1 || fs[0] != "Employees" {
+		t.Errorf("Fields = %v", fs)
+	}
+}
+
+func TestSchemaMismatchOnReopen(t *testing.T) {
+	// Reading the file at a different schema fails — file-style
+	// persistence has no subtype views, unlike the intrinsic store.
+	path := filepath.Join(t.TempDir(), "db")
+	db, err := Declare(path, map[string]RelType{"Employees": employeeRel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Employees", value.Rec(
+		"Name", value.String("J"), "Dept", value.String("S"), "Salary", value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// A program declaring a different field name cannot open the file.
+	other, err := NewRelType(types.MustParse("{Dept: String, Floor: Int}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Declare(path, map[string]RelType{"Departments": other}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("schema-mismatched reopen err = %v, want ErrCorrupt", err)
+	}
+	// Even a *supertype* schema fails: no subtyping in Pascal/R, which is
+	// precisely the paper's motivation for the languages that follow it.
+	super, err := NewRelType(types.MustParse("{Name: String, Dept: String, Salary: Int, Bonus: Int}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Declare(path, map[string]RelType{"Employees": super}); err == nil {
+		t.Error("incompatible tuple schema accepted on reopen")
+	}
+}
+
+func TestSaveIsWholesale(t *testing.T) {
+	// Persistence "controlled the same way as for files": every Save
+	// rewrites everything, unlike the intrinsic store's delta commit.
+	path := filepath.Join(t.TempDir(), "db")
+	db, err := Declare(path, map[string]RelType{"Employees": employeeRel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Insert("Employees", value.Rec(
+			"Name", value.String(fmt.Sprintf("E%03d", i)),
+			"Dept", value.String("S"), "Salary", value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	size1 := fileSize(t, path)
+	// One more tuple: the file is rewritten whole and grows by ~one tuple.
+	if err := db.Insert("Employees", value.Rec(
+		"Name", value.String("ZZ"), "Dept", value.String("S"), "Salary", value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	size2 := fileSize(t, path)
+	if size2 <= size1 {
+		t.Errorf("file did not grow: %d -> %d", size1, size2)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func BenchmarkPascalRSave(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rt, err := NewRelType(types.MustParse("{Name: String, Dept: String, Salary: Int}"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := Declare(filepath.Join(b.TempDir(), "db"),
+				map[string]RelType{"Employees": rt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := db.Insert("Employees", value.Rec(
+					"Name", value.String(fmt.Sprintf("E%05d", i)),
+					"Dept", value.String("S"), "Salary", value.Int(int64(i)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Save(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dbpl/internal/value"
+)
+
+// Fault injection: a decoder fed arbitrarily corrupted images must either
+// return an error or a value — never panic, hang, or allocate absurdly.
+
+// corpusImages returns (untagged, tagged) images of random values.
+func corpusImages(t *testing.T) (plain, tagged [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		v := genValue(rng, 4)
+		img, err := MarshalValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain = append(plain, img)
+		timg, err := MarshalTagged(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tagged = append(tagged, timg)
+	}
+	return plain, tagged
+}
+
+func decodeSafely(t *testing.T, img []byte, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s: decoder panicked: %v", what, r)
+			}
+			close(done)
+		}()
+		_, _ = UnmarshalValue(img)
+		_, _, _ = UnmarshalTagged(img)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: decoder hung", what)
+	}
+}
+
+func TestBitFlipsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	plain, tagged := corpusImages(t)
+	for _, img := range append(plain, tagged...) {
+		for trial := 0; trial < 50; trial++ {
+			mut := append([]byte(nil), img...)
+			// Flip 1–3 random bits.
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				i := rng.Intn(len(mut))
+				mut[i] ^= 1 << rng.Intn(8)
+			}
+			decodeSafely(t, mut, "bitflip")
+		}
+	}
+}
+
+func TestRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200)
+		img := make([]byte, n)
+		rng.Read(img)
+		decodeSafely(t, img, "garbage")
+	}
+	// Garbage behind a valid header.
+	for trial := 0; trial < 100; trial++ {
+		img := append([]byte("DBPL\x01"), make([]byte, rng.Intn(64))...)
+		rng.Read(img[5:])
+		decodeSafely(t, img, "garbage-with-header")
+	}
+}
+
+func TestByteTruncationAndExtension(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	plain, tagged := corpusImages(t)
+	for _, img := range append(append([][]byte(nil), plain...), tagged...) {
+		// Random truncations.
+		for trial := 0; trial < 25; trial++ {
+			cut := rng.Intn(len(img))
+			decodeSafely(t, img[:cut], "truncation")
+		}
+		// Trailing junk after a valid image must not panic the decoder.
+		withJunk := append(append([]byte(nil), img...), 0xFF, 0x00, 0x13)
+		decodeSafely(t, withJunk, "extension")
+	}
+	// A clean untagged prefix with junk after it still decodes: the junk is
+	// simply unread stream.
+	for _, img := range plain {
+		withJunk := append(append([]byte(nil), img...), 0xFF, 0x00, 0x13)
+		if _, err := UnmarshalValue(withJunk[:len(img)]); err != nil {
+			t.Errorf("clean prefix failed to decode: %v", err)
+		}
+	}
+}
+
+func TestHugeCountsRejected(t *testing.T) {
+	// A list claiming 2^40 elements must be rejected by the count guard,
+	// not attempted.
+	img := []byte("DBPL\x01")
+	img = append(img, vList)
+	img = append(img, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // huge uvarint
+	v := value.NewList()
+	_ = v
+	if _, err := UnmarshalValue(img); err == nil {
+		t.Error("huge count accepted")
+	}
+}

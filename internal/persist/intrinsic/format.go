@@ -1,0 +1,388 @@
+package intrinsic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"dbpl/internal/dynamic"
+	"dbpl/internal/persist/codec"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// This file defines the on-disk format: an append-only log of *shallow*
+// node images. Each container value (record, list, set, tag, dynamic) is a
+// node identified by an OID; a node's image encodes its atoms inline and
+// its child containers as OID references. Because parents reference
+// children by OID, structure sharing and cycles survive commits, and a
+// commit need only append the nodes whose images changed.
+//
+// Log layout:
+//
+//	"DBPLLOG" version
+//	repeated groups of records, each group terminated by a commit marker:
+//	  'N' oid len imageBytes     -- a node (re)definition
+//	  'R' count {name typeLen typeBytes valueInline}  -- the root table
+//	  'C'                        -- commit marker
+//
+// Replay applies whole groups only: a torn final group (crash mid-commit)
+// is ignored, so the store always reopens at the last complete commit.
+
+// Errors returned by log decoding.
+var (
+	ErrCorrupt = errors.New("intrinsic: corrupt log")
+)
+
+const (
+	logMagic   = "DBPLLOG"
+	logVersion = 1
+
+	recNode   byte = 'N'
+	recRoots  byte = 'R'
+	recCommit byte = 'C'
+
+	// maxRecordSize bounds single node and type images as a corruption
+	// guard during replay.
+	maxRecordSize = 1 << 30
+)
+
+// readN reads exactly n bytes, growing the buffer incrementally so a
+// corrupt log claiming a huge length fails fast at end of input instead of
+// pre-allocating gigabytes.
+func readN(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	if n <= chunk {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// capCount bounds an initial slice capacity derived from untrusted input.
+func capCount(n int) int {
+	if n > 1024 {
+		return 1024
+	}
+	return n
+}
+
+// parseType decodes a codec type image (as written by nodeBuf.typ, without
+// the length prefix).
+func parseType(img []byte) (types.Type, error) {
+	dec, err := codec.NewDecoder(bytes.NewReader(img))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	t, err := dec.Type()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return t, nil
+}
+
+// Inline value tags used inside node images and root entries.
+const (
+	inBottom byte = iota
+	inUnit
+	inInt
+	inFloat
+	inString
+	inBoolTrue
+	inBoolFalse
+	inRef // child container: uvarint OID follows
+	inRecord
+	inList
+	inSet
+	inTag
+	inDynamic
+	inTypeVal
+)
+
+// nodeBuf is a growable encoding buffer.
+type nodeBuf struct {
+	bytes.Buffer
+}
+
+func (b *nodeBuf) uvarint(x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	b.Write(tmp[:n])
+}
+
+func (b *nodeBuf) varint(x int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], x)
+	b.Write(tmp[:n])
+}
+
+func (b *nodeBuf) str(s string) {
+	b.uvarint(uint64(len(s)))
+	b.WriteString(s)
+}
+
+func (b *nodeBuf) typ(t types.Type) error {
+	var tb bytes.Buffer
+	e := codec.NewEncoder(&tb)
+	if err := e.Type(t); err != nil {
+		return err
+	}
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	b.uvarint(uint64(tb.Len()))
+	b.Write(tb.Bytes())
+	return nil
+}
+
+// isContainer reports whether v is stored as its own node.
+func isContainer(v value.Value) bool {
+	switch v.(type) {
+	case *value.Record, *value.List, *value.Set, *value.Tag, *dynamic.Dynamic:
+		return true
+	}
+	return false
+}
+
+// encodeInline writes an atom inline or a container as an OID reference.
+// oidOf must return the (pre-assigned) OID for any container encountered.
+func encodeInline(b *nodeBuf, v value.Value, oidOf func(value.Value) uint64) error {
+	switch vv := v.(type) {
+	case value.Int:
+		b.WriteByte(inInt)
+		b.varint(int64(vv))
+	case value.Float:
+		b.WriteByte(inFloat)
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(float64(vv)))
+		b.Write(tmp[:])
+	case value.String:
+		b.WriteByte(inString)
+		b.str(string(vv))
+	case value.Bool:
+		if vv {
+			b.WriteByte(inBoolTrue)
+		} else {
+			b.WriteByte(inBoolFalse)
+		}
+	case *value.TypeVal:
+		b.WriteByte(inTypeVal)
+		return b.typ(vv.T)
+	default:
+		if isContainer(v) {
+			b.WriteByte(inRef)
+			b.uvarint(oidOf(v))
+			return nil
+		}
+		switch v.Kind() {
+		case value.KindBottom:
+			b.WriteByte(inBottom)
+		case value.KindUnit:
+			b.WriteByte(inUnit)
+		default:
+			return fmt.Errorf("intrinsic: unsupported value kind %T", v)
+		}
+	}
+	return nil
+}
+
+// encodeNode produces the shallow image of a container. Record fields whose
+// label begins with transientPrefix are skipped — the paper's "transient
+// information attached to a persistent structure" (the memo fields of the
+// bill-of-materials example), which must not persist. Set elements are
+// emitted in canonical key order so images are deterministic.
+func encodeNode(v value.Value, oidOf func(value.Value) uint64, transientPrefix string) ([]byte, error) {
+	var b nodeBuf
+	var err error
+	switch vv := v.(type) {
+	case *value.Record:
+		b.WriteByte(inRecord)
+		// Count the persistent fields first.
+		n := 0
+		vv.Each(func(l string, _ value.Value) {
+			if !isTransient(l, transientPrefix) {
+				n++
+			}
+		})
+		b.uvarint(uint64(n))
+		vv.Each(func(l string, f value.Value) {
+			if err != nil || isTransient(l, transientPrefix) {
+				return
+			}
+			b.str(l)
+			err = encodeInline(&b, f, oidOf)
+		})
+	case *value.List:
+		b.WriteByte(inList)
+		b.uvarint(uint64(len(vv.Elems)))
+		for _, el := range vv.Elems {
+			if err = encodeInline(&b, el, oidOf); err != nil {
+				break
+			}
+		}
+	case *value.Set:
+		b.WriteByte(inSet)
+		elems := vv.Elems()
+		sort.Slice(elems, func(i, j int) bool { return value.Key(elems[i]) < value.Key(elems[j]) })
+		b.uvarint(uint64(len(elems)))
+		for _, el := range elems {
+			if err = encodeInline(&b, el, oidOf); err != nil {
+				break
+			}
+		}
+	case *value.Tag:
+		b.WriteByte(inTag)
+		b.str(vv.Label)
+		err = encodeInline(&b, vv.Payload, oidOf)
+	case *dynamic.Dynamic:
+		b.WriteByte(inDynamic)
+		if err = b.typ(vv.Type()); err == nil {
+			err = encodeInline(&b, vv.Value(), oidOf)
+		}
+	default:
+		return nil, fmt.Errorf("intrinsic: %T is not a container", v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func isTransient(label, prefix string) bool {
+	return prefix != "" && len(label) >= len(prefix) && label[:len(prefix)] == prefix
+}
+
+// nodeReader decodes node images.
+type nodeReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *nodeReader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("%w: short node", ErrCorrupt)
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *nodeReader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	r.pos += n
+	return x, nil
+}
+
+func (r *nodeReader) varint() (int64, error) {
+	x, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	r.pos += n
+	return x, nil
+}
+
+func (r *nodeReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+int(n) > len(r.buf) {
+		return "", fmt.Errorf("%w: short string", ErrCorrupt)
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *nodeReader) typ() (types.Type, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if r.pos+int(n) > len(r.buf) {
+		return nil, fmt.Errorf("%w: short type", ErrCorrupt)
+	}
+	dec, err := codec.NewDecoder(bytes.NewReader(r.buf[r.pos : r.pos+int(n)]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	r.pos += int(n)
+	t, err := dec.Type()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return t, nil
+}
+
+// inlineValue decodes an inline value; container refs are resolved through
+// resolve, which materializes (or returns the already-materialized) node.
+func (r *nodeReader) inlineValue(resolve func(oid uint64) (value.Value, error)) (value.Value, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case inBottom:
+		return value.Bottom, nil
+	case inUnit:
+		return value.Unit, nil
+	case inInt:
+		x, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return value.Int(x), nil
+	case inFloat:
+		if r.pos+8 > len(r.buf) {
+			return nil, fmt.Errorf("%w: short float", ErrCorrupt)
+		}
+		bits := binary.LittleEndian.Uint64(r.buf[r.pos:])
+		r.pos += 8
+		return value.Float(math.Float64frombits(bits)), nil
+	case inString:
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		return value.String(s), nil
+	case inBoolTrue:
+		return value.Bool(true), nil
+	case inBoolFalse:
+		return value.Bool(false), nil
+	case inTypeVal:
+		t, err := r.typ()
+		if err != nil {
+			return nil, err
+		}
+		return value.NewTypeVal(t), nil
+	case inRef:
+		oid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return resolve(oid)
+	default:
+		return nil, fmt.Errorf("%w: inline tag %d", ErrCorrupt, tag)
+	}
+}

@@ -1,0 +1,246 @@
+package intrinsic
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// This file model-tests the store: a random sequence of operations runs
+// against both the real store and a trivially correct in-memory model, and
+// the observable state (handle names, declared types, values) must agree
+// after every step. Reopen and abort revert to the committed state; commit
+// promotes the live state; compaction changes nothing observable.
+
+// model is the reference implementation: two flat maps of deep copies.
+type model struct {
+	live      map[string]modelRoot
+	committed map[string]modelRoot
+}
+
+type modelRoot struct {
+	declared types.Type
+	val      value.Value
+}
+
+func newModel() *model {
+	return &model{live: map[string]modelRoot{}, committed: map[string]modelRoot{}}
+}
+
+func (m *model) bind(name string, v value.Value, declared types.Type) {
+	m.live[name] = modelRoot{declared: declared, val: value.Copy(v)}
+}
+
+func (m *model) unbind(name string) { delete(m.live, name) }
+
+func (m *model) commit() {
+	m.committed = map[string]modelRoot{}
+	for n, r := range m.live {
+		m.committed[n] = modelRoot{declared: r.declared, val: value.Copy(r.val)}
+	}
+}
+
+func (m *model) revert() {
+	m.live = map[string]modelRoot{}
+	for n, r := range m.committed {
+		m.live[n] = modelRoot{declared: r.declared, val: value.Copy(r.val)}
+	}
+}
+
+// genModelValue builds a random value without internal sharing (the model
+// copies values, so shared substructure would diverge under mutation).
+func genModelValue(rng *rand.Rand, depth int) value.Value {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return value.Int(int64(rng.Intn(100)))
+		case 1:
+			return value.String(fmt.Sprintf("s%d", rng.Intn(10)))
+		case 2:
+			return value.Bool(rng.Intn(2) == 0)
+		default:
+			return value.Float(float64(rng.Intn(10)))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0, 1:
+		rec := value.NewRecord()
+		for _, l := range []string{"A", "B", "C"} {
+			if rng.Intn(2) == 0 {
+				rec.Set(l, genModelValue(rng, depth-1))
+			}
+		}
+		return rec
+	case 2:
+		n := rng.Intn(3)
+		lst := value.NewList()
+		for i := 0; i < n; i++ {
+			lst.Append(genModelValue(rng, depth-1))
+		}
+		return lst
+	default:
+		n := rng.Intn(3)
+		s := value.NewSet()
+		for i := 0; i < n; i++ {
+			s.Add(genModelValue(rng, depth-1))
+		}
+		return s
+	}
+}
+
+// check compares the store's observable state with the model's live state.
+func check(t *testing.T, step int, op string, s *Store, m *model) {
+	t.Helper()
+	names := s.Names()
+	if len(names) != len(m.live) {
+		t.Fatalf("step %d (%s): store has %d handles, model %d (%v)", step, op, len(names), len(m.live), names)
+	}
+	for _, n := range names {
+		r, ok := s.Root(n)
+		if !ok {
+			t.Fatalf("step %d (%s): store lost root %q", step, op, n)
+		}
+		mr, ok := m.live[n]
+		if !ok {
+			t.Fatalf("step %d (%s): store has unexpected root %q", step, op, n)
+		}
+		if !value.Equal(r.Value, mr.val) {
+			t.Fatalf("step %d (%s): root %q value mismatch:\nstore %s\nmodel %s",
+				step, op, n, r.Value, mr.val)
+		}
+		if !types.Equal(r.Declared, mr.declared) {
+			t.Fatalf("step %d (%s): root %q type mismatch: %s vs %s",
+				step, op, n, r.Declared, mr.declared)
+		}
+	}
+}
+
+func TestModelRandomOperations(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			path := filepath.Join(t.TempDir(), "store.log")
+			s, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { s.Close() }()
+			m := newModel()
+			handles := []string{"a", "b", "c", "d"}
+
+			steps := 150
+			for i := 0; i < steps; i++ {
+				switch op := rng.Intn(10); op {
+				case 0, 1, 2: // bind a fresh random value
+					n := handles[rng.Intn(len(handles))]
+					v := genModelValue(rng, 3)
+					declared := value.TypeOf(v)
+					if err := s.Bind(n, v, declared); err != nil {
+						t.Fatalf("step %d: bind: %v", i, err)
+					}
+					m.bind(n, v, declared)
+					check(t, i, "bind", s, m)
+				case 3: // unbind
+					n := handles[rng.Intn(len(handles))]
+					got := s.Unbind(n)
+					_, want := m.live[n]
+					if got != want {
+						t.Fatalf("step %d: unbind %q = %v, model %v", i, n, got, want)
+					}
+					m.unbind(n)
+					check(t, i, "unbind", s, m)
+				case 4, 5: // mutate a live record root
+					n := handles[rng.Intn(len(handles))]
+					r, ok := s.Root(n)
+					if !ok {
+						continue
+					}
+					rec, ok := r.Value.(*value.Record)
+					if !ok {
+						continue
+					}
+					fv := value.Int(int64(rng.Intn(1000)))
+					rec.Set("Mut", fv)
+					mr := m.live[n]
+					mr.val.(*value.Record).Set("Mut", fv)
+					// The mutation may widen the value beyond the declared
+					// type's record... it cannot: adding a field only makes
+					// the value more specific. The declared type is
+					// unchanged in both.
+					check(t, i, "mutate", s, m)
+				case 6, 7: // commit
+					if _, err := s.Commit(); err != nil {
+						t.Fatalf("step %d: commit: %v", i, err)
+					}
+					m.commit()
+					check(t, i, "commit", s, m)
+				case 8: // abort or reopen: both revert to committed state
+					if rng.Intn(2) == 0 {
+						if err := s.Abort(); err != nil {
+							t.Fatalf("step %d: abort: %v", i, err)
+						}
+					} else {
+						p := s.Path()
+						if err := s.Close(); err != nil {
+							t.Fatalf("step %d: close: %v", i, err)
+						}
+						if s, err = Open(p); err != nil {
+							t.Fatalf("step %d: reopen: %v", i, err)
+						}
+					}
+					m.revert()
+					check(t, i, "revert", s, m)
+				case 9: // compact (includes a commit)
+					if _, err := s.Compact(); err != nil {
+						t.Fatalf("step %d: compact: %v", i, err)
+					}
+					m.commit()
+					check(t, i, "compact", s, m)
+				}
+			}
+		})
+	}
+}
+
+func TestModelMutationThroughSharedReference(t *testing.T) {
+	// Beyond the flat model: sharing must behave identically before and
+	// after a commit+reopen cycle, which the flat model can't express.
+	path := filepath.Join(t.TempDir(), "store.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { s.Close() }()
+	shared := value.Rec("N", value.Int(0))
+	root := value.Rec("L", shared, "R", shared)
+	if err := s.Bind("x", root, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		p := s.Path()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if s, err = Open(p); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := s.Root("x")
+		l := r.Value.(*value.Record).MustGet("L").(*value.Record)
+		rr := r.Value.(*value.Record).MustGet("R").(*value.Record)
+		if l != rr {
+			t.Fatalf("cycle %d: sharing lost", i)
+		}
+		if v, _ := l.Get("N"); !value.Equal(v, value.Int(int64(i-1))) {
+			t.Fatalf("cycle %d: N = %s, want %d", i, v, i-1)
+		}
+		l.Set("N", value.Int(int64(i)))
+	}
+}

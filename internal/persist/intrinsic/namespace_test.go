@@ -1,0 +1,163 @@
+package intrinsic
+
+import (
+	"errors"
+	"testing"
+
+	"dbpl/internal/value"
+)
+
+func openNS(t *testing.T, s *Store, name string) *Namespace {
+	t.Helper()
+	ns, err := s.Namespace(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	s := open(t)
+	alice := openNS(t, s, "alice")
+	bob := openNS(t, s, "bob")
+
+	if err := alice.Bind("db", value.Rec("K", value.Int(1)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Bind("db", value.Rec("K", value.Int(2)), nil); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := alice.Root("db")
+	rb, _ := bob.Root("db")
+	if value.Equal(ra.Value, rb.Value) {
+		t.Error("namespaces should be isolated")
+	}
+	if _, ok := alice.Root("other"); ok {
+		t.Error("absent handle resolved")
+	}
+	// The anonymous namespace does not see either.
+	anon := openNS(t, s, "")
+	if len(anon.Names()) != 0 {
+		t.Errorf("anonymous namespace sees %v", anon.Names())
+	}
+	if got := alice.Names(); len(got) != 1 || got[0] != "db" {
+		t.Errorf("alice.Names = %v", got)
+	}
+	if got := s.Namespaces(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Errorf("Namespaces = %v", got)
+	}
+}
+
+func TestNamespaceSurvivesReopen(t *testing.T) {
+	s := open(t)
+	alice := openNS(t, s, "alice")
+	if err := alice.Bind("db", value.Rec("K", value.Int(1)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := reopen(t, s)
+	alice2 := openNS(t, s2, "alice")
+	r, ok := alice2.Root("db")
+	if !ok || !value.Equal(r.Value, value.Rec("K", value.Int(1))) {
+		t.Errorf("namespace handle lost: %v %v", r, ok)
+	}
+}
+
+func TestNamespaceShareTo(t *testing.T) {
+	// Controlled sharing: updates flow both ways, across reopen.
+	s := open(t)
+	alice := openNS(t, s, "alice")
+	bob := openNS(t, s, "bob")
+	if err := alice.Bind("db", value.Rec("K", value.Int(1)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.ShareTo(bob, "db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := reopen(t, s)
+	alice2, bob2 := openNS(t, s2, "alice"), openNS(t, s2, "bob")
+	ra, _ := alice2.Root("db")
+	rb, _ := bob2.Root("db")
+	ra.Value.(*value.Record).Set("K", value.Int(99))
+	if v, _ := rb.Value.(*value.Record).Get("K"); !value.Equal(v, value.Int(99)) {
+		t.Error("shared structure should propagate across namespaces after reopen")
+	}
+}
+
+func TestNamespaceCopyTo(t *testing.T) {
+	// Copying isolates: replication on request.
+	s := open(t)
+	alice := openNS(t, s, "alice")
+	bob := openNS(t, s, "bob")
+	if err := alice.Bind("db", value.Rec("K", value.Int(1)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.CopyTo(bob, "db"); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := alice.Root("db")
+	ra.Value.(*value.Record).Set("K", value.Int(99))
+	rb, _ := bob.Root("db")
+	if v, _ := rb.Value.(*value.Record).Get("K"); !value.Equal(v, value.Int(1)) {
+		t.Error("copied structure must be isolated")
+	}
+}
+
+func TestNamespaceShareOfAbsentHandle(t *testing.T) {
+	s := open(t)
+	alice := openNS(t, s, "alice")
+	bob := openNS(t, s, "bob")
+	if err := alice.ShareTo(bob, "nope"); !errors.Is(err, ErrNoRoot) {
+		t.Errorf("err = %v, want ErrNoRoot", err)
+	}
+	if err := alice.CopyTo(bob, "nope"); !errors.Is(err, ErrNoRoot) {
+		t.Errorf("err = %v, want ErrNoRoot", err)
+	}
+}
+
+func TestNamespaceBadNames(t *testing.T) {
+	s := open(t)
+	if _, err := s.Namespace("a/b"); !errors.Is(err, ErrBadName) {
+		t.Errorf("namespace with separator: err = %v", err)
+	}
+	alice := openNS(t, s, "alice")
+	if err := alice.Bind("x/y", value.Int(1), nil); !errors.Is(err, ErrBadName) {
+		t.Errorf("handle with separator: err = %v", err)
+	}
+	if alice.Unbind("x/y") {
+		t.Error("unbind of invalid name should fail")
+	}
+	if _, err := alice.OpenAs("x/y", nil); !errors.Is(err, ErrBadName) {
+		t.Errorf("OpenAs with separator: err = %v", err)
+	}
+}
+
+func TestNamespaceName(t *testing.T) {
+	s := open(t)
+	if openNS(t, s, "alice").Name() != "alice" {
+		t.Error("Name")
+	}
+	if openNS(t, s, "").Name() != "" {
+		t.Error("anonymous Name")
+	}
+}
+
+func TestNamespaceSchemaEvolution(t *testing.T) {
+	s := open(t)
+	alice := openNS(t, s, "alice")
+	stored := value.Rec("Employees", value.NewSet(
+		value.Rec("Name", value.String("J"), "Empno", value.Int(1))))
+	if err := alice.Bind("DB", stored, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Supertype view through the namespace.
+	if _, err := alice.OpenAs("DB", value.TypeOf(
+		value.Rec("Employees", value.NewSet(value.Rec("Name", value.String("x")))))); err != nil {
+		t.Fatalf("namespace OpenAs view: %v", err)
+	}
+}

@@ -1,0 +1,712 @@
+// Package intrinsic implements the paper's third and preferred form of
+// persistence: *intrinsic* persistence, where "every value in a program is
+// persistent" and survival is determined by reachability from named
+// handles, with no extern/intern movement and no distinction in the
+// language between primary and secondary storage. PS-algol and GemStone
+// implemented forms of this model; like PS-algol the store provides an
+// explicit commit, before which "the persistent value and the value being
+// used by the program can diverge".
+//
+// The store is an append-only log of shallow node images keyed by OID (see
+// format.go). Key properties, each exercised by the tests:
+//
+//   - Sharing and cycles survive: two handles reaching one value still
+//     share it after reopening — the defect of replicating persistence does
+//     not arise.
+//   - Commit is incremental: only nodes whose image changed are appended.
+//   - Garbage collection: values unreachable from any handle are simply not
+//     written by Compact, and never re-materialized.
+//   - Crash recovery: a torn final commit group is ignored on reopen.
+//   - Transient fields (label prefix "_") are not persisted — the paper's
+//     memoization fields on persistent Part values.
+//   - Schema evolution at handles: opening at a supertype is a view;
+//     opening at a *consistent* type enriches the handle's schema to the
+//     meet; inconsistent types are rejected (the paper's DBType/DBType'
+//     discussion).
+package intrinsic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"dbpl/internal/dynamic"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNoRoot            = errors.New("intrinsic: no such handle")
+	ErrNotConforming     = errors.New("intrinsic: value does not conform to declared type")
+	ErrInconsistent      = errors.New("intrinsic: stored and requested types are inconsistent")
+	ErrMigrationRequired = errors.New("intrinsic: schema enrichment requires value migration")
+	ErrClosed            = errors.New("intrinsic: store is closed")
+)
+
+// TransientPrefix is the record-field label prefix marking fields that must
+// not persist across Commit.
+const TransientPrefix = "_"
+
+// Root is a named handle: a declared type and the value it names. "The sole
+// purpose of the handle is to provide a name for the value that is global
+// to the program."
+type Root struct {
+	Declared types.Type
+	Value    value.Value
+}
+
+// CommitStats reports what a Commit wrote.
+type CommitStats struct {
+	NodesReachable int // containers reachable from the roots
+	NodesWritten   int // nodes whose image changed (or were new)
+	BytesWritten   int // log bytes appended, including the root table
+}
+
+// CompactStats reports the effect of a Compact.
+type CompactStats struct {
+	BytesBefore int64
+	BytesAfter  int64
+	NodesKept   int
+	NodesFreed  int
+}
+
+// Store is an intrinsically persistent heap backed by an append-only log
+// file. It is safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	closed bool
+
+	roots map[string]*Root
+	// oids maps live container values to their OIDs; nodes holds the last
+	// committed image per OID.
+	oids    map[value.Value]uint64
+	nodes   map[uint64][]byte
+	nextOID uint64
+}
+
+// Open opens (or creates) a store at path, replaying the log to the last
+// complete commit.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		path:  path,
+		f:     f,
+		roots: map[string]*Root{},
+		oids:  map[value.Value]uint64{},
+		nodes: map[uint64][]byte{},
+	}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close closes the underlying file without committing.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// Path returns the log file path.
+func (s *Store) Path() string { return s.path }
+
+// rootEntry is a parsed but not yet materialized root-table entry.
+type rootEntry struct {
+	name   string
+	typ    types.Type
+	inline []byte // the inline value bytes (atom or ref)
+}
+
+// load replays the log and materializes the root graph.
+func (s *Store) load() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(s.f)
+	header := make([]byte, len(logMagic)+1)
+	_, err := io.ReadFull(r, header)
+	if err == io.EOF {
+		// Fresh file: write the header.
+		if _, err := s.f.Write(append([]byte(logMagic), logVersion)); err != nil {
+			return err
+		}
+		return s.f.Sync()
+	}
+	if err != nil {
+		return fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(header[:len(logMagic)]) != logMagic || header[len(logMagic)] != logVersion {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+
+	// Replay whole commit groups; a torn tail is ignored.
+	committed := struct {
+		nodes map[uint64][]byte
+		roots []rootEntry
+	}{nodes: map[uint64][]byte{}}
+	pending := map[uint64][]byte{}
+	var pendingRoots []rootEntry
+	sawRoots := false
+
+	for {
+		kind, err := r.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case recNode:
+			oid, err := binary.ReadUvarint(r)
+			if err != nil {
+				break
+			}
+			n, err := binary.ReadUvarint(r)
+			if err != nil || n > maxRecordSize {
+				break
+			}
+			img, err := readN(r, int(n))
+			if err != nil {
+				break
+			}
+			pending[oid] = img
+			continue
+		case recRoots:
+			entries, err := readRootTable(r)
+			if err != nil {
+				break
+			}
+			pendingRoots = entries
+			sawRoots = true
+			continue
+		case recCommit:
+			for oid, img := range pending {
+				committed.nodes[oid] = img
+			}
+			pending = map[uint64][]byte{}
+			if sawRoots {
+				committed.roots = pendingRoots
+				sawRoots = false
+			}
+			continue
+		}
+		// Torn or unknown record: stop replay at the last complete commit.
+		break
+	}
+
+	s.nodes = committed.nodes
+	for oid := range s.nodes {
+		if oid >= s.nextOID {
+			s.nextOID = oid + 1
+		}
+	}
+	// Materialize the committed roots.
+	cache := map[uint64]value.Value{}
+	for _, e := range committed.roots {
+		rd := &nodeReader{buf: e.inline}
+		v, err := rd.inlineValue(func(oid uint64) (value.Value, error) {
+			return s.materialize(oid, cache, map[uint64]bool{})
+		})
+		if err != nil {
+			return err
+		}
+		s.roots[e.name] = &Root{Declared: e.typ, Value: v}
+	}
+	// Position the write handle at the end for appends.
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	return nil
+}
+
+func readRootTable(r *bufio.Reader) ([]rootEntry, error) {
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxRecordSize {
+		return nil, fmt.Errorf("%w: oversized root table", ErrCorrupt)
+	}
+	entries := make([]rootEntry, 0, capCount(int(count)))
+	for i := uint64(0); i < count; i++ {
+		n, err := binary.ReadUvarint(r)
+		if err != nil || n > maxRecordSize {
+			return nil, fmt.Errorf("%w: bad root name length", ErrCorrupt)
+		}
+		name, err := readN(r, int(n))
+		if err != nil {
+			return nil, err
+		}
+		tn, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if tn > maxRecordSize {
+			return nil, fmt.Errorf("%w: oversized type record", ErrCorrupt)
+		}
+		tbuf, err := readN(r, int(tn))
+		if err != nil {
+			return nil, err
+		}
+		typ, err := parseType(tbuf)
+		if err != nil {
+			return nil, err
+		}
+		vn, err := binary.ReadUvarint(r)
+		if err != nil || vn > maxRecordSize {
+			return nil, fmt.Errorf("%w: bad root value length", ErrCorrupt)
+		}
+		vbuf, err := readN(r, int(vn))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, rootEntry{name: string(name), typ: typ, inline: vbuf})
+	}
+	return entries, nil
+}
+
+// materialize decodes the node oid (and, recursively, its children) into a
+// live value, with sharing through cache.
+func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[uint64]bool) (value.Value, error) {
+	if v, ok := cache[oid]; ok {
+		return v, nil
+	}
+	img, ok := s.nodes[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: dangling oid %d", ErrCorrupt, oid)
+	}
+	if busy[oid] {
+		return nil, fmt.Errorf("%w: cycle through a non-record node %d", ErrCorrupt, oid)
+	}
+	r := &nodeReader{buf: img}
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(child uint64) (value.Value, error) {
+		return s.materialize(child, cache, busy)
+	}
+	switch tag {
+	case inRecord:
+		rec := value.NewRecord()
+		cache[oid] = rec // before children: record cycles are supported
+		s.oids[rec] = oid
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			l, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			f, err := r.inlineValue(resolve)
+			if err != nil {
+				return nil, err
+			}
+			rec.Set(l, f)
+		}
+		return rec, nil
+	case inList:
+		lst := value.NewList()
+		cache[oid] = lst
+		s.oids[lst] = oid
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			el, err := r.inlineValue(resolve)
+			if err != nil {
+				return nil, err
+			}
+			lst.Append(el)
+		}
+		return lst, nil
+	case inSet:
+		set := value.NewSet()
+		cache[oid] = set
+		s.oids[set] = oid
+		busy[oid] = true
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			el, err := r.inlineValue(resolve)
+			if err != nil {
+				return nil, err
+			}
+			set.Add(el)
+		}
+		delete(busy, oid)
+		return set, nil
+	case inTag:
+		busy[oid] = true
+		label, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := r.inlineValue(resolve)
+		if err != nil {
+			return nil, err
+		}
+		delete(busy, oid)
+		tv := value.NewTag(label, payload)
+		cache[oid] = tv
+		s.oids[tv] = oid
+		return tv, nil
+	case inDynamic:
+		busy[oid] = true
+		t, err := r.typ()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := r.inlineValue(resolve)
+		if err != nil {
+			return nil, err
+		}
+		delete(busy, oid)
+		d, err := dynamic.MakeAt(inner, t)
+		if err != nil {
+			return nil, fmt.Errorf("%w: persisted dynamic no longer conforms: %v", ErrCorrupt, err)
+		}
+		cache[oid] = d
+		s.oids[d] = oid
+		return d, nil
+	default:
+		return nil, fmt.Errorf("%w: node tag %d", ErrCorrupt, tag)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+// Bind creates (or replaces) a handle naming v at the declared type; nil
+// declares the value's most specific type. Binding is in-memory until the
+// next Commit, matching PS-algol's pre-commit divergence.
+func (s *Store) Bind(name string, v value.Value, declared types.Type) error {
+	if declared == nil {
+		declared = value.TypeOf(v)
+	} else if !value.Conforms(v, declared) {
+		return fmt.Errorf("%w: %s : %s", ErrNotConforming, value.TypeOf(v), declared)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roots[name] = &Root{Declared: declared, Value: v}
+	return nil
+}
+
+// Unbind removes a handle; the values it named become garbage unless
+// reachable from another handle, and are reclaimed by the next Compact.
+func (s *Store) Unbind(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.roots[name]
+	delete(s.roots, name)
+	return ok
+}
+
+// Root returns the handle's declared type and value.
+func (s *Store) Root(name string) (*Root, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.roots[name]
+	return r, ok
+}
+
+// Names returns all handle names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.roots))
+	for n := range s.roots {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenAs opens a handle at the type a (re)compiled program declares for it,
+// implementing the paper's schema-evolution rules:
+//
+//   - stored ≤ want: the program sees a *view* of the richer data; the
+//     stored schema is unchanged.
+//   - stored and want merely *consistent* (a common subtype exists): the
+//     handle's schema is enriched to the meet — "provided we never
+//     contradict any of our previous definitions, we can continue to
+//     enrich the type, or schema, of the database". If the current value
+//     does not yet conform to the meet, ErrMigrationRequired is returned
+//     and nothing changes.
+//   - otherwise: ErrInconsistent.
+func (s *Store) OpenAs(name string, want types.Type) (value.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.roots[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoRoot, name)
+	}
+	if types.Subtype(r.Declared, want) {
+		return r.Value, nil // a view of the (possibly richer) stored data
+	}
+	meet, ok := types.Meet(r.Declared, want)
+	if !ok {
+		return nil, fmt.Errorf("%w: stored %s, requested %s", ErrInconsistent, r.Declared, want)
+	}
+	if !value.Conforms(r.Value, meet) {
+		return nil, fmt.Errorf("%w: value %s does not conform to %s",
+			ErrMigrationRequired, value.TypeOf(r.Value), meet)
+	}
+	r.Declared = meet // schema enrichment
+	return r.Value, nil
+}
+
+// ---------------------------------------------------------------------------
+// Commit, abort, compaction
+// ---------------------------------------------------------------------------
+
+// reach walks the container graph from the roots, assigning OIDs to new
+// containers, and returns the reachable containers in a deterministic
+// order. Transient record fields are not traversed.
+func (s *Store) reach() []value.Value {
+	var order []value.Value
+	seen := map[value.Value]bool{}
+	var walk func(v value.Value)
+	walk = func(v value.Value) {
+		if !isContainer(v) {
+			return
+		}
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		if _, ok := s.oids[v]; !ok {
+			s.oids[v] = s.nextOID
+			s.nextOID++
+		}
+		order = append(order, v)
+		switch vv := v.(type) {
+		case *value.Record:
+			vv.Each(func(l string, f value.Value) {
+				if !isTransient(l, TransientPrefix) {
+					walk(f)
+				}
+			})
+		case *value.List:
+			for _, el := range vv.Elems {
+				walk(el)
+			}
+		case *value.Set:
+			for _, el := range vv.Elems() {
+				walk(el)
+			}
+		case *value.Tag:
+			walk(vv.Payload)
+		case *dynamic.Dynamic:
+			walk(vv.Value())
+		}
+	}
+	names := make([]string, 0, len(s.roots))
+	for n := range s.roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		walk(s.roots[n].Value)
+	}
+	return order
+}
+
+// encodeRootTable writes the current root table record into b.
+func (s *Store) encodeRootTable(b *nodeBuf) error {
+	b.WriteByte(recRoots)
+	b.uvarint(uint64(len(s.roots)))
+	names := make([]string, 0, len(s.roots))
+	for n := range s.roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	oidOf := func(v value.Value) uint64 { return s.oids[v] }
+	for _, n := range names {
+		r := s.roots[n]
+		b.str(n)
+		if err := b.typ(r.Declared); err != nil {
+			return err
+		}
+		var vb nodeBuf
+		if err := encodeInline(&vb, r.Value, oidOf); err != nil {
+			return err
+		}
+		b.uvarint(uint64(vb.Len()))
+		b.Write(vb.Bytes())
+	}
+	return nil
+}
+
+// Commit makes the current state of every handle durable. Only nodes whose
+// shallow image differs from the last committed image are appended — the
+// incremental property benchmarked in experiment E4.
+func (s *Store) Commit() (CommitStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CommitStats{}, ErrClosed
+	}
+	order := s.reach()
+	oidOf := func(v value.Value) uint64 { return s.oids[v] }
+
+	var out nodeBuf
+	stats := CommitStats{NodesReachable: len(order)}
+	newImages := map[uint64][]byte{}
+	for _, v := range order {
+		img, err := encodeNode(v, oidOf, TransientPrefix)
+		if err != nil {
+			return stats, err
+		}
+		oid := s.oids[v]
+		if prev, ok := s.nodes[oid]; ok && string(prev) == string(img) {
+			continue // unchanged: no I/O
+		}
+		newImages[oid] = img
+		out.WriteByte(recNode)
+		out.uvarint(oid)
+		out.uvarint(uint64(len(img)))
+		out.Write(img)
+		stats.NodesWritten++
+	}
+	if err := s.encodeRootTable(&out); err != nil {
+		return stats, err
+	}
+	out.WriteByte(recCommit)
+	stats.BytesWritten = out.Len()
+	if _, err := s.f.Write(out.Bytes()); err != nil {
+		return stats, err
+	}
+	if err := s.f.Sync(); err != nil {
+		return stats, err
+	}
+	for oid, img := range newImages {
+		s.nodes[oid] = img
+	}
+	return stats, nil
+}
+
+// Abort discards all uncommitted changes by replaying the log: handles and
+// their values revert to the last commit. Values obtained before the abort
+// are detached from the store afterwards.
+func (s *Store) Abort() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.roots = map[string]*Root{}
+	s.oids = map[value.Value]uint64{}
+	s.nodes = map[uint64][]byte{}
+	s.nextOID = 0
+	return s.load()
+}
+
+// Compact garbage-collects the log: it rewrites the file with only the
+// nodes reachable from the current handles, at their current images. The
+// store must have no uncommitted changes worth keeping — Compact performs
+// a Commit first so the result is the current state, minimally stored.
+func (s *Store) Compact() (CompactStats, error) {
+	if _, err := s.Commit(); err != nil {
+		return CompactStats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before, err := s.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	order := s.reach()
+	oidOf := func(v value.Value) uint64 { return s.oids[v] }
+
+	tmp, err := os.CreateTemp(dirOf(s.path), ".compact-*")
+	if err != nil {
+		return CompactStats{}, err
+	}
+	defer os.Remove(tmp.Name())
+	var out nodeBuf
+	out.WriteString(logMagic)
+	out.WriteByte(logVersion)
+	kept := map[uint64][]byte{}
+	for _, v := range order {
+		img, err := encodeNode(v, oidOf, TransientPrefix)
+		if err != nil {
+			tmp.Close()
+			return CompactStats{}, err
+		}
+		oid := s.oids[v]
+		kept[oid] = img
+		out.WriteByte(recNode)
+		out.uvarint(oid)
+		out.uvarint(uint64(len(img)))
+		out.Write(img)
+	}
+	if err := s.encodeRootTable(&out); err != nil {
+		tmp.Close()
+		return CompactStats{}, err
+	}
+	out.WriteByte(recCommit)
+	if _, err := tmp.Write(out.Bytes()); err != nil {
+		tmp.Close()
+		return CompactStats{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return CompactStats{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return CompactStats{}, err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return CompactStats{}, err
+	}
+	// Swap the file handle to the compacted log.
+	old := s.f
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	old.Close()
+	s.f = f
+	freed := len(s.nodes) - len(kept)
+	s.nodes = kept
+	return CompactStats{
+		BytesBefore: before,
+		BytesAfter:  int64(out.Len()),
+		NodesKept:   len(kept),
+		NodesFreed:  freed,
+	}, nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

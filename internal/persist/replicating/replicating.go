@@ -1,0 +1,187 @@
+// Package replicating implements the paper's second form of persistence:
+// *replicating* persistence, "controlled by having program instructions
+// that move structures in and out of secondary storage … structures are
+// replicated in secondary storage". It is Amber's model:
+//
+//	extern('DBFile', dynamic d)          -- write a copy, with its type
+//	var x = intern 'DBFile'
+//	var d = coerce x to database         -- fails on a type mismatch
+//
+// A handle names a *copy* of the data, and that is the model's defect: a
+// modification is lost unless re-externed; two interns of one handle do not
+// share; and two handles that both reach a third value c get *distinct
+// copies* of c, "the cause of both update anomalies and wasted storage".
+// The tests demonstrate each failure mode exactly as the paper describes.
+//
+// Because the images are dynamics, the value's type persists with it
+// (principle P2), and InternAs performs the guarding coerce.
+package replicating
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dbpl/internal/dynamic"
+	"dbpl/internal/persist/codec"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNoHandle = errors.New("replicating: no such handle")
+	ErrHandle   = errors.New("replicating: invalid handle name")
+)
+
+const fileSuffix = ".dyn"
+
+// Store is a directory of externed images, one file per handle. It is safe
+// for concurrent use; synchronization of extern/intern sequences across
+// programs is — as the paper warns — the caller's problem.
+type Store struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// checkHandle guards against path escapes.
+func checkHandle(handle string) error {
+	if handle == "" || strings.ContainsAny(handle, "/\\") || handle == "." || handle == ".." {
+		return fmt.Errorf("%w: %q", ErrHandle, handle)
+	}
+	return nil
+}
+
+func (s *Store) path(handle string) string {
+	return filepath.Join(s.dir, handle+fileSuffix)
+}
+
+// Extern writes a *copy* of the dynamic — the value, everything reachable
+// from it, and its type — under the handle, replacing any previous image.
+func (s *Store) Extern(handle string, d *dynamic.Dynamic) error {
+	if err := checkHandle(handle); err != nil {
+		return err
+	}
+	img, err := codec.MarshalTagged(d.Value(), d.Type())
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, ".extern-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(handle))
+}
+
+// ExternValue is Extern of a dynamic made from v at its most specific type.
+func (s *Store) ExternValue(handle string, v value.Value) error {
+	return s.Extern(handle, dynamic.Make(v))
+}
+
+// Intern reads the handle's image and returns a fresh copy of the dynamic.
+// Every call materializes a new replica: interning twice yields values that
+// do not share structure.
+func (s *Store) Intern(handle string) (*dynamic.Dynamic, error) {
+	if err := checkHandle(handle); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	img, err := os.ReadFile(s.path(handle))
+	s.mu.Unlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNoHandle, handle)
+		}
+		return nil, err
+	}
+	v, t, err := codec.UnmarshalTagged(img)
+	if err != nil {
+		return nil, err
+	}
+	return dynamic.MakeAt(v, t)
+}
+
+// InternAs interns the handle and coerces the dynamic to want — the
+// paper's "coerce x to database", failing when the persisted type is not a
+// subtype of the expected one.
+func (s *Store) InternAs(handle string, want types.Type) (value.Value, error) {
+	d, err := s.Intern(handle)
+	if err != nil {
+		return nil, err
+	}
+	return d.Coerce(want)
+}
+
+// Handles lists the externed handle names in sorted order.
+func (s *Store) Handles() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, fileSuffix) {
+			out = append(out, strings.TrimSuffix(n, fileSuffix))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes the handle's image.
+func (s *Store) Remove(handle string) error {
+	if err := checkHandle(handle); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.path(handle)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %q", ErrNoHandle, handle)
+		}
+		return err
+	}
+	return nil
+}
+
+// Size reports the stored image size in bytes for the handle; it makes the
+// "wasted storage" of replicated shared values measurable.
+func (s *Store) Size(handle string) (int64, error) {
+	if err := checkHandle(handle); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fi, err := os.Stat(s.path(handle))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %q", ErrNoHandle, handle)
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}

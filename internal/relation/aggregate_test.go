@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"testing"
+
+	"dbpl/internal/value"
+)
+
+func payrollGen() *Relation {
+	return New(
+		value.Rec("Name", value.String("E1"), "Dept", value.String("Sales"), "Salary", value.Int(100)),
+		value.Rec("Name", value.String("E2"), "Dept", value.String("Sales"), "Salary", value.Int(300)),
+		value.Rec("Name", value.String("E3"), "Dept", value.String("Manuf"), "Salary", value.Int(200)),
+		value.Rec("Name", value.String("E4"), "Dept", value.String("Manuf")), // salary unknown
+		value.Rec("Name", value.String("E5")),                                // dept unknown
+	)
+}
+
+func TestGroupByCountSum(t *testing.T) {
+	g, err := GroupBy(payrollGen(), []string{"Dept"},
+		CountAll("N"), Sum("Total", "Salary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 { // Sales, Manuf, and the unknown-dept group
+		t.Fatalf("groups = %s", g)
+	}
+	find := func(dept value.Value) *value.Record {
+		for _, m := range g.Members() {
+			rec := m.(*value.Record)
+			d, ok := rec.Get("Dept")
+			if !ok && dept == nil {
+				return rec
+			}
+			if ok && dept != nil && value.Equal(d, dept) {
+				return rec
+			}
+		}
+		t.Fatalf("group %v missing in %s", dept, g)
+		return nil
+	}
+	sales := find(value.String("Sales"))
+	if v, _ := sales.Get("N"); !value.Equal(v, value.Int(2)) {
+		t.Errorf("Sales N = %s", v)
+	}
+	if v, _ := sales.Get("Total"); !value.Equal(v, value.Float(400)) {
+		t.Errorf("Sales Total = %s", v)
+	}
+	manuf := find(value.String("Manuf"))
+	// The member with unknown salary counts but does not contribute.
+	if v, _ := manuf.Get("N"); !value.Equal(v, value.Int(2)) {
+		t.Errorf("Manuf N = %s", v)
+	}
+	if v, _ := manuf.Get("Total"); !value.Equal(v, value.Float(200)) {
+		t.Errorf("Manuf Total = %s", v)
+	}
+	unknown := find(nil)
+	if v, _ := unknown.Get("N"); !value.Equal(v, value.Int(1)) {
+		t.Errorf("unknown-dept N = %s", v)
+	}
+}
+
+func TestGroupByMinMax(t *testing.T) {
+	g, err := GroupBy(payrollGen(), []string{"Dept"},
+		Min("Lo", "Salary"), Max("Hi", "Salary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range g.Members() {
+		rec := m.(*value.Record)
+		d, hasDept := rec.Get("Dept")
+		if hasDept && value.Equal(d, value.String("Sales")) {
+			if lo, _ := rec.Get("Lo"); !value.Equal(lo, value.Int(100)) {
+				t.Errorf("Sales Lo = %s", lo)
+			}
+			if hi, _ := rec.Get("Hi"); !value.Equal(hi, value.Int(300)) {
+				t.Errorf("Sales Hi = %s", hi)
+			}
+		}
+	}
+	// Min over strings.
+	g2, err := GroupBy(payrollGen(), nil, Min("First", "Name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != 1 {
+		t.Fatalf("single global group expected, got %s", g2)
+	}
+	if v, _ := g2.Members()[0].(*value.Record).Get("First"); !value.Equal(v, value.String("E1")) {
+		t.Errorf("First = %s", v)
+	}
+}
+
+func TestGroupByCountAttr(t *testing.T) {
+	// Count(attr) counts only members defining the attribute.
+	g, err := GroupBy(payrollGen(), nil, Count("Known", "Salary"), CountAll("All"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := g.Members()[0].(*value.Record)
+	if v, _ := rec.Get("Known"); !value.Equal(v, value.Int(3)) {
+		t.Errorf("Known = %s", v)
+	}
+	if v, _ := rec.Get("All"); !value.Equal(v, value.Int(5)) {
+		t.Errorf("All = %s", v)
+	}
+}
+
+func TestGroupBySubsumesUninformativeGroups(t *testing.T) {
+	// A group keyed by missing attributes whose aggregates coincide with a
+	// known group is strictly less informative and is subsumed — the
+	// cochain semantics of generalized relations, pinned here.
+	r := New(
+		value.Rec("Name", value.String("E1"), "Dept", value.String("Sales")),
+		value.Rec("Name", value.String("E9")), // unknown dept, same count
+	)
+	g, err := GroupBy(r, []string{"Dept"}, CountAll("N"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("groups = %s, want the unknown group subsumed", g)
+	}
+	if !g.Contains(value.Rec("Dept", value.String("Sales"), "N", value.Int(1))) {
+		t.Errorf("surviving group wrong: %s", g)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	r := New(value.Rec("A", value.String("x"), "V", value.String("not-a-number")))
+	if _, err := GroupBy(r, []string{"A"}, Sum("S", "V")); err == nil {
+		t.Error("summing strings should fail")
+	}
+	r2 := New(
+		value.Rec("A", value.Int(1), "V", value.Int(1)),
+		value.Rec("A", value.Int(1), "V", value.String("x"), "W", value.Int(0)),
+	)
+	if _, err := GroupBy(r2, []string{"A"}, Min("M", "V")); err == nil {
+		t.Error("min over mixed kinds should fail")
+	}
+}
+
+func TestGroupByFlat(t *testing.T) {
+	f := NewFlat("Dept", "Salary")
+	for _, row := range []struct {
+		d string
+		s int64
+	}{{"Sales", 100}, {"Sales", 300}, {"Manuf", 200}} {
+		if err := f.Insert(value.Rec("Dept", value.String(row.d), "Salary", value.Int(row.s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := GroupByFlat(f, []string{"Dept"}, CountAll("N"), Sum("Total", "Salary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	want := value.Rec("Dept", value.String("Sales"), "N", value.Int(2), "Total", value.Float(400))
+	if !g.Contains(want) {
+		t.Errorf("missing %s in %s", want, g)
+	}
+}

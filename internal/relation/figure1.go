@@ -1,0 +1,58 @@
+package relation
+
+import "dbpl/internal/value"
+
+// This file provides the exact data of the paper's Figure 1 — "A join of
+// generalized relations" — for use by tests, the figure1 example and the
+// benchmark harness.
+//
+//	R1 = {{Name = 'J Doe', Dept = 'Sales', Addr = {City = 'Moose'}},
+//	      {Name = 'M Dee', Dept = 'Manuf'},
+//	      {Name = 'N Bug', Addr = {State = 'MT'}}}
+//
+//	R2 = {{Dept = 'Sales', Addr = {State = 'WY'}},
+//	      {Dept = 'Admin', Addr = {City = 'Billings'}},
+//	      {Dept = 'Manuf', Addr = {State = 'MT'}}}
+//
+//	R1 ⋈ R2 =
+//	     {{Name = 'J Doe', Dept = 'Sales', Addr = {City = 'Moose', State = 'WY'}},
+//	      {Name = 'M Dee', Dept = 'Manuf', Addr = {State = 'MT'}},
+//	      {Name = 'N Bug', Dept = 'Manuf', Addr = {State = 'MT'}},
+//	      {Name = 'N Bug', Dept = 'Admin', Addr = {City = 'Billings', State = 'MT'}}}
+
+// Figure1R1 returns the paper's relation R1.
+func Figure1R1() *Relation {
+	return New(
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales"),
+			"Addr", value.Rec("City", value.String("Moose"))),
+		value.Rec("Name", value.String("M Dee"), "Dept", value.String("Manuf")),
+		value.Rec("Name", value.String("N Bug"),
+			"Addr", value.Rec("State", value.String("MT"))),
+	)
+}
+
+// Figure1R2 returns the paper's relation R2.
+func Figure1R2() *Relation {
+	return New(
+		value.Rec("Dept", value.String("Sales"),
+			"Addr", value.Rec("State", value.String("WY"))),
+		value.Rec("Dept", value.String("Admin"),
+			"Addr", value.Rec("City", value.String("Billings"))),
+		value.Rec("Dept", value.String("Manuf"),
+			"Addr", value.Rec("State", value.String("MT"))),
+	)
+}
+
+// Figure1Result returns the paper's published join R1 ⋈ R2.
+func Figure1Result() *Relation {
+	return New(
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales"),
+			"Addr", value.Rec("City", value.String("Moose"), "State", value.String("WY"))),
+		value.Rec("Name", value.String("M Dee"), "Dept", value.String("Manuf"),
+			"Addr", value.Rec("State", value.String("MT"))),
+		value.Rec("Name", value.String("N Bug"), "Dept", value.String("Manuf"),
+			"Addr", value.Rec("State", value.String("MT"))),
+		value.Rec("Name", value.String("N Bug"), "Dept", value.String("Admin"),
+			"Addr", value.Rec("City", value.String("Billings"), "State", value.String("MT"))),
+	)
+}

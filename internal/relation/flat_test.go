@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"errors"
+	"testing"
+
+	"dbpl/internal/value"
+)
+
+func flatEmp() *Flat {
+	f := NewFlat("Name", "Dept")
+	for _, row := range [][2]string{
+		{"J Doe", "Sales"}, {"M Dee", "Manuf"}, {"N Bug", "Manuf"},
+	} {
+		if err := f.Insert(value.Rec("Name", value.String(row[0]), "Dept", value.String(row[1]))); err != nil {
+			panic(err)
+		}
+	}
+	return f
+}
+
+func flatDept() *Flat {
+	f := NewFlat("Dept", "Floor")
+	for _, row := range []struct {
+		d string
+		n int64
+	}{{"Sales", 3}, {"Manuf", 1}, {"Admin", 2}} {
+		if err := f.Insert(value.Rec("Dept", value.String(row.d), "Floor", value.Int(row.n))); err != nil {
+			panic(err)
+		}
+	}
+	return f
+}
+
+func TestFlatSchemaEnforcement(t *testing.T) {
+	f := NewFlat("Name", "Dept")
+	cases := []*value.Record{
+		value.Rec("Name", value.String("X")),                                               // missing attr
+		value.Rec("Name", value.String("X"), "Dept", value.String("S"), "Z", value.Int(1)), // extra attr
+		value.Rec("Name", value.String("X"), "Dept", value.Rec("D", value.String("S"))),    // non-atomic: 1NF violation
+	}
+	for _, c := range cases {
+		if err := f.Insert(c); !errors.Is(err, ErrSchema) {
+			t.Errorf("Insert(%s) err = %v, want ErrSchema", c, err)
+		}
+	}
+	if f.Len() != 0 {
+		t.Error("failed inserts must not modify the relation")
+	}
+}
+
+func TestFlatSetSemantics(t *testing.T) {
+	f := NewFlat("A")
+	tpl := value.Rec("A", value.Int(1))
+	if err := f.Insert(tpl); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(value.Rec("A", value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 1 {
+		t.Errorf("len = %d, want 1 (set semantics)", f.Len())
+	}
+	if !f.Contains(tpl) {
+		t.Error("Contains failed")
+	}
+	if !f.Delete(tpl) || f.Len() != 0 {
+		t.Error("Delete failed")
+	}
+	if f.Delete(tpl) {
+		t.Error("second Delete should fail")
+	}
+}
+
+func TestFlatNaturalJoin(t *testing.T) {
+	j := NaturalJoin(flatEmp(), flatDept())
+	if j.Len() != 3 {
+		t.Fatalf("join = %d tuples, want 3", j.Len())
+	}
+	want := value.Rec("Name", value.String("N Bug"), "Dept", value.String("Manuf"), "Floor", value.Int(1))
+	if !j.Contains(want) {
+		t.Errorf("join missing %s; got %s", want, j)
+	}
+	// Admin has no employees: no dangling tuple in the result.
+	admin := SelectFlat(j, func(r *value.Record) bool {
+		d, _ := r.Get("Dept")
+		return value.Equal(d, value.String("Admin"))
+	})
+	if admin.Len() != 0 {
+		t.Error("natural join must drop dangling tuples")
+	}
+}
+
+func TestFlatJoinDisjointSchemasIsProduct(t *testing.T) {
+	a := NewFlat("A")
+	b := NewFlat("B")
+	_ = a.Insert(value.Rec("A", value.Int(1)))
+	_ = a.Insert(value.Rec("A", value.Int(2)))
+	_ = b.Insert(value.Rec("B", value.Int(10)))
+	j := NaturalJoin(a, b)
+	if j.Len() != 2 {
+		t.Errorf("disjoint join = %d, want 2 (Cartesian product)", j.Len())
+	}
+}
+
+func TestFlatProject(t *testing.T) {
+	p, err := ProjectFlat(flatEmp(), "Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 { // Sales, Manuf — duplicates collapse
+		t.Errorf("project = %d tuples, want 2", p.Len())
+	}
+	if _, err := ProjectFlat(flatEmp(), "Salary"); !errors.Is(err, ErrSchema) {
+		t.Errorf("projection on foreign attribute err = %v, want ErrSchema", err)
+	}
+}
+
+func TestGeneralizeAgreesOnJoin(t *testing.T) {
+	// On total 1NF data the generalized join coincides with the classical
+	// natural join — the generalization is conservative.
+	classical := NaturalJoin(flatEmp(), flatDept()).Generalize()
+	generalized := Join(flatEmp().Generalize(), flatDept().Generalize())
+	if !Equal(classical, generalized) {
+		t.Errorf("joins disagree on flat data:\nclassical  %s\ngeneralized %s",
+			classical, generalized)
+	}
+}
+
+func TestGeneralizeAgreesOnProject(t *testing.T) {
+	pFlat, err := ProjectFlat(flatEmp(), "Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pGen := Project(flatEmp().Generalize(), "Dept")
+	if !Equal(pFlat.Generalize(), pGen) {
+		t.Error("projections disagree on flat data")
+	}
+}
+
+func TestDiffFlat(t *testing.T) {
+	a := flatEmp()
+	b := NewFlat("Name", "Dept")
+	_ = b.Insert(value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales")))
+	d, err := DiffFlat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Contains(value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales"))) {
+		t.Errorf("DiffFlat = %s", d)
+	}
+	if _, err := DiffFlat(a, NewFlat("X")); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+	// Union − intersection identities on flat data.
+	whole, err := DiffFlat(a, NewFlat("Name", "Dept"))
+	if err != nil || whole.Len() != a.Len() {
+		t.Errorf("a − ∅ = %v, %v", whole, err)
+	}
+}

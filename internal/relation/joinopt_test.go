@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbpl/internal/value"
+)
+
+func TestJoinFastFigure1(t *testing.T) {
+	// Below the size threshold JoinFast delegates; force the fast path by
+	// inflating the figure with padding rows that join with nothing.
+	r1, r2 := Figure1R1(), Figure1R2()
+	for i := 0; i < 20; i++ {
+		r1.Insert(value.Rec("Name", value.String(fmt.Sprintf("pad%d", i)),
+			"Dept", value.String(fmt.Sprintf("PD%d", i))))
+		r2.Insert(value.Rec("Dept", value.String(fmt.Sprintf("QD%d", i)),
+			"Addr", value.Rec("State", value.String("ZZ"))))
+	}
+	slow := Join(r1, r2)
+	fast := JoinFast(r1, r2)
+	if !Equal(slow, fast) {
+		t.Fatalf("JoinFast diverges on padded Figure 1:\nslow %s\nfast %s", slow, fast)
+	}
+	// The published tuples are all present.
+	for _, m := range Figure1Result().Members() {
+		if !fast.Contains(m) {
+			t.Errorf("missing %s", m)
+		}
+	}
+}
+
+func TestJoinFastSmallDelegates(t *testing.T) {
+	if !Equal(JoinFast(Figure1R1(), Figure1R2()), Figure1Result()) {
+		t.Error("small-input delegation broke Figure 1")
+	}
+}
+
+func TestQuickJoinFastEquals(t *testing.T) {
+	// On random partial relations — including members silent on the join
+	// attribute and non-atomic attribute values — JoinFast must equal Join.
+	gen := func(rng *rand.Rand, n int) *Relation {
+		r := New()
+		for i := 0; i < n; i++ {
+			rec := value.NewRecord()
+			rec.Set("ID", value.Int(int64(i))) // keep members incomparable
+			if rng.Intn(4) != 0 {              // sometimes silent on Dept
+				switch rng.Intn(5) {
+				case 0:
+					rec.Set("Dept", value.Rec("Nested", value.Int(int64(rng.Intn(3)))))
+				default:
+					rec.Set("Dept", value.String(fmt.Sprintf("D%d", rng.Intn(4))))
+				}
+			}
+			if rng.Intn(2) == 0 {
+				rec.Set("X", value.Int(int64(rng.Intn(3))))
+			}
+			r.Insert(rec)
+		}
+		return r
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := gen(rng, 16+rng.Intn(20))
+		b := gen(rng, 16+rng.Intn(20))
+		return Equal(Join(a, b), JoinFast(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinFastSharedAtomHeavy(t *testing.T) {
+	// The favourable case: both sides define the attribute atomically.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(), New()
+		for i := 0; i < 25; i++ {
+			a.Insert(value.Rec("Name", value.String(fmt.Sprintf("E%d", i)),
+				"Dept", value.String(fmt.Sprintf("D%d", rng.Intn(5)))))
+		}
+		for i := 0; i < 25; i++ {
+			b.Insert(value.Rec("Dept", value.String(fmt.Sprintf("D%d", rng.Intn(5))),
+				"Floor", value.Int(int64(i))))
+		}
+		return Equal(Join(a, b), JoinFast(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkJoinNaive(b *testing.B) {
+	benchJoinImpl(b, Join)
+}
+
+func BenchmarkJoinHashed(b *testing.B) {
+	benchJoinImpl(b, JoinFast)
+}
+
+func benchJoinImpl(b *testing.B, impl func(*Relation, *Relation) *Relation) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			emp, dept := New(), New()
+			for i := 0; i < n; i++ {
+				emp.Insert(value.Rec("Name", value.String(fmt.Sprintf("E%d", i)),
+					"Dept", value.String(fmt.Sprintf("D%d", i%20))))
+			}
+			for i := 0; i < 20; i++ {
+				dept.Insert(value.Rec("Dept", value.String(fmt.Sprintf("D%d", i)),
+					"Addr", value.Rec("State", value.String("PA"))))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				impl(emp, dept)
+			}
+		})
+	}
+}

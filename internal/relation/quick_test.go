@@ -1,0 +1,122 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dbpl/internal/value"
+)
+
+// genObject builds a random partial record over a small label pool so that
+// subsumption and joins occur frequently.
+func genObject(r *rand.Rand) value.Value {
+	rec := value.NewRecord()
+	for _, l := range []string{"A", "B", "C"} {
+		switch r.Intn(3) {
+		case 0:
+			rec.Set(l, value.Int(int64(r.Intn(2))))
+		case 1:
+			rec.Set(l, value.Rec("X", value.Int(int64(r.Intn(2)))))
+		}
+	}
+	return rec
+}
+
+// randRelation adapts a random generalized relation to testing/quick.
+type randRelation struct{ R *Relation }
+
+// Generate implements quick.Generator.
+func (randRelation) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(6)
+	rel := New()
+	for i := 0; i < n; i++ {
+		rel.Insert(genObject(r))
+	}
+	return reflect.ValueOf(randRelation{R: rel})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestQuickInsertPreservesCochain(t *testing.T) {
+	f := func(a randRelation) bool { return a.R.IsCochain() }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIsCochainAndUpperBound(t *testing.T) {
+	f := func(a, b randRelation) bool {
+		j := Join(a.R, b.R)
+		if !j.IsCochain() {
+			return false
+		}
+		if j.Len() == 0 {
+			return true // empty join makes no bound claim
+		}
+		// Every member of the join is above some member of each input.
+		return Leq(a.R, j) && Leq(b.R, j)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(a, b randRelation) bool {
+		return Equal(Join(a.R, b.R), Join(b.R, a.R))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProjectIsCochain(t *testing.T) {
+	f := func(a randRelation) bool {
+		return Project(a.R, "A", "B").IsCochain()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionIsCochain(t *testing.T) {
+	f := func(a, b randRelation) bool {
+		return Union(a.R, b.R).IsCochain()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInsertionOrderIrrelevant(t *testing.T) {
+	// A cochain reached by inserting objects in any order is the same.
+	f := func(a randRelation, seed int64) bool {
+		members := a.R.Members()
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+		return Equal(New(members...), a.R)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyedNeverComparable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := NewKeyed("A")
+		for i := 0; i < 8; i++ {
+			o := genObject(rng)
+			if _, ok := o.(*value.Record).Get("A"); !ok {
+				continue
+			}
+			rel.Insert(o) // errors allowed; invariant must hold regardless
+		}
+		return rel.IsCochain()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package relation implements the paper's generalized relations: sets of
+// mutually incomparable objects (cochains in the information ordering of
+// package value), with insertion by subsumption, a generalized natural join
+// — the operation of Figure 1 — projection, selection, keys, and the
+// type-as-relation extraction that unifies relational and object-oriented
+// database programming. A classical flat (1NF) relation type is provided as
+// the baseline the generalization is measured against.
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// Outcome describes what Insert did with an object.
+type Outcome int
+
+const (
+	// Added: the object was incomparable with every member and was added.
+	Added Outcome = iota
+	// Redundant: an existing member already contains as much information,
+	// so the relation is unchanged.
+	Redundant
+	// Subsumed: the object was more informative than one or more existing
+	// members, which it replaced.
+	Subsumed
+)
+
+// String returns the outcome's name.
+func (o Outcome) String() string {
+	switch o {
+	case Added:
+		return "added"
+	case Redundant:
+		return "redundant"
+	case Subsumed:
+		return "subsumed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// ErrKeyViolation is returned when a keyed insert collides with an existing
+// member on the key attributes but neither object subsumes the other.
+var ErrKeyViolation = errors.New("relation: key violation")
+
+// ErrNoKey is returned when an inserted object lacks one of the relation's
+// key attributes.
+var ErrNoKey = errors.New("relation: object missing key attribute")
+
+// Relation is a generalized relation: a set of mutually incomparable
+// objects under the information ordering ("cochains in the jargon of
+// lattice theory"). The zero value is not usable; construct with New or
+// NewKeyed.
+type Relation struct {
+	elems []value.Value
+	index map[string]int // value.Key -> position
+	key   []string       // key attributes; empty means unkeyed
+	byKey map[string]int // key-tuple -> position, when keyed
+}
+
+// New returns an empty generalized relation, optionally seeded with
+// objects (inserted in order, with subsumption).
+func New(objects ...value.Value) *Relation {
+	r := &Relation{index: map[string]int{}}
+	for _, o := range objects {
+		r.Insert(o)
+	}
+	return r
+}
+
+// newFromCochain builds a relation directly from members already known to
+// be mutually incomparable (e.g. the output of value.Maximal), skipping the
+// per-insert subsumption scan.
+func newFromCochain(members []value.Value) *Relation {
+	r := &Relation{index: make(map[string]int, len(members))}
+	for _, m := range members {
+		k := value.Key(m)
+		if _, dup := r.index[k]; dup {
+			continue
+		}
+		r.index[k] = len(r.elems)
+		r.elems = append(r.elems, m)
+	}
+	return r
+}
+
+// NewKeyed returns an empty relation with the given key attributes. As the
+// paper observes, imposing a key prevents comparable objects from
+// coexisting: two comparable objects would necessarily agree on the key.
+func NewKeyed(key ...string) *Relation {
+	ks := append([]string(nil), key...)
+	sort.Strings(ks)
+	return &Relation{index: map[string]int{}, key: ks, byKey: map[string]int{}}
+}
+
+// Len reports the number of members.
+func (r *Relation) Len() int { return len(r.elems) }
+
+// Key returns the key attributes (nil when unkeyed).
+func (r *Relation) Key() []string { return append([]string(nil), r.key...) }
+
+// Members returns the members; the slice is fresh but shares the member
+// values.
+func (r *Relation) Members() []value.Value { return append([]value.Value(nil), r.elems...) }
+
+// Contains reports whether an object structurally equal to o is a member.
+func (r *Relation) Contains(o value.Value) bool {
+	_, ok := r.index[value.Key(o)]
+	return ok
+}
+
+// keyString extracts the canonical key tuple of o, or an error if a key
+// attribute is missing or o is not a record.
+func (r *Relation) keyString(o value.Value) (string, error) {
+	rec, ok := o.(*value.Record)
+	if !ok {
+		return "", fmt.Errorf("%w: %s is not a record", ErrNoKey, o)
+	}
+	var b strings.Builder
+	for _, k := range r.key {
+		v, ok := rec.Get(k)
+		if !ok {
+			return "", fmt.Errorf("%w: %q", ErrNoKey, k)
+		}
+		b.WriteString(value.Key(v))
+		b.WriteByte('|')
+	}
+	return b.String(), nil
+}
+
+// Insert adds o with the paper's subsumption rule: o is not admitted if an
+// existing member contains as much information; if o is more informative
+// than existing members, those are subsumed (removed). For keyed relations
+// a collision on the key with a non-comparable member is ErrKeyViolation.
+func (r *Relation) Insert(o value.Value) (Outcome, error) {
+	if r.Contains(o) {
+		return Redundant, nil
+	}
+	if len(r.key) > 0 {
+		ks, err := r.keyString(o)
+		if err != nil {
+			return Redundant, err
+		}
+		if i, ok := r.byKey[ks]; ok {
+			old := r.elems[i]
+			switch {
+			case value.Leq(o, old):
+				return Redundant, nil
+			case value.Leq(old, o):
+				r.removeAt(i)
+				r.add(o, ks)
+				return Subsumed, nil
+			default:
+				return Redundant, fmt.Errorf("%w: %s vs %s", ErrKeyViolation, o, old)
+			}
+		}
+		// With a key, distinct key tuples guarantee incomparability, so no
+		// further scan is needed.
+		r.add(o, ks)
+		return Added, nil
+	}
+	// Unkeyed: compare against every member (the cost experiment E6
+	// measures exactly this scan).
+	subsumed := false
+	for i := 0; i < len(r.elems); {
+		m := r.elems[i]
+		if value.Leq(o, m) {
+			return Redundant, nil
+		}
+		if value.Leq(m, o) {
+			r.removeAt(i)
+			subsumed = true
+			continue
+		}
+		i++
+	}
+	r.add(o, "")
+	if subsumed {
+		return Subsumed, nil
+	}
+	return Added, nil
+}
+
+func (r *Relation) add(o value.Value, keyStr string) {
+	r.index[value.Key(o)] = len(r.elems)
+	if keyStr != "" || len(r.key) > 0 {
+		r.byKey[keyStr] = len(r.elems)
+	}
+	r.elems = append(r.elems, o)
+}
+
+func (r *Relation) removeAt(i int) {
+	o := r.elems[i]
+	delete(r.index, value.Key(o))
+	if len(r.key) > 0 {
+		if ks, err := r.keyString(o); err == nil {
+			delete(r.byKey, ks)
+		}
+	}
+	last := len(r.elems) - 1
+	if i != last {
+		r.elems[i] = r.elems[last]
+		moved := r.elems[i]
+		r.index[value.Key(moved)] = i
+		if len(r.key) > 0 {
+			if ks, err := r.keyString(moved); err == nil {
+				r.byKey[ks] = i
+			}
+		}
+	}
+	r.elems = r.elems[:last]
+}
+
+// Delete removes the member structurally equal to o, reporting whether it
+// was present.
+func (r *Relation) Delete(o value.Value) bool {
+	i, ok := r.index[value.Key(o)]
+	if !ok {
+		return false
+	}
+	r.removeAt(i)
+	return true
+}
+
+// Lookup returns the member with the given key values (keyed relations
+// only). The key values must be given in the sorted order of Key().
+func (r *Relation) Lookup(keyVals ...value.Value) (value.Value, bool) {
+	if len(r.key) == 0 || len(keyVals) != len(r.key) {
+		return nil, false
+	}
+	var b strings.Builder
+	for _, v := range keyVals {
+		b.WriteString(value.Key(v))
+		b.WriteByte('|')
+	}
+	i, ok := r.byKey[b.String()]
+	if !ok {
+		return nil, false
+	}
+	return r.elems[i], true
+}
+
+// Leq reports the paper's ordering on relations: r ⊑ s iff every member of
+// s is more informative than some member of r.
+func Leq(r, s *Relation) bool {
+	return value.SetLeq(value.NewSet(r.elems...), value.NewSet(s.elems...))
+}
+
+// Equal reports whether the two relations have structurally equal members.
+func Equal(r, s *Relation) bool {
+	if r.Len() != s.Len() {
+		return false
+	}
+	for _, m := range r.elems {
+		if !s.Contains(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join is the generalized natural join of Figure 1: every pairwise join of
+// members that does not conflict, reduced to the maximal (mutually
+// incomparable) objects. For flat keyed relations it coincides with the
+// classical natural join.
+func Join(r, s *Relation) *Relation {
+	var joined []value.Value
+	for _, a := range r.elems {
+		for _, b := range s.elems {
+			if j, err := value.Join(a, b); err == nil {
+				joined = append(joined, j)
+			}
+		}
+	}
+	return newFromCochain(value.Maximal(joined))
+}
+
+// Project restricts each member record to the given labels — with partial
+// records a member simply loses the fields it has and keeps silent on those
+// it lacks — and reduces the result to a cochain.
+func Project(r *Relation, labels ...string) *Relation {
+	want := map[string]bool{}
+	for _, l := range labels {
+		want[l] = true
+	}
+	out := New()
+	for _, m := range r.elems {
+		rec, ok := m.(*value.Record)
+		if !ok {
+			continue
+		}
+		p := value.NewRecord()
+		rec.Each(func(l string, v value.Value) {
+			if want[l] {
+				p.Set(l, v)
+			}
+		})
+		out.Insert(p)
+	}
+	return out
+}
+
+// Select returns the members satisfying pred, as a new relation.
+func Select(r *Relation, pred func(value.Value) bool) *Relation {
+	out := New()
+	for _, m := range r.elems {
+		if pred(m) {
+			out.Insert(m)
+		}
+	}
+	return out
+}
+
+// Union inserts every member of s into a copy of r, applying subsumption.
+func Union(r, s *Relation) *Relation {
+	out := New(r.elems...)
+	for _, m := range s.elems {
+		out.Insert(m)
+	}
+	return out
+}
+
+// Diff returns the members of r that are not members of s (structural
+// equality), as a new relation. With partial records this is the set
+// difference of the cochains, not an information-ordering operation.
+func Diff(r, s *Relation) *Relation {
+	out := New()
+	for _, m := range r.elems {
+		if !s.Contains(m) {
+			out.Insert(m)
+		}
+	}
+	return out
+}
+
+// ExtractByType returns the members whose most specific type is a subtype
+// of t. The paper derives this from the join: "the type {Name: String; Age:
+// Int} can be seen as a very large relation … it is meaningful to talk
+// about the join of this relation with a relation R to extract all the
+// objects in R whose type is a subtype" — joining o with the matching
+// member of the type-relation adds no information, so the join filters R by
+// conformance. This is precisely the class-extraction operation of the
+// paper's earlier sections, now expressed relationally.
+func ExtractByType(r *Relation, t types.Type) *Relation {
+	return Select(r, func(v value.Value) bool { return value.Conforms(v, t) })
+}
+
+// String renders the relation with members in canonical order.
+func (r *Relation) String() string {
+	keys := make([]string, len(r.elems))
+	byKey := map[string]value.Value{}
+	for i, m := range r.elems {
+		keys[i] = value.Key(m)
+		byKey[keys[i]] = m
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(",\n ")
+		}
+		b.WriteString(byKey[k].String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// IsCochain verifies the relation invariant: no two members are comparable.
+// It exists for tests and costs O(n²).
+func (r *Relation) IsCochain() bool {
+	for i, a := range r.elems {
+		for j, b := range r.elems {
+			if i != j && value.Leq(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,284 @@
+package relation
+
+import (
+	"errors"
+	"testing"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+func TestFigure1Exact(t *testing.T) {
+	got := Join(Figure1R1(), Figure1R2())
+	want := Figure1Result()
+	if !Equal(got, want) {
+		t.Fatalf("Figure 1 join mismatch:\ngot  %s\nwant %s", got, want)
+	}
+	if got.Len() != 4 {
+		t.Errorf("Figure 1 join has %d members, want 4", got.Len())
+	}
+	if !got.IsCochain() {
+		t.Error("join result must be a cochain")
+	}
+}
+
+func TestFigure1JoinIsUpperBound(t *testing.T) {
+	r1, r2 := Figure1R1(), Figure1R2()
+	j := Join(r1, r2)
+	if !Leq(r1, j) {
+		t.Error("R1 ⊑ R1⋈R2 should hold")
+	}
+	if !Leq(r2, j) {
+		t.Error("R2 ⊑ R1⋈R2 should hold")
+	}
+}
+
+func TestFigure1Details(t *testing.T) {
+	j := Join(Figure1R1(), Figure1R2())
+	// N Bug (no Dept, Addr.State=MT) joins with both Manuf and Admin but
+	// conflicts with Sales (WY vs MT).
+	nbugs := Select(j, func(v value.Value) bool {
+		n, _ := v.(*value.Record).Get("Name")
+		return value.Equal(n, value.String("N Bug"))
+	})
+	if nbugs.Len() != 2 {
+		t.Errorf("N Bug appears %d times, want 2", nbugs.Len())
+	}
+	for _, m := range nbugs.Members() {
+		d, _ := m.(*value.Record).Get("Dept")
+		if value.Equal(d, value.String("Sales")) {
+			t.Error("N Bug must not join with Sales: WY conflicts with MT")
+		}
+	}
+}
+
+func TestInsertSubsumption(t *testing.T) {
+	r := New()
+	less := value.Rec("Name", value.String("J Doe"))
+	more := value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales"))
+
+	if out, err := r.Insert(less); err != nil || out != Added {
+		t.Fatalf("first insert: %v, %v", out, err)
+	}
+	// Inserting something an existing member subsumes: redundant.
+	if out, _ := r.Insert(value.Rec("Name", value.String("J Doe"))); out != Redundant {
+		t.Errorf("duplicate insert outcome = %v, want redundant", out)
+	}
+	// Inserting something more informative: subsumes the old member.
+	if out, _ := r.Insert(more); out != Subsumed {
+		t.Errorf("informative insert outcome = %v, want subsumed", out)
+	}
+	if r.Len() != 1 || !r.Contains(more) || r.Contains(less) {
+		t.Errorf("relation after subsumption = %s", r)
+	}
+	// Now the less informative object is redundant.
+	if out, _ := r.Insert(less); out != Redundant {
+		t.Error("less informative object should be redundant")
+	}
+	if !r.IsCochain() {
+		t.Error("invariant broken")
+	}
+}
+
+func TestInsertSubsumesMultiple(t *testing.T) {
+	r := New(
+		value.Rec("A", value.Int(1)),
+		value.Rec("B", value.Int(2)),
+		value.Rec("C", value.Int(3)),
+	)
+	big := value.Rec("A", value.Int(1), "B", value.Int(2), "D", value.Int(4))
+	out, err := r.Insert(big)
+	if err != nil || out != Subsumed {
+		t.Fatalf("insert = %v, %v; want subsumed", out, err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d, want 2 (A and B rows subsumed, C kept)", r.Len())
+	}
+	if !r.Contains(big) || !r.Contains(value.Rec("C", value.Int(3))) {
+		t.Errorf("wrong survivors: %s", r)
+	}
+}
+
+func TestKeyedRelation(t *testing.T) {
+	// "If we insist that Name is a key for Person, we cannot now place two
+	// comparable objects … for if they were comparable, they would
+	// necessarily have the same key."
+	r := NewKeyed("Name")
+	p := value.Rec("Name", value.String("J Doe"))
+	e := value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales"))
+
+	if _, err := r.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	// Comparable with same key: subsume (this is an update).
+	if out, err := r.Insert(e); err != nil || out != Subsumed {
+		t.Fatalf("comparable keyed insert = %v, %v", out, err)
+	}
+	// Incomparable with same key: violation.
+	e2 := value.Rec("Name", value.String("J Doe"), "Dept", value.String("Manuf"))
+	if _, err := r.Insert(e2); !errors.Is(err, ErrKeyViolation) {
+		t.Errorf("err = %v, want ErrKeyViolation", err)
+	}
+	// Different key: fine.
+	if out, err := r.Insert(value.Rec("Name", value.String("K Smith"))); err != nil || out != Added {
+		t.Errorf("distinct key insert = %v, %v", out, err)
+	}
+	// Missing key attribute: rejected.
+	if _, err := r.Insert(value.Rec("Dept", value.String("Sales"))); !errors.Is(err, ErrNoKey) {
+		t.Errorf("missing key err = %v, want ErrNoKey", err)
+	}
+	// Lookup by key.
+	got, ok := r.Lookup(value.String("J Doe"))
+	if !ok || !value.Equal(got, e) {
+		t.Errorf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := r.Lookup(value.String("Nobody")); ok {
+		t.Error("Lookup of absent key should fail")
+	}
+}
+
+func TestUnkeyedAllowsObjectStyleDuplicatesOnlyIfIncomparable(t *testing.T) {
+	// Without a registration tag, two identical cars collapse to one in a
+	// *relation* (sets identify by intrinsic properties) — the paper's
+	// incompatibility (a) between relational and object-oriented models.
+	r := New()
+	car := value.Rec("MakeModel", value.String("Chevvy Nova"))
+	r.Insert(car)
+	out, _ := r.Insert(value.Copy(car))
+	if out != Redundant || r.Len() != 1 {
+		t.Error("relations must identify equal objects")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := New(value.Rec("A", value.Int(1)), value.Rec("B", value.Int(2)))
+	if !r.Delete(value.Rec("A", value.Int(1))) {
+		t.Error("Delete should find the member")
+	}
+	if r.Delete(value.Rec("A", value.Int(1))) {
+		t.Error("second Delete should fail")
+	}
+	if r.Len() != 1 {
+		t.Errorf("len = %d, want 1", r.Len())
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := Figure1R1()
+	p := Project(r, "Name")
+	if p.Len() != 3 {
+		t.Errorf("project Name: %d members, want 3", p.Len())
+	}
+	// Projecting onto Dept: M Dee and J Doe have depts, N Bug projects to
+	// the empty record, which is subsumed by anything.
+	p = Project(r, "Dept")
+	if p.Len() != 2 {
+		t.Errorf("project Dept = %s, want 2 members", p)
+	}
+	if !p.IsCochain() {
+		t.Error("projection must reduce to a cochain")
+	}
+}
+
+func TestSelectAndUnion(t *testing.T) {
+	r1, r2 := Figure1R1(), Figure1R2()
+	sales := Select(Union(r1, r2), func(v value.Value) bool {
+		d, ok := v.(*value.Record).Get("Dept")
+		return ok && value.Equal(d, value.String("Sales"))
+	})
+	if sales.Len() != 2 {
+		t.Errorf("sales rows = %d, want 2", sales.Len())
+	}
+	u := Union(r1, r2)
+	if u.Len() != 6 {
+		t.Errorf("union = %d members, want 6 (all incomparable)", u.Len())
+	}
+	// Union applies subsumption.
+	u2 := Union(New(value.Rec("A", value.Int(1))),
+		New(value.Rec("A", value.Int(1), "B", value.Int(2))))
+	if u2.Len() != 1 {
+		t.Errorf("union with comparable members = %s", u2)
+	}
+}
+
+func TestExtractByType(t *testing.T) {
+	personT := types.MustParse("{Name: String}")
+	deptT := types.MustParse("{Dept: String, Addr: {State: String}}")
+	r := Union(Figure1R1(), Figure1R2())
+
+	people := ExtractByType(r, personT)
+	if people.Len() != 3 {
+		t.Errorf("ExtractByType[Person] = %d, want 3", people.Len())
+	}
+	depts := ExtractByType(r, deptT)
+	if depts.Len() != 2 { // Sales/WY and Manuf/MT; Admin's Addr lacks State
+		t.Errorf("ExtractByType[Dept+State] = %s, want 2 members", depts)
+	}
+	// Equivalence with value.Conforms — the join-with-type reading.
+	for _, m := range r.Members() {
+		if people.Contains(m) != value.Conforms(m, personT) {
+			t.Errorf("extract disagrees with conformance on %s", m)
+		}
+	}
+}
+
+func TestNullValueReading(t *testing.T) {
+	// Zaniolo's observation: a missing field is a null. A tuple with a null
+	// Dept is exactly a partial record without Dept, and join treats it as
+	// "unknown, joinable with anything".
+	r := New(value.Rec("Name", value.String("N Bug"))) // Dept unknown
+	d := New(value.Rec("Dept", value.String("Sales")))
+	j := Join(r, d)
+	want := New(value.Rec("Name", value.String("N Bug"), "Dept", value.String("Sales")))
+	if !Equal(j, want) {
+		t.Errorf("null-extending join = %s, want %s", j, want)
+	}
+}
+
+func TestJoinEmptyAndIdentity(t *testing.T) {
+	r := Figure1R1()
+	empty := New()
+	if got := Join(r, empty); got.Len() != 0 {
+		t.Errorf("join with empty relation = %d members, want 0", got.Len())
+	}
+	// Join with the unit relation {⊥-like empty record} is the identity.
+	unit := New(value.NewRecord())
+	if got := Join(r, unit); !Equal(got, r) {
+		t.Errorf("join with unit = %s, want R1", got)
+	}
+}
+
+func TestLeqOnRelations(t *testing.T) {
+	r := New(value.Rec("Name", value.String("J Doe")))
+	rp := New(
+		value.Rec("Name", value.String("J Doe"), "Dept", value.String("Sales")),
+	)
+	if !Leq(r, rp) {
+		t.Error("r ⊑ r' should hold")
+	}
+	if Leq(rp, r) {
+		t.Error("r' ⊑ r should not hold")
+	}
+	if !Leq(r, r) {
+		t.Error("⊑ should be reflexive")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := New(
+		value.Rec("A", value.Int(1)),
+		value.Rec("B", value.Int(2)),
+		value.Rec("C", value.Int(3)),
+	)
+	s := New(value.Rec("B", value.Int(2)), value.Rec("D", value.Int(4)))
+	d := Diff(r, s)
+	if d.Len() != 2 || !d.Contains(value.Rec("A", value.Int(1))) || !d.Contains(value.Rec("C", value.Int(3))) {
+		t.Errorf("Diff = %s", d)
+	}
+	if Diff(r, r).Len() != 0 {
+		t.Error("r − r should be empty")
+	}
+	if got := Diff(New(), r); got.Len() != 0 {
+		t.Error("∅ − r should be empty")
+	}
+}

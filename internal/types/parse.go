@@ -1,0 +1,352 @@
+package types
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse reads a type from its concrete syntax, the same syntax produced by
+// the String methods:
+//
+//	Int  Float  String  Bool  Unit  Top  Bottom  Dynamic  Type
+//	{Name: String, Age: Int}              record
+//	[Circle: Float, Square: Float]        variant
+//	List[Int]   Set[{Name: String}]       lists and sets
+//	Int -> Bool   (Int, Int) -> Int       functions
+//	forall t <= {Name: String} . t        bounded universal
+//	exists t <= Person . t                bounded existential
+//	rec t . {Value: Int, Next: t}         recursive
+//	t                                     type variable (lowercase)
+//
+// Quantifier bounds default to Top when the "<= Bound" part is omitted.
+func Parse(src string) (Type, error) {
+	p := &typeParser{src: src}
+	p.next()
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tkEOF {
+		return nil, fmt.Errorf("types: unexpected %q after type at offset %d", p.lit, p.off)
+	}
+	return t, nil
+}
+
+// MustParse is Parse but panics on error; for use in tests and fixtures.
+func MustParse(src string) Type {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type typeToken int
+
+const (
+	tkEOF typeToken = iota
+	tkIdent
+	tkLBrace  // {
+	tkRBrace  // }
+	tkLBrack  // [
+	tkRBrack  // ]
+	tkLParen  // (
+	tkRParen  // )
+	tkComma   // ,
+	tkColon   // :
+	tkDot     // .
+	tkArrow   // ->
+	tkLessEq  // <=
+	tkInvalid // anything else
+)
+
+type typeParser struct {
+	src string
+	pos int // scan position
+	off int // offset of current token
+	tok typeToken
+	lit string
+}
+
+func (p *typeParser) next() {
+	for p.pos < len(p.src) {
+		r, w := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		p.pos += w
+	}
+	p.off = p.pos
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = tkEOF, ""
+		return
+	}
+	r, w := utf8.DecodeRuneInString(p.src[p.pos:])
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := p.pos
+		for p.pos < len(p.src) {
+			r, w := utf8.DecodeRuneInString(p.src[p.pos:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			p.pos += w
+		}
+		p.tok, p.lit = tkIdent, p.src[start:p.pos]
+		return
+	case r == '{':
+		p.tok, p.lit = tkLBrace, "{"
+	case r == '}':
+		p.tok, p.lit = tkRBrace, "}"
+	case r == '[':
+		p.tok, p.lit = tkLBrack, "["
+	case r == ']':
+		p.tok, p.lit = tkRBrack, "]"
+	case r == '(':
+		p.tok, p.lit = tkLParen, "("
+	case r == ')':
+		p.tok, p.lit = tkRParen, ")"
+	case r == ',':
+		p.tok, p.lit = tkComma, ","
+	case r == ':':
+		p.tok, p.lit = tkColon, ":"
+	case r == '.':
+		p.tok, p.lit = tkDot, "."
+	case r == '-':
+		if p.pos+1 < len(p.src) && p.src[p.pos+1] == '>' {
+			p.tok, p.lit = tkArrow, "->"
+			p.pos += 2
+			return
+		}
+		p.tok, p.lit = tkInvalid, "-"
+	case r == '<':
+		if p.pos+1 < len(p.src) && p.src[p.pos+1] == '=' {
+			p.tok, p.lit = tkLessEq, "<="
+			p.pos += 2
+			return
+		}
+		p.tok, p.lit = tkInvalid, "<"
+	default:
+		p.tok, p.lit = tkInvalid, string(r)
+	}
+	p.pos += w
+}
+
+func (p *typeParser) expect(tok typeToken, what string) error {
+	if p.tok != tok {
+		return fmt.Errorf("types: expected %s at offset %d, found %q", what, p.off, p.lit)
+	}
+	p.next()
+	return nil
+}
+
+// parseType handles quantifiers, recursion and function arrows.
+func (p *typeParser) parseType() (Type, error) {
+	if p.tok == tkIdent {
+		switch p.lit {
+		case "forall", "exists":
+			kw := p.lit
+			p.next()
+			if p.tok != tkIdent {
+				return nil, fmt.Errorf("types: expected variable after %q at offset %d", kw, p.off)
+			}
+			param := p.lit
+			p.next()
+			bound := Type(Top)
+			if p.tok == tkLessEq {
+				p.next()
+				var err error
+				bound, err = p.parseType()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expect(tkDot, "'.'"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if kw == "forall" {
+				return NewForAll(param, bound, body), nil
+			}
+			return NewExists(param, bound, body), nil
+		case "rec":
+			p.next()
+			if p.tok != tkIdent {
+				return nil, fmt.Errorf("types: expected variable after \"rec\" at offset %d", p.off)
+			}
+			param := p.lit
+			p.next()
+			if err := p.expect(tkDot, "'.'"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			return NewRec(param, body), nil
+		}
+	}
+	// A primary, or a parenthesized parameter list, possibly followed by ->.
+	parts, single, err := p.parsePrimaryGroup()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok == tkArrow {
+		p.next()
+		result, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return NewFunc(parts, result), nil
+	}
+	if !single {
+		return nil, fmt.Errorf("types: parameter list must be followed by \"->\" at offset %d", p.off)
+	}
+	return parts[0], nil
+}
+
+// parsePrimaryGroup parses either one primary type, or a parenthesized
+// comma-separated group that may serve as a function parameter list. single
+// reports whether the group is usable as a standalone type.
+func (p *typeParser) parsePrimaryGroup() (parts []Type, single bool, err error) {
+	if p.tok == tkLParen {
+		p.next()
+		if p.tok == tkRParen { // () -> T : no parameters
+			p.next()
+			return nil, false, nil
+		}
+		for {
+			t, err := p.parseType()
+			if err != nil {
+				return nil, false, err
+			}
+			parts = append(parts, t)
+			if p.tok != tkComma {
+				break
+			}
+			p.next()
+		}
+		if err := p.expect(tkRParen, "')'"); err != nil {
+			return nil, false, err
+		}
+		return parts, len(parts) == 1, nil
+	}
+	t, err := p.parsePrimary()
+	if err != nil {
+		return nil, false, err
+	}
+	return []Type{t}, true, nil
+}
+
+func (p *typeParser) parsePrimary() (Type, error) {
+	switch p.tok {
+	case tkIdent:
+		name := p.lit
+		p.next()
+		switch name {
+		case "Int":
+			return Int, nil
+		case "Float":
+			return Float, nil
+		case "String":
+			return String, nil
+		case "Bool":
+			return Bool, nil
+		case "Unit":
+			return Unit, nil
+		case "Top":
+			return Top, nil
+		case "Bottom":
+			return Bottom, nil
+		case "Dynamic":
+			return Dynamic, nil
+		case "Type":
+			return TypeRep, nil
+		case "List", "Set":
+			if err := p.expect(tkLBrack, "'['"); err != nil {
+				return nil, err
+			}
+			elem, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tkRBrack, "']'"); err != nil {
+				return nil, err
+			}
+			if name == "List" {
+				return NewList(elem), nil
+			}
+			return NewSet(elem), nil
+		default:
+			return NewVar(name), nil
+		}
+	case tkLBrace:
+		fs, err := p.parseFields(tkRBrace, "'}'")
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(fs); i++ {
+			// NewRecord panics on duplicates; report a parse error instead.
+			for j := 0; j < i; j++ {
+				if fs[i].Label == fs[j].Label {
+					return nil, fmt.Errorf("types: duplicate record label %q", fs[i].Label)
+				}
+			}
+		}
+		return NewRecord(fs...), nil
+	case tkLBrack:
+		fs, err := p.parseFields(tkRBrack, "']'")
+		if err != nil {
+			return nil, err
+		}
+		if len(fs) == 0 {
+			return nil, fmt.Errorf("types: a variant needs at least one tag at offset %d", p.off)
+		}
+		for i := 1; i < len(fs); i++ {
+			for j := 0; j < i; j++ {
+				if fs[i].Label == fs[j].Label {
+					return nil, fmt.Errorf("types: duplicate variant tag %q", fs[i].Label)
+				}
+			}
+		}
+		return NewVariant(fs...), nil
+	default:
+		return nil, fmt.Errorf("types: unexpected %q at offset %d", p.lit, p.off)
+	}
+}
+
+func (p *typeParser) parseFields(closer typeToken, closeWhat string) ([]Field, error) {
+	p.next() // consume the opener
+	var fs []Field
+	if p.tok == closer {
+		p.next()
+		return fs, nil
+	}
+	for {
+		if p.tok != tkIdent {
+			return nil, fmt.Errorf("types: expected label at offset %d, found %q", p.off, p.lit)
+		}
+		label := p.lit
+		p.next()
+		if err := p.expect(tkColon, "':'"); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, Field{Label: label, Type: t})
+		if p.tok != tkComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expect(closer, closeWhat); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}

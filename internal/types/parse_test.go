@@ -1,0 +1,166 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	// For each source, Parse then String then Parse again must give an
+	// equal type, and the second print must be a fixed point.
+	sources := []string{
+		"Int",
+		"Float",
+		"String",
+		"Bool",
+		"Unit",
+		"Top",
+		"Bottom",
+		"Dynamic",
+		"Type",
+		"{}",
+		"{Name: String}",
+		"{Address: {City: String, Zip: Int}, Name: String}",
+		"[Circle: Float, Square: Float]",
+		"List[Int]",
+		"Set[{Name: String}]",
+		"List[List[Set[Int]]]",
+		"Int -> Int",
+		"(Int, String) -> Bool",
+		"() -> Unit",
+		"Int -> Int -> Int", // right associative
+		"(Int -> Int) -> Int",
+		"forall t . t -> t",
+		"forall t <= {Name: String} . t -> List[t]",
+		"exists t <= {Name: String, Empno: Int} . t",
+		"rec t . {Value: Int, Next: t}",
+		"forall t . List[Dynamic] -> List[exists u <= t . u]",
+	}
+	for _, src := range sources {
+		t1, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		printed := t1.String()
+		t2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (printed %q): %v", src, printed, err)
+			continue
+		}
+		if !Equal(t1, t2) {
+			t.Errorf("round trip of %q changed the type: %s vs %s", src, t1, t2)
+		}
+		if t2.String() != printed {
+			t.Errorf("printing is not a fixed point for %q: %q vs %q", src, printed, t2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"{Name String}",
+		"{Name: String",
+		"{Name: String, Name: Int}",
+		"[Circle: Float, Circle: Int]",
+		"[]", // empty variant
+		"List[",
+		"List Int",
+		"Set[Int",
+		"(Int, String)", // bare parameter list
+		"forall . t",
+		"forall t t",
+		"rec . t",
+		"Int ->",
+		"Int Int",
+		"{A: Int} extra",
+		"<=",
+		"!@#",
+	}
+	for _, src := range bad {
+		if got, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) = %s, want error", src, got)
+		}
+	}
+}
+
+func TestParseFunctionAssociativity(t *testing.T) {
+	got := MustParse("Int -> Int -> Int")
+	want := NewFunc([]Type{Int}, NewFunc([]Type{Int}, Int))
+	if !Equal(got, want) {
+		t.Errorf("arrow should associate right: got %s", got)
+	}
+}
+
+func TestParseBoundDefaultsToTop(t *testing.T) {
+	q := MustParse("forall t . t").(*Quant)
+	if q.Bound.Kind() != KindTop {
+		t.Errorf("unbounded forall should default bound to Top, got %s", q.Bound)
+	}
+}
+
+func TestParseWhitespaceInsensitive(t *testing.T) {
+	a := MustParse("{Name:String,Age:Int}")
+	b := MustParse("  {  Name :  String ,\n\tAge : Int }  ")
+	if !Equal(a, b) {
+		t.Error("whitespace should not matter")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of garbage should panic")
+		}
+	}()
+	MustParse("{{{")
+}
+
+func TestStringContainsFields(t *testing.T) {
+	s := MustParse("{Name: String, Age: Int}").String()
+	for _, want := range []string{"Name: String", "Age: Int"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestKeyAlphaInvariance(t *testing.T) {
+	a := MustParse("forall t . t -> List[t]")
+	b := MustParse("forall zz . zz -> List[zz]")
+	if Key(a) != Key(b) {
+		t.Errorf("alpha-variants should share a key: %q vs %q", Key(a), Key(b))
+	}
+	c := MustParse("forall t . t -> Set[t]")
+	if Key(a) == Key(c) {
+		t.Error("distinct types should not share a key")
+	}
+}
+
+func TestSubstituteCaptureAvoidance(t *testing.T) {
+	// Substituting u := t into (forall t . u) must not capture: the result
+	// binder is renamed.
+	inner := NewForAll("t", nil, NewVar("u"))
+	got := Substitute(inner, "u", NewVar("t")).(*Quant)
+	if got.Param == "t" {
+		t.Fatalf("binder captured the substituted variable: %s", got)
+	}
+	if v, ok := got.Body.(*Var); !ok || v.Name != "t" {
+		t.Errorf("body should be the free t, got %s", got.Body)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	ty := MustParse("forall t . (t, u) -> List[v]")
+	free := FreeVars(ty)
+	if !free["u"] || !free["v"] || free["t"] {
+		t.Errorf("FreeVars = %v, want {u, v}", free)
+	}
+	if !Closed(MustParse("forall t . t")) {
+		t.Error("closed type reported as open")
+	}
+	if Closed(MustParse("t")) {
+		t.Error("bare variable reported as closed")
+	}
+}

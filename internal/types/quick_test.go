@@ -1,0 +1,240 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genType builds a random closed type of bounded depth. It favours records,
+// since record subtyping is the paper's main vehicle for inheritance.
+func genType(r *rand.Rand, depth int) Type {
+	if depth <= 0 {
+		switch r.Intn(6) {
+		case 0:
+			return Int
+		case 1:
+			return Float
+		case 2:
+			return String
+		case 3:
+			return Bool
+		case 4:
+			return Unit
+		default:
+			return Top
+		}
+	}
+	switch r.Intn(10) {
+	case 0, 1, 2, 3:
+		n := r.Intn(4)
+		labels := []string{"A", "B", "C", "D", "E"}
+		r.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+		fs := make([]Field, n)
+		for i := 0; i < n; i++ {
+			fs[i] = Field{Label: labels[i], Type: genType(r, depth-1)}
+		}
+		return NewRecord(fs...)
+	case 4:
+		return NewList(genType(r, depth-1))
+	case 5:
+		return NewSet(genType(r, depth-1))
+	case 6:
+		n := r.Intn(2) + 1
+		labels := []string{"P", "Q", "R"}
+		fs := make([]Field, n)
+		for i := 0; i < n; i++ {
+			fs[i] = Field{Label: labels[i], Type: genType(r, depth-1)}
+		}
+		return NewVariant(fs...)
+	case 7:
+		np := r.Intn(3)
+		ps := make([]Type, np)
+		for i := range ps {
+			ps[i] = genType(r, depth-1)
+		}
+		return NewFunc(ps, genType(r, depth-1))
+	case 8:
+		return NewForAll("t", genType(r, depth-1), NewList(NewVar("t")))
+	default:
+		return genType(r, depth-1)
+	}
+}
+
+// randType adapts genType to testing/quick.
+type randType struct{ T Type }
+
+// Generate implements quick.Generator.
+func (randType) Generate(r *rand.Rand, size int) reflect.Value {
+	d := size
+	if d > 4 {
+		d = 4
+	}
+	return reflect.ValueOf(randType{T: genType(r, d)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 400}
+
+func TestQuickReflexive(t *testing.T) {
+	f := func(a randType) bool { return Subtype(a.T, a.T) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopBottom(t *testing.T) {
+	f := func(a randType) bool {
+		return Subtype(a.T, Top) && Subtype(Bottom, a.T)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIsUpperBound(t *testing.T) {
+	f := func(a, b randType) bool {
+		j := Join(a.T, b.T)
+		return Subtype(a.T, j) && Subtype(b.T, j)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeetIsLowerBound(t *testing.T) {
+	f := func(a, b randType) bool {
+		m, ok := Meet(a.T, b.T)
+		if !ok {
+			return true // failed meets claim nothing
+		}
+		return Subtype(m, a.T) && Subtype(m, b.T)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeetBelowJoin(t *testing.T) {
+	f := func(a, b randType) bool {
+		m, ok := Meet(a.T, b.T)
+		if !ok {
+			return true
+		}
+		return Subtype(m, Join(a.T, b.T))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtypeAgreesWithUncached(t *testing.T) {
+	f := func(a, b randType) bool {
+		return Subtype(a.T, b.T) == SubtypeUncached(a.T, b.T)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(a randType) bool {
+		parsed, err := Parse(a.T.String())
+		return err == nil && Equal(parsed, a.T)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDroppingFieldsWidens(t *testing.T) {
+	// For any random record, removing a field yields a supertype; this is
+	// exactly the Person/Employee relationship of the paper.
+	f := func(a randType, which uint8) bool {
+		rec, ok := a.T.(*Record)
+		if !ok || rec.Len() == 0 {
+			return true
+		}
+		drop := int(which) % rec.Len()
+		var fs []Field
+		for i := 0; i < rec.Len(); i++ {
+			if i != drop {
+				fs = append(fs, rec.Field(i))
+			}
+		}
+		wider := NewRecord(fs...)
+		return Subtype(rec, wider) && (Equal(rec, wider) || !Subtype(wider, rec))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransitivityOnChains(t *testing.T) {
+	// Random unrelated pairs are rarely comparable, so build comparable
+	// chains deliberately: T'' adds fields to T' adds fields to T. Then
+	// subtyping must be transitive along the chain.
+	f := func(a randType, seed int64) bool {
+		rec, ok := a.T.(*Record)
+		if !ok {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		grow := func(t *Record, label string) *Record {
+			fs := t.Fields()
+			fs = append(fs, Field{Label: label, Type: genType(rng, 1)})
+			return NewRecord(fs...)
+		}
+		t1 := grow(rec, "ZZ1")
+		t2 := grow(t1, "ZZ2")
+		return Subtype(t2, t1) && Subtype(t1, rec) && Subtype(t2, rec)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinCommutes(t *testing.T) {
+	f := func(a, b randType) bool {
+		return Equal(Join(a.T, b.T), Join(b.T, a.T))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeetCommutes(t *testing.T) {
+	f := func(a, b randType) bool {
+		m1, ok1 := Meet(a.T, b.T)
+		m2, ok2 := Meet(b.T, a.T)
+		if ok1 != ok2 {
+			return false
+		}
+		return !ok1 || Equal(m1, m2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyDeterminesEqual(t *testing.T) {
+	f := func(a, b randType) bool {
+		if Key(a.T) == Key(b.T) {
+			return Equal(a.T, b.T)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubstituteIdentityOnClosed(t *testing.T) {
+	f := func(a randType) bool {
+		// Substituting for a variable that does not occur is the identity.
+		return Equal(Substitute(a.T, "zzz_not_present", Int), a.T)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package types
+
+import "sync"
+
+// Context carries bounds for free type variables, as introduced by opening a
+// quantifier: inside forall t <= B . T, the variable t has bound B. The
+// zero value is an empty context.
+type Context struct {
+	parent *Context
+	name   string
+	bound  Type
+}
+
+// Extend returns a context in which name has the given upper bound.
+func (c *Context) Extend(name string, bound Type) *Context {
+	return &Context{parent: c, name: name, bound: bound}
+}
+
+// Bound returns the declared upper bound of the named variable, if any.
+func (c *Context) Bound(name string) (Type, bool) {
+	for ctx := c; ctx != nil; ctx = ctx.parent {
+		if ctx.name == name {
+			return ctx.bound, true
+		}
+	}
+	return nil, false
+}
+
+// subtypeCache memoizes verdicts for closed type pairs. The paper notes that
+// a database programming language performs "a certain amount of computation
+// at the level of types"; caching keeps repeated extent extraction cheap.
+// DESIGN.md lists the cache as an ablation target (BenchmarkSubtype* with
+// SubtypeUncached).
+var subtypeCache sync.Map // string -> bool
+
+// Subtype reports whether s ≤ t: every value of type s is usable as a value
+// of type t. The order includes Int ≤ Float, record width and depth
+// subtyping, variant tag subtyping, covariant lists and sets, contravariant
+// function parameters, Kernel-Fun quantifier rules, and equi-recursive
+// unfolding. The algorithm always terminates.
+func Subtype(s, t Type) bool { return SubtypeIn(nil, s, t) }
+
+// SubtypeIn is Subtype under a context giving bounds to free variables.
+func SubtypeIn(ctx *Context, s, t Type) bool {
+	ck := ""
+	if ctx == nil {
+		ck = Key(s) + "≤" + Key(t)
+		if v, ok := subtypeCache.Load(ck); ok {
+			return v.(bool)
+		}
+	}
+	v := subtype(ctx, s, t, map[[2]string]bool{})
+	if ck != "" {
+		subtypeCache.Store(ck, v)
+	}
+	return v
+}
+
+// SubtypeUncached is Subtype with the global verdict cache bypassed. It
+// exists so benchmarks can measure the raw cost of subtype derivation.
+func SubtypeUncached(s, t Type) bool {
+	return subtype(nil, s, t, map[[2]string]bool{})
+}
+
+func subtype(ctx *Context, s, t Type, seen map[[2]string]bool) bool {
+	// Reflexivity and universal bounds.
+	if t.Kind() == KindTop || s.Kind() == KindBottom {
+		return true
+	}
+	sk, tk := Key(s), Key(t)
+	if sk == tk {
+		return true
+	}
+	// Coinductive hypothesis: assume the pair holds while deriving it. This
+	// is what makes equi-recursive subtyping terminate.
+	pair := [2]string{sk, tk}
+	if seen[pair] {
+		return true
+	}
+	seen[pair] = true
+
+	// Unfold recursive types.
+	if r, ok := s.(*Rec); ok {
+		return subtype(ctx, r.Unfold(), t, seen)
+	}
+	if r, ok := t.(*Rec); ok {
+		return subtype(ctx, s, r.Unfold(), seen)
+	}
+
+	// A variable is below anything its bound is below.
+	if v, ok := s.(*Var); ok {
+		if tv, ok := t.(*Var); ok && tv.Name == v.Name {
+			return true
+		}
+		if b, ok := ctx.Bound(v.Name); ok {
+			return subtype(ctx, b, t, seen)
+		}
+		return false
+	}
+	if _, ok := t.(*Var); ok {
+		// s is not a variable (handled above) and nothing else is provably
+		// below an abstract variable.
+		return false
+	}
+
+	switch tt := t.(type) {
+	case *Basic:
+		switch tt.kind {
+		case KindFloat:
+			return s.Kind() == KindInt || s.Kind() == KindFloat
+		default:
+			return s.Kind() == tt.kind
+		}
+	case *Record:
+		sr, ok := s.(*Record)
+		if !ok {
+			return false
+		}
+		for i := 0; i < tt.Len(); i++ {
+			f := tt.Field(i)
+			st, ok := sr.Lookup(f.Label)
+			if !ok || !subtype(ctx, st, f.Type, seen) {
+				return false
+			}
+		}
+		return true
+	case *Variant:
+		sv, ok := s.(*Variant)
+		if !ok {
+			return false
+		}
+		for i := 0; i < sv.Len(); i++ {
+			f := sv.Tag(i)
+			ut, ok := tt.Lookup(f.Label)
+			if !ok || !subtype(ctx, f.Type, ut, seen) {
+				return false
+			}
+		}
+		return true
+	case *List:
+		sl, ok := s.(*List)
+		return ok && subtype(ctx, sl.Elem, tt.Elem, seen)
+	case *Set:
+		ss, ok := s.(*Set)
+		return ok && subtype(ctx, ss.Elem, tt.Elem, seen)
+	case *Func:
+		sf, ok := s.(*Func)
+		if !ok || len(sf.Params) != len(tt.Params) {
+			return false
+		}
+		for i := range tt.Params {
+			if !subtype(ctx, tt.Params[i], sf.Params[i], seen) { // contravariant
+				return false
+			}
+		}
+		return subtype(ctx, sf.Result, tt.Result, seen)
+	case *Quant:
+		sq, ok := s.(*Quant)
+		if !ok || sq.kind != tt.kind {
+			return false
+		}
+		// Kernel Fun: bounds must be equivalent; bodies compared with the
+		// parameters identified. Kernel Fun keeps subtyping decidable, which
+		// the paper flags as essential for type-level computation.
+		if !equal(ctx, sq.Bound, tt.Bound, seen) {
+			return false
+		}
+		fresh := freshName(sq.Param, FreeVars(sq.Body), FreeVars(tt.Body))
+		sBody := Substitute(sq.Body, sq.Param, NewVar(fresh))
+		tBody := Substitute(tt.Body, tt.Param, NewVar(fresh))
+		return subtype(ctx.Extend(fresh, sq.Bound), sBody, tBody, seen)
+	default:
+		return false
+	}
+}
+
+// Equal reports whether s and t denote the same set of values: s ≤ t and
+// t ≤ s. Alpha-equivalent types are equal; so are a recursive type and its
+// unfolding.
+func Equal(s, t Type) bool {
+	if Key(s) == Key(t) {
+		return true
+	}
+	return Subtype(s, t) && Subtype(t, s)
+}
+
+func equal(ctx *Context, s, t Type, seen map[[2]string]bool) bool {
+	if Key(s) == Key(t) {
+		return true
+	}
+	return subtype(ctx, s, t, seen) && subtype(ctx, t, s, seen)
+}

@@ -1,0 +1,205 @@
+package types
+
+import "testing"
+
+// sub parses both sides and asserts the expected subtype verdict.
+func sub(t *testing.T, s, u string, want bool) {
+	t.Helper()
+	st, ut := MustParse(s), MustParse(u)
+	if got := Subtype(st, ut); got != want {
+		t.Errorf("Subtype(%s, %s) = %v, want %v", s, u, got, want)
+	}
+	if got := SubtypeUncached(st, ut); got != want {
+		t.Errorf("SubtypeUncached(%s, %s) = %v, want %v", s, u, got, want)
+	}
+}
+
+func TestSubtypeBasics(t *testing.T) {
+	sub(t, "Int", "Int", true)
+	sub(t, "Int", "Float", true)
+	sub(t, "Float", "Int", false)
+	sub(t, "String", "Int", false)
+	sub(t, "Bool", "Bool", true)
+	sub(t, "Unit", "Unit", true)
+	sub(t, "Dynamic", "Dynamic", true)
+	sub(t, "Dynamic", "Int", false)
+	sub(t, "Int", "Dynamic", false)
+	sub(t, "Type", "Type", true)
+}
+
+func TestSubtypeTopBottom(t *testing.T) {
+	for _, s := range []string{"Int", "String", "{Name: String}", "List[Int]", "Dynamic", "forall t . t"} {
+		sub(t, s, "Top", true)
+		sub(t, "Bottom", s, true)
+	}
+	sub(t, "Top", "Int", false)
+	sub(t, "Int", "Bottom", false)
+	sub(t, "Top", "Top", true)
+	sub(t, "Bottom", "Bottom", true)
+}
+
+func TestSubtypeRecordWidth(t *testing.T) {
+	// The paper's running example: Employee adds fields to Person, so every
+	// operation on a Person applies to an Employee.
+	sub(t, "{Name: String, Empno: Int}", "{Name: String}", true)
+	sub(t, "{Name: String}", "{Name: String, Empno: Int}", false)
+	sub(t, "{Name: String, Empno: Int, Dept: String}", "{Name: String, Dept: String}", true)
+	sub(t, "{}", "{}", true)
+	sub(t, "{Name: String}", "{}", true)
+	sub(t, "{}", "{Name: String}", false)
+}
+
+func TestSubtypeRecordDepth(t *testing.T) {
+	sub(t, "{Age: Int}", "{Age: Float}", true)
+	sub(t, "{Age: Float}", "{Age: Int}", false)
+	sub(t, "{Addr: {City: String, Zip: Int}}", "{Addr: {City: String}}", true)
+	sub(t, "{Addr: {City: String}}", "{Addr: {City: String, Zip: Int}}", false)
+}
+
+func TestSubtypeRecordMixed(t *testing.T) {
+	sub(t, "{A: {X: Int, Y: Int}, B: Int}", "{A: {X: Float}}", true)
+	sub(t, "{A: Int}", "{B: Int}", false)
+	sub(t, "{A: Int}", "List[Int]", false)
+}
+
+func TestSubtypeVariant(t *testing.T) {
+	// Fewer tags is a subtype: a value known to be Circle fits anywhere a
+	// Circle-or-Square is expected.
+	sub(t, "[Circle: Float]", "[Circle: Float, Square: Float]", true)
+	sub(t, "[Circle: Float, Square: Float]", "[Circle: Float]", false)
+	sub(t, "[Circle: Int]", "[Circle: Float]", true)
+	sub(t, "[Circle: Float]", "[Circle: Int]", false)
+	sub(t, "[A: Int]", "[B: Int]", false)
+}
+
+func TestSubtypeListSet(t *testing.T) {
+	sub(t, "List[Int]", "List[Float]", true)
+	sub(t, "List[Float]", "List[Int]", false)
+	sub(t, "Set[{Name: String, Age: Int}]", "Set[{Name: String}]", true)
+	sub(t, "List[Int]", "Set[Int]", false)
+	sub(t, "Set[Int]", "List[Int]", false)
+	sub(t, "List[Bottom]", "List[Int]", true)
+}
+
+func TestSubtypeFunc(t *testing.T) {
+	// Contravariant parameters, covariant results.
+	sub(t, "{Name: String} -> Int", "{Name: String, Age: Int} -> Float", true)
+	sub(t, "{Name: String, Age: Int} -> Int", "{Name: String} -> Int", false)
+	sub(t, "Int -> Int", "Int -> Float", true)
+	sub(t, "Float -> Int", "Int -> Int", true)
+	sub(t, "Int -> Int", "Float -> Int", false)
+	sub(t, "(Int, Int) -> Int", "(Int, Int) -> Int", true)
+	sub(t, "(Int, Int) -> Int", "Int -> Int", false)
+	sub(t, "() -> Int", "() -> Float", true)
+}
+
+func TestSubtypeQuantified(t *testing.T) {
+	// Kernel Fun: equal bounds, pointwise bodies.
+	sub(t, "forall t . t -> t", "forall t . t -> t", true)
+	sub(t, "forall t . t -> t", "forall u . u -> u", true) // alpha
+	sub(t, "forall t <= {Name: String} . t -> {Name: String}",
+		"forall t <= {Name: String} . t -> {}", true)
+	sub(t, "forall t <= {Name: String} . t", "forall t <= {Age: Int} . t", false)
+	sub(t, "exists t <= {Name: String, Age: Int} . t", "exists t <= {Name: String, Age: Int} . t", true)
+	sub(t, "forall t . t", "exists t . t", false) // different quantifiers
+}
+
+func TestSubtypeVarBound(t *testing.T) {
+	// Under t <= {Name: String}, t is a subtype of {Name: String} and {}.
+	ctx := (&Context{}).Extend("t", MustParse("{Name: String}"))
+	v := NewVar("t")
+	if !SubtypeIn(ctx, v, MustParse("{Name: String}")) {
+		t.Error("t <= its own bound should hold")
+	}
+	if !SubtypeIn(ctx, v, MustParse("{}")) {
+		t.Error("t <= supertype of bound should hold")
+	}
+	if SubtypeIn(ctx, v, MustParse("{Age: Int}")) {
+		t.Error("t <= unrelated record should not hold")
+	}
+	if SubtypeIn(ctx, MustParse("{Name: String}"), v) {
+		t.Error("nothing concrete is below an abstract variable")
+	}
+	if !SubtypeIn(ctx, v, v) {
+		t.Error("a variable is below itself")
+	}
+}
+
+func TestSubtypeRecursive(t *testing.T) {
+	// rec t . {Value: Int, Next: t} is a subtype of rec t . {Value: Float, Next: t}.
+	sub(t, "rec t . {Value: Int, Next: t}", "rec t . {Value: Float, Next: t}", true)
+	sub(t, "rec t . {Value: Float, Next: t}", "rec t . {Value: Int, Next: t}", false)
+	// A recursive type equals its unfolding.
+	r := MustParse("rec t . {Value: Int, Next: t}").(*Rec)
+	if !Equal(r, r.Unfold()) {
+		t.Error("rec type should equal its unfolding")
+	}
+	// Extra fields still widen under recursion.
+	sub(t, "rec t . {Value: Int, Tag: String, Next: t}", "rec t . {Value: Int, Next: t}", true)
+	// Differently-shaped recursions that unfold to the same tree are equal.
+	a := MustParse("rec t . {Next: t}")
+	b := MustParse("rec t . {Next: {Next: t}}")
+	if !Equal(a, b) {
+		t.Errorf("one-step and two-step recursions denote the same tree")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Int", "Int", true},
+		{"Int", "Float", false},
+		{"{A: Int, B: String}", "{B: String, A: Int}", true}, // field order
+		{"forall t . t -> t", "forall s . s -> s", true},
+		{"List[{A: Int}]", "List[{A: Int}]", true},
+		{"{A: Int}", "{A: Int, B: Int}", false},
+	}
+	for _, c := range cases {
+		if got := Equal(MustParse(c.a), MustParse(c.b)); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPersonEmployeeHierarchy(t *testing.T) {
+	// The hierarchy used throughout the paper: Student-Employee ≤ Employee ≤ Person
+	// and Student-Employee ≤ Student ≤ Person, all derived structurally with
+	// no class declarations.
+	person := MustParse("{Name: String, Address: {City: String}}")
+	employee := MustParse("{Name: String, Address: {City: String}, Empno: Int, Dept: String}")
+	student := MustParse("{Name: String, Address: {City: String}, StudentID: Int}")
+	studentEmp := MustParse("{Name: String, Address: {City: String}, Empno: Int, Dept: String, StudentID: Int}")
+
+	for _, c := range []struct {
+		s, t Type
+		want bool
+	}{
+		{employee, person, true},
+		{student, person, true},
+		{studentEmp, employee, true},
+		{studentEmp, student, true},
+		{studentEmp, person, true},
+		{person, employee, false},
+		{employee, student, false},
+		{student, employee, false},
+	} {
+		if got := Subtype(c.s, c.t); got != c.want {
+			t.Errorf("Subtype(%s, %s) = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestSubtypeGetSignature(t *testing.T) {
+	// The paper's headline type: Get : forall t . Database -> List[exists t' <= t . t'].
+	// Check it round-trips and is self-subtype; instantiation covariance is
+	// exercised in the core package.
+	get := MustParse("forall t . List[Dynamic] -> List[exists u <= t . u]")
+	if !Subtype(get, get) {
+		t.Error("Get's type should be a subtype of itself")
+	}
+	if !Equal(get, MustParse("forall s . List[Dynamic] -> List[exists v <= s . v]")) {
+		t.Error("alpha-variant Get types should be equal")
+	}
+}

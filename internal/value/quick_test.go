@@ -1,0 +1,424 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dbpl/internal/types"
+)
+
+// genValue builds a random value of bounded depth. Labels are drawn from a
+// small pool so that random records are frequently comparable — the
+// interesting regime for ⊑ and ⊔.
+func genValue(r *rand.Rand, depth int) Value {
+	if depth <= 0 {
+		switch r.Intn(7) {
+		case 0:
+			return Int(r.Intn(3))
+		case 1:
+			return Float(r.Intn(3))
+		case 2:
+			return String([]string{"x", "y"}[r.Intn(2)])
+		case 3:
+			return Bool(r.Intn(2) == 0)
+		case 4:
+			return Unit
+		case 5:
+			return Bottom
+		default:
+			return Rec()
+		}
+	}
+	switch r.Intn(8) {
+	case 0, 1, 2:
+		labels := []string{"A", "B", "C", "D"}
+		rec := NewRecord()
+		for _, l := range labels {
+			if r.Intn(2) == 0 {
+				rec.Set(l, genValue(r, depth-1))
+			}
+		}
+		return rec
+	case 3:
+		n := r.Intn(3)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = genValue(r, depth-1)
+		}
+		return NewList(elems...)
+	case 4:
+		n := r.Intn(3)
+		s := NewSet()
+		for i := 0; i < n; i++ {
+			s.Add(genValue(r, depth-1))
+		}
+		return s
+	case 5:
+		return NewTag([]string{"P", "Q"}[r.Intn(2)], genValue(r, depth-1))
+	default:
+		return genValue(r, 0)
+	}
+}
+
+// randValue adapts genValue to testing/quick.
+type randValue struct{ V Value }
+
+// Generate implements quick.Generator.
+func (randValue) Generate(r *rand.Rand, size int) reflect.Value {
+	d := size
+	if d > 3 {
+		d = 3
+	}
+	return reflect.ValueOf(randValue{V: genValue(r, d)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 500}
+
+func TestQuickLeqReflexive(t *testing.T) {
+	f := func(a randValue) bool { return Leq(a.V, a.V) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBottomBelowAll(t *testing.T) {
+	f := func(a randValue) bool { return Leq(Bottom, a.V) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLeqAntisymmetricUpToEqual(t *testing.T) {
+	f := func(a, b randValue) bool {
+		if Leq(a.V, b.V) && Leq(b.V, a.V) {
+			// Mutually comparable records must have the same fields; for
+			// non-set values this means structural equality. (Sets are
+			// ordered by the relation preorder, which is not antisymmetric:
+			// {⊥, x} and {⊥} are mutually below each other.)
+			if a.V.Kind() == KindSet || b.V.Kind() == KindSet || containsSet(a.V) || containsSet(b.V) {
+				return true
+			}
+			return Equal(a.V, b.V)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsSet(v Value) bool {
+	switch vv := v.(type) {
+	case *Set:
+		return true
+	case *Record:
+		found := false
+		vv.Each(func(_ string, f Value) { found = found || containsSet(f) })
+		return found
+	case *List:
+		for _, e := range vv.Elems {
+			if containsSet(e) {
+				return true
+			}
+		}
+		return false
+	case *Tag:
+		return containsSet(vv.Payload)
+	default:
+		return false
+	}
+}
+
+func TestQuickJoinUpperBound(t *testing.T) {
+	f := func(a, b randValue) bool {
+		j, err := Join(a.V, b.V)
+		if err != nil {
+			return true // partiality: a failed join claims nothing
+		}
+		return Leq(a.V, j) && Leq(b.V, j)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(a, b randValue) bool {
+		j1, e1 := Join(a.V, b.V)
+		j2, e2 := Join(b.V, a.V)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		return e1 != nil || Equal(j1, j2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIdempotent(t *testing.T) {
+	// Idempotence holds for set-free values. For sets the join is the
+	// generalized *natural join*, which can merge compatible incomparable
+	// members of a relation with themselves: {{A=1},{B=2}} ⋈ itself yields
+	// {{A=1,B=2}} — exactly natural-join semantics, tested separately.
+	f := func(a randValue) bool {
+		if containsSet(a.V) {
+			return true
+		}
+		j, err := Join(a.V, a.V)
+		return err == nil && Equal(j, a.V)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetSelfJoinMergesCompatible(t *testing.T) {
+	s := NewSet(Rec("A", Int(1)), Rec("B", Int(2)))
+	j := SetJoin(s, s)
+	want := NewSet(Rec("A", Int(1), "B", Int(2)))
+	if !Equal(j, want) {
+		t.Errorf("self-join = %s, want %s", j, want)
+	}
+	// On a relation whose members pairwise conflict (a keyed relation),
+	// self-join is the identity, as for the classical natural join.
+	keyed := NewSet(
+		Rec("Name", String("J Doe"), "Dept", String("Sales")),
+		Rec("Name", String("M Dee"), "Dept", String("Manuf")),
+	)
+	if !Equal(SetJoin(keyed, keyed), keyed) {
+		t.Error("self-join of a keyed relation should be the identity")
+	}
+}
+
+func TestQuickJoinDefinedIffUpperBoundForRecords(t *testing.T) {
+	// For set-free values, Leq(a, b) implies Join(a, b) = b.
+	f := func(a, b randValue) bool {
+		if containsSet(a.V) || containsSet(b.V) {
+			return true
+		}
+		if !Leq(a.V, b.V) {
+			return true
+		}
+		j, err := Join(a.V, b.V)
+		return err == nil && Equal(j, b.V)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinAssociative(t *testing.T) {
+	// For set-free values ⊔ is associative where defined: if both
+	// groupings are defined they agree; and mixed definedness implies a
+	// conflict exists in the triple either way.
+	f := func(a, b, c randValue) bool {
+		if containsSet(a.V) || containsSet(b.V) || containsSet(c.V) {
+			return true
+		}
+		l1, e1 := Join(a.V, b.V)
+		var left Value
+		var leftErr error
+		if e1 == nil {
+			left, leftErr = Join(l1, c.V)
+		} else {
+			leftErr = e1
+		}
+		r1, e2 := Join(b.V, c.V)
+		var right Value
+		var rightErr error
+		if e2 == nil {
+			right, rightErr = Join(a.V, r1)
+		} else {
+			rightErr = e2
+		}
+		if leftErr == nil && rightErr == nil {
+			return Equal(left, right)
+		}
+		// One side failing while the other succeeds cannot happen for the
+		// record/atom domain: both orders must detect the same conflicts.
+		return (leftErr == nil) == (rightErr == nil)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLeqTransitive(t *testing.T) {
+	// Build comparable chains explicitly: a ⊑ a⊔x ⊑ (a⊔x)⊔y when defined.
+	f := func(a, x, y randValue) bool {
+		if containsSet(a.V) || containsSet(x.V) || containsSet(y.V) {
+			return true
+		}
+		b, err := Join(a.V, x.V)
+		if err != nil {
+			return true
+		}
+		c, err := Join(b, y.V)
+		if err != nil {
+			return true
+		}
+		return Leq(a.V, b) && Leq(b, c) && Leq(a.V, c)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeetLowerBound(t *testing.T) {
+	f := func(a, b randValue) bool {
+		if containsSet(a.V) || containsSet(b.V) {
+			return true // meet is not defined pointwise for sets
+		}
+		m := Meet(a.V, b.V)
+		return Leq(m, a.V) && Leq(m, b.V)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualMatchesKey(t *testing.T) {
+	f := func(a, b randValue) bool {
+		return Equal(a.V, b.V) == (Key(a.V) == Key(b.V))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCopyEqualAndIndependent(t *testing.T) {
+	f := func(a randValue) bool {
+		cp := Copy(a.V)
+		if !Equal(cp, a.V) {
+			return false
+		}
+		if rec, ok := cp.(*Record); ok {
+			rec.Set("ZZZ_fresh", Int(1))
+			if orig, ok := a.V.(*Record); ok {
+				if _, present := orig.Get("ZZZ_fresh"); present {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTypeOfRespectsLeq(t *testing.T) {
+	// More informative set-free, ⊥-free objects have smaller (more
+	// specific) record types: o ⊑ o' on records implies TypeOf(o') ≤
+	// TypeOf(o) — the paper's observation that the object order is the
+	// reverse of the type order. (⊥-containing objects are excluded:
+	// TypeOf(⊥) = Bottom, so refining ⊥ to any proper value moves the type
+	// *up*, not down — ⊥ is "no information", not "every information".)
+	f := func(a, b randValue) bool {
+		ra, ok1 := a.V.(*Record)
+		rb, ok2 := b.V.(*Record)
+		if !ok1 || !ok2 || containsSet(ra) || containsSet(rb) ||
+			containsBottom(ra) || containsBottom(rb) {
+			return true
+		}
+		if !Leq(ra, rb) {
+			return true
+		}
+		return types.Subtype(TypeOf(rb), TypeOf(ra))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsBottom(v Value) bool {
+	switch vv := v.(type) {
+	case bottomValue:
+		return true
+	case *Record:
+		found := false
+		vv.Each(func(_ string, f Value) { found = found || containsBottom(f) })
+		return found
+	case *List:
+		for _, e := range vv.Elems {
+			if containsBottom(e) {
+				return true
+			}
+		}
+		// An empty list types as List[Bottom]: the same caveat applies.
+		return len(vv.Elems) == 0
+	case *Tag:
+		return containsBottom(vv.Payload)
+	default:
+		return false
+	}
+}
+
+func TestQuickConformsOwnType(t *testing.T) {
+	f := func(a randValue) bool { return Conforms(a.V, TypeOf(a.V)) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaximalFastEqualsNaive(t *testing.T) {
+	// The signature/discriminator-pruned Maximal must agree with the naive
+	// O(n²) definition on record-only inputs large enough to take the fast
+	// path, including comparable chains and duplicates.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var vs []Value
+		n := 40 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			rec := NewRecord()
+			for _, l := range []string{"A", "B", "C", "D"} {
+				switch rng.Intn(4) {
+				case 0:
+					rec.Set(l, Int(int64(rng.Intn(3))))
+				case 1:
+					rec.Set(l, Rec("X", Int(int64(rng.Intn(2)))))
+				case 2:
+					rec.Set(l, Rec("X", Int(int64(rng.Intn(2))), "Y", Int(int64(rng.Intn(2)))))
+				}
+			}
+			vs = append(vs, rec)
+			if rng.Intn(5) == 0 { // inject duplicates
+				vs = append(vs, Copy(rec))
+			}
+		}
+		fast := Maximal(vs)
+		naive := maximalNaive(vs)
+		if len(fast) != len(naive) {
+			return false
+		}
+		for i := range fast {
+			if !Equal(fast[i], naive[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaximalIsCochain(t *testing.T) {
+	f := func(a, b, c randValue) bool {
+		out := Maximal([]Value{a.V, b.V, c.V})
+		for i, x := range out {
+			for j, y := range out {
+				if i != j && Leq(x, y) && !Leq(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

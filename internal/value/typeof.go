@@ -1,0 +1,89 @@
+package value
+
+import (
+	"dbpl/internal/types"
+)
+
+// TypeVal is a type treated as a value — the result of Amber's typeOf
+// applied to a dynamic value. Its type is the basic type Type.
+type TypeVal struct {
+	T types.Type
+}
+
+// NewTypeVal wraps a type as a value.
+func NewTypeVal(t types.Type) *TypeVal { return &TypeVal{T: t} }
+
+// Kind implements Value.
+func (*TypeVal) Kind() Kind { return KindType }
+
+// String implements Value.
+func (tv *TypeVal) String() string { return "type(" + tv.T.String() + ")" }
+
+// TypeOf returns the most specific type of v. For containers the element
+// type is the join of the element types, so an empty list has type
+// List[Bottom] — which is a subtype of every list type, exactly what lets a
+// base part with no components inhabit the paper's recursive Part type.
+//
+// Values may share structure (DAGs); results are memoized per record so the
+// traversal is linear in the number of distinct nodes. A cyclic value is
+// given Top at the back edge, a conservative answer that keeps TypeOf total.
+func TypeOf(v Value) types.Type {
+	return typeOf(v, map[*Record]types.Type{})
+}
+
+// inProgress marks a record currently being typed (cycle detection).
+var inProgress = types.Type(types.Top)
+
+func typeOf(v Value, memo map[*Record]types.Type) types.Type {
+	switch vv := v.(type) {
+	case Int:
+		return types.Int
+	case Float:
+		return types.Float
+	case String:
+		return types.String
+	case Bool:
+		return types.Bool
+	case unitValue:
+		return types.Unit
+	case bottomValue:
+		return types.Bottom
+	case *TypeVal:
+		return types.TypeRep
+	case *Record:
+		if t, ok := memo[vv]; ok {
+			return t // includes the Top answer for back edges
+		}
+		memo[vv] = inProgress
+		fs := make([]types.Field, vv.Len())
+		for i, l := range vv.labels {
+			fs[i] = types.Field{Label: l, Type: typeOf(vv.values[i], memo)}
+		}
+		t := types.NewRecord(fs...)
+		memo[vv] = t
+		return t
+	case *List:
+		elem := types.Type(types.Bottom)
+		for _, e := range vv.Elems {
+			elem = types.Join(elem, typeOf(e, memo))
+		}
+		return types.NewList(elem)
+	case *Set:
+		elem := types.Type(types.Bottom)
+		for _, e := range vv.elems {
+			elem = types.Join(elem, typeOf(e, memo))
+		}
+		return types.NewSet(elem)
+	case *Tag:
+		return types.NewVariant(types.Field{Label: vv.Label, Type: typeOf(vv.Payload, memo)})
+	default:
+		return types.Top
+	}
+}
+
+// Conforms reports whether v can be used at type t — v's most specific type
+// is a subtype of t. This is the dynamic check behind coerce and behind the
+// generic Get function's filtering of a heterogeneous database.
+func Conforms(v Value, t types.Type) bool {
+	return types.Subtype(TypeOf(v), t)
+}

@@ -1,0 +1,521 @@
+// Package value implements the object domain of Buneman & Atkinson's
+// SIGMOD '86 paper: atoms, records-as-partial-functions, lists, sets and
+// tagged variants, together with the *information ordering* o ⊑ o' ("o'
+// contains more information than o"), the partial *join* o ⊔ o' that merges
+// the information in two objects, and a most-specific-type function TypeOf.
+//
+// Records here are mutable and have pointer identity, reflecting the
+// object-oriented reading of the paper: "objects are not identified by
+// intrinsic properties". Structural operations (Leq, Join, Equal, keys)
+// always work on the current contents.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dbpl/internal/types"
+)
+
+// Kind discriminates the concrete representations of Value.
+type Kind int
+
+// The kinds of value in the domain.
+const (
+	KindInvalid Kind = iota
+	KindBottom       // ⊥ — the wholly uninformative object
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindUnit
+	KindRecord
+	KindList
+	KindSet
+	KindTag  // a variant value: Label(payload)
+	KindType // a type treated as a value (Amber's typeOf results)
+	KindOpaque
+)
+
+// Value is an object in the database domain. Concrete representations are
+// Int, Float, String, Bool, Unit, Bottom, *Record, *List, *Set, *Tag and
+// *TypeVal; packages building on this one (closures in the language
+// evaluator) may add opaque kinds.
+type Value interface {
+	// Kind reports which concrete representation this is.
+	Kind() Kind
+	// String renders the value in the paper's notation, e.g.
+	// {Name = 'J Doe', Addr = {City = 'Austin'}}.
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Atoms
+// ---------------------------------------------------------------------------
+
+// Int is an integer atom.
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// String implements Value.
+func (v Int) String() string { return strconv.FormatInt(int64(v), 10) }
+
+// Float is a floating-point atom.
+type Float float64
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+
+// String implements Value.
+func (v Float) String() string {
+	if v == Float(math.Trunc(float64(v))) && math.Abs(float64(v)) < 1e15 {
+		return strconv.FormatFloat(float64(v), 'f', 1, 64)
+	}
+	return strconv.FormatFloat(float64(v), 'g', -1, 64)
+}
+
+// String is a string atom.
+type String string
+
+// Kind implements Value.
+func (String) Kind() Kind { return KindString }
+
+// String implements Value; strings print in the paper's quote style.
+func (v String) String() string { return "'" + string(v) + "'" }
+
+// Bool is a boolean atom.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// String implements Value.
+func (v Bool) String() string { return strconv.FormatBool(bool(v)) }
+
+// unitValue is the sole value of type Unit.
+type unitValue struct{}
+
+// Unit is the single value of the Unit type.
+var Unit Value = unitValue{}
+
+// Kind implements Value.
+func (unitValue) Kind() Kind { return KindUnit }
+
+// String implements Value.
+func (unitValue) String() string { return "unit" }
+
+// bottomValue is ⊥, below every object in the information ordering.
+type bottomValue struct{}
+
+// Bottom is ⊥: the object carrying no information at all. It is below every
+// value in the ordering and is the unit of Join.
+var Bottom Value = bottomValue{}
+
+// Kind implements Value.
+func (bottomValue) Kind() Kind { return KindBottom }
+
+// String implements Value.
+func (bottomValue) String() string { return "⊥" }
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+// Record is a record object — in the paper's treatment, a partial function
+// from labels to values. An absent field means "no information", so adding
+// a field produces a more informative object. Records are mutable and have
+// pointer identity.
+type Record struct {
+	labels []string // sorted
+	values []Value  // parallel to labels
+}
+
+// NewRecord returns an empty record object.
+func NewRecord() *Record { return &Record{} }
+
+// Rec builds a record from alternating label, value pairs:
+// Rec("Name", String("J Doe"), "Age", Int(42)). It panics on an odd number
+// of arguments or a non-string label, which indicate programming errors.
+func Rec(pairs ...any) *Record {
+	if len(pairs)%2 != 0 {
+		panic("value: Rec requires label/value pairs")
+	}
+	r := NewRecord()
+	for i := 0; i < len(pairs); i += 2 {
+		label, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("value: Rec label %v is not a string", pairs[i]))
+		}
+		v, ok := pairs[i+1].(Value)
+		if !ok {
+			panic(fmt.Sprintf("value: Rec value for %q is not a Value", label))
+		}
+		r.Set(label, v)
+	}
+	return r
+}
+
+// Kind implements Value.
+func (r *Record) Kind() Kind { return KindRecord }
+
+// Len reports the number of fields.
+func (r *Record) Len() int { return len(r.labels) }
+
+// Labels returns the field labels in sorted order.
+func (r *Record) Labels() []string {
+	out := make([]string, len(r.labels))
+	copy(out, r.labels)
+	return out
+}
+
+// Get returns the value of the named field, if present.
+func (r *Record) Get(label string) (Value, bool) {
+	i := sort.SearchStrings(r.labels, label)
+	if i < len(r.labels) && r.labels[i] == label {
+		return r.values[i], true
+	}
+	return nil, false
+}
+
+// MustGet is Get but panics when the field is absent; for fixtures/tests.
+func (r *Record) MustGet(label string) Value {
+	v, ok := r.Get(label)
+	if !ok {
+		panic(fmt.Sprintf("value: record has no field %q", label))
+	}
+	return v
+}
+
+// Set adds or replaces the named field in place. This is the operation that
+// makes the paper's object extension possible: an existing Person record can
+// be enriched to an Employee without disturbing references to it.
+func (r *Record) Set(label string, v Value) {
+	i := sort.SearchStrings(r.labels, label)
+	if i < len(r.labels) && r.labels[i] == label {
+		r.values[i] = v
+		return
+	}
+	r.labels = append(r.labels, "")
+	r.values = append(r.values, nil)
+	copy(r.labels[i+1:], r.labels[i:])
+	copy(r.values[i+1:], r.values[i:])
+	r.labels[i] = label
+	r.values[i] = v
+}
+
+// Delete removes the named field if present, reporting whether it was there.
+func (r *Record) Delete(label string) bool {
+	i := sort.SearchStrings(r.labels, label)
+	if i >= len(r.labels) || r.labels[i] != label {
+		return false
+	}
+	r.labels = append(r.labels[:i], r.labels[i+1:]...)
+	r.values = append(r.values[:i], r.values[i+1:]...)
+	return true
+}
+
+// Each calls f for every field in label order.
+func (r *Record) Each(f func(label string, v Value)) {
+	for i, l := range r.labels {
+		f(l, r.values[i])
+	}
+}
+
+// Copy returns a deep copy of the record (sharing atoms, copying all
+// containers).
+func (r *Record) Copy() *Record {
+	out := &Record{labels: append([]string(nil), r.labels...), values: make([]Value, len(r.values))}
+	for i, v := range r.values {
+		out.values[i] = Copy(v)
+	}
+	return out
+}
+
+// String implements Value.
+func (r *Record) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range r.labels {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(l)
+		b.WriteString(" = ")
+		b.WriteString(r.values[i].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Lists
+// ---------------------------------------------------------------------------
+
+// List is a finite sequence of values.
+type List struct {
+	Elems []Value
+}
+
+// NewList returns a list of the given elements.
+func NewList(elems ...Value) *List { return &List{Elems: append([]Value(nil), elems...)} }
+
+// Kind implements Value.
+func (l *List) Kind() Kind { return KindList }
+
+// Len reports the number of elements.
+func (l *List) Len() int { return len(l.Elems) }
+
+// Append adds a value at the end.
+func (l *List) Append(v Value) { l.Elems = append(l.Elems, v) }
+
+// String implements Value.
+func (l *List) String() string {
+	var b strings.Builder
+	b.WriteString("list(")
+	for i, e := range l.Elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Sets
+// ---------------------------------------------------------------------------
+
+// Set is a finite set of values, deduplicated by structural equality.
+type Set struct {
+	elems []Value
+	keys  map[string]int // canonical key -> index
+}
+
+// NewSet returns a set of the given elements with duplicates removed.
+func NewSet(elems ...Value) *Set {
+	s := &Set{keys: map[string]int{}}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Kind implements Value.
+func (s *Set) Kind() Kind { return KindSet }
+
+// Len reports the number of distinct elements.
+func (s *Set) Len() int { return len(s.elems) }
+
+// Add inserts v, reporting whether the set changed.
+func (s *Set) Add(v Value) bool {
+	if s.keys == nil {
+		s.keys = map[string]int{}
+	}
+	k := Key(v)
+	if _, ok := s.keys[k]; ok {
+		return false
+	}
+	s.keys[k] = len(s.elems)
+	s.elems = append(s.elems, v)
+	return true
+}
+
+// Contains reports whether a structurally equal element is present.
+func (s *Set) Contains(v Value) bool {
+	if s.keys == nil {
+		return false
+	}
+	_, ok := s.keys[Key(v)]
+	return ok
+}
+
+// Remove deletes the element structurally equal to v, reporting whether it
+// was present.
+func (s *Set) Remove(v Value) bool {
+	if s.keys == nil {
+		return false
+	}
+	k := Key(v)
+	i, ok := s.keys[k]
+	if !ok {
+		return false
+	}
+	last := len(s.elems) - 1
+	if i != last {
+		s.elems[i] = s.elems[last]
+		s.keys[Key(s.elems[i])] = i
+	}
+	s.elems = s.elems[:last]
+	delete(s.keys, k)
+	return true
+}
+
+// Elems returns the elements in insertion order (after removals the order of
+// the tail may differ). The slice is a copy.
+func (s *Set) Elems() []Value { return append([]Value(nil), s.elems...) }
+
+// Each calls f for each element.
+func (s *Set) Each(f func(Value)) {
+	for _, e := range s.elems {
+		f(e)
+	}
+}
+
+// String implements Value; elements print in canonical (sorted-key) order so
+// equal sets print identically.
+func (s *Set) String() string {
+	keys := make([]string, len(s.elems))
+	byKey := map[string]Value{}
+	for i, e := range s.elems {
+		keys[i] = Key(e)
+		byKey[keys[i]] = e
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(byKey[k].String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Variant values
+// ---------------------------------------------------------------------------
+
+// Tag is a variant value: the named alternative carrying a payload.
+type Tag struct {
+	Label   string
+	Payload Value
+}
+
+// NewTag returns the variant value Label(payload).
+func NewTag(label string, payload Value) *Tag { return &Tag{Label: label, Payload: payload} }
+
+// Kind implements Value.
+func (*Tag) Kind() Kind { return KindTag }
+
+// String implements Value.
+func (t *Tag) String() string { return t.Label + "(" + t.Payload.String() + ")" }
+
+// ---------------------------------------------------------------------------
+// Copy, equality, canonical keys
+// ---------------------------------------------------------------------------
+
+// Copy deep-copies containers and shares atoms. Opaque values are shared.
+func Copy(v Value) Value {
+	switch vv := v.(type) {
+	case *Record:
+		return vv.Copy()
+	case *List:
+		out := &List{Elems: make([]Value, len(vv.Elems))}
+		for i, e := range vv.Elems {
+			out.Elems[i] = Copy(e)
+		}
+		return out
+	case *Set:
+		out := NewSet()
+		for _, e := range vv.elems {
+			out.Add(Copy(e))
+		}
+		return out
+	case *Tag:
+		return NewTag(vv.Label, Copy(vv.Payload))
+	default:
+		return v
+	}
+}
+
+// Equal reports deep structural equality. Int and Float atoms are never
+// equal to each other even when numerically equal, mirroring the type
+// distinction. Opaque values are equal only when identical.
+func Equal(a, b Value) bool {
+	if a == b {
+		return true
+	}
+	return Key(a) == Key(b)
+}
+
+// Key returns a canonical string for v: structurally equal values share a
+// key and distinct values practically never collide. Set elements are
+// ordered by their own keys, so the key is order-insensitive for sets.
+func Key(v Value) string {
+	var b strings.Builder
+	writeKey(&b, v)
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, v Value) {
+	switch vv := v.(type) {
+	case Int:
+		fmt.Fprintf(b, "i%d", int64(vv))
+	case Float:
+		fmt.Fprintf(b, "f%x", math.Float64bits(float64(vv)))
+	case String:
+		fmt.Fprintf(b, "s%d:%s", len(vv), string(vv))
+	case Bool:
+		if vv {
+			b.WriteString("bt")
+		} else {
+			b.WriteString("bf")
+		}
+	case unitValue:
+		b.WriteString("u")
+	case bottomValue:
+		b.WriteString("⊥")
+	case *Record:
+		b.WriteByte('{')
+		for i, l := range vv.labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%d:%s=", len(l), l)
+			writeKey(b, vv.values[i])
+		}
+		b.WriteByte('}')
+	case *List:
+		b.WriteString("l(")
+		for i, e := range vv.Elems {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeKey(b, e)
+		}
+		b.WriteByte(')')
+	case *Set:
+		keys := make([]string, len(vv.elems))
+		for i, e := range vv.elems {
+			keys[i] = Key(e)
+		}
+		sort.Strings(keys)
+		b.WriteString("S(")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+		}
+		b.WriteByte(')')
+	case *Tag:
+		fmt.Fprintf(b, "t%d:%s(", len(vv.Label), vv.Label)
+		writeKey(b, vv.Payload)
+		b.WriteByte(')')
+	case *TypeVal:
+		b.WriteString("T<")
+		b.WriteString(types.Key(vv.T))
+		b.WriteByte('>')
+	default:
+		// Opaque values: identity only.
+		fmt.Fprintf(b, "opaque%p", v)
+	}
+}
