@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench report examples fuzz clean
+.PHONY: all build vet fmt-check test test-short race bench report examples fuzz clean
 
-all: build vet test
+all: build vet fmt-check test race
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
+
+# The concurrency stress tests (core engine, persist stores) are only
+# meaningful under the race detector.
+race:
+	$(GO) test -race ./...
 
 # Skips the end-to-end `go run` example tests.
 test-short:
@@ -22,7 +32,7 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every experiment (E1–E10) as paper-style tables.
+# Regenerate every experiment (E1–E11) as paper-style tables.
 report:
 	$(GO) run ./cmd/benchreport
 

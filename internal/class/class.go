@@ -89,6 +89,7 @@ type Class struct {
 	name   string
 	kind   Kind
 	typ    types.Type
+	in     *types.Interned // canonical handle of typ
 	supers []*Class
 	attrs  *value.Record // class-level attributes (instance-hierarchy use)
 	extent []*Object
@@ -108,6 +109,10 @@ func (c *Class) Kind() Kind { return c.kind }
 
 // Type returns the record type associated with the class.
 func (c *Class) Type() types.Type { return c.typ }
+
+// Interned returns the canonical handle of the class type, so conformance
+// checks against the class are pointer-keyed cache hits.
+func (c *Class) Interned() *types.Interned { return c.in }
 
 // Attrs returns the class-level attribute record, creating it on first use.
 // These are the "properties of the class" in the paper's products scenario
@@ -156,18 +161,19 @@ func (s *Schema) Declare(name string, kind Kind, typ types.Type, isa ...string) 
 	if _, dup := s.classes[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateClass, name)
 	}
+	in := types.Intern(typ)
 	var supers []*Class
 	for _, up := range isa {
 		sc, ok := s.classes[up]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownClass, up)
 		}
-		if !types.Subtype(typ, sc.typ) {
+		if !types.SubtypeInterned(in, sc.in) {
 			return nil, fmt.Errorf("%w: %s ≤ %s fails", ErrNotSubtype, typ, sc.typ)
 		}
 		supers = append(supers, sc)
 	}
-	c := &Class{name: name, kind: kind, typ: typ, supers: supers, schema: s}
+	c := &Class{name: name, kind: kind, typ: typ, in: in, supers: supers, schema: s}
 	s.classes[name] = c
 	return c, nil
 }
@@ -208,7 +214,7 @@ func (s *Schema) NewObject(c *Class, rec *value.Record) (*Object, error) {
 	if c.kind != VariableClass {
 		return nil, fmt.Errorf("%w: %q", ErrNoExtent, c.name)
 	}
-	if !value.Conforms(rec, c.typ) {
+	if !value.ConformsInterned(rec, c.in) {
 		return nil, fmt.Errorf("%w: %s : %s", ErrNotConforming, rec, c.typ)
 	}
 	s.mu.Lock()
@@ -267,7 +273,7 @@ func (s *Schema) Specialize(o *Object, sub *Class, extra *value.Record) error {
 	if err != nil {
 		return err
 	}
-	if !value.Conforms(merged, sub.typ) {
+	if !value.ConformsInterned(merged, sub.in) {
 		return fmt.Errorf("%w: %s : %s", ErrNotConforming, merged, sub.typ)
 	}
 	// Commit: write the new fields into the original record in place.

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dbpl/internal/dynamic"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// TestStressParallelInsertGetFork hammers one database from three kinds of
+// goroutine at once — inserters, getters and forkers — under both
+// strategies. Run with -race; the assertions here are the invariants that
+// survive interleaving: Get results are always well-formed members, forks
+// are consistent prefixes plus nothing foreign, and the final state is
+// exactly what was inserted.
+func TestStressParallelInsertGetFork(t *testing.T) {
+	for _, strat := range []Strategy{StrategyScan, StrategyIndexed} {
+		t.Run(strat.String(), func(t *testing.T) {
+			db := New(strat)
+			const (
+				inserters   = 4
+				perInserter = 300
+				getters     = 4
+				forkers     = 2
+			)
+			var writers, readers sync.WaitGroup
+			done := make(chan struct{})
+			for g := 0; g < inserters; g++ {
+				writers.Add(1)
+				go func(g int) {
+					defer writers.Done()
+					for i := 0; i < perInserter; i++ {
+						if i%2 == 0 {
+							db.InsertValue(person(fmt.Sprintf("p%d-%d", g, i), "Austin"))
+						} else {
+							db.InsertValue(employee(fmt.Sprintf("e%d-%d", g, i), "Austin", i, "Sales"))
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < getters; g++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						// Employee snapshot first: members are never removed
+						// from db, so everything in the earlier employee
+						// snapshot is still present — and still a person — in
+						// the later person snapshot. (The other order is not
+						// an invariant: the database may grow arbitrarily
+						// between the two calls.)
+						es := db.Get(employeeT)
+						ps := db.Get(personT)
+						if len(es) > len(ps) {
+							t.Errorf("Get[Employee] (%d) larger than Get[Person] (%d)", len(es), len(ps))
+							return
+						}
+						for _, p := range ps {
+							if !types.Subtype(p.Witness, personT) {
+								t.Errorf("Get[Person] returned witness %s", p.Witness)
+								return
+							}
+						}
+					}
+				}()
+			}
+			for g := 0; g < forkers; g++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						f := db.Fork()
+						n := f.Len()
+						if got := len(f.All()); got != n {
+							t.Errorf("fork: Len %d but All returned %d", n, got)
+							return
+						}
+						// The fork evolves independently of the parent.
+						d := f.InsertValue(person("fork-only", "Nowhere"))
+						if !f.Remove(d) {
+							t.Errorf("fork lost its own insert")
+							return
+						}
+					}
+				}()
+			}
+			// Wait for the inserters, then stop the readers.
+			writers.Wait()
+			close(done)
+			readers.Wait()
+
+			if got := db.Len(); got != inserters*perInserter {
+				t.Fatalf("Len = %d, want %d", got, inserters*perInserter)
+			}
+			if got := len(db.Get(personT)); got != inserters*perInserter {
+				t.Errorf("Get[Person] = %d, want %d", got, inserters*perInserter)
+			}
+			if got := len(db.Get(employeeT)); got != inserters*perInserter/2 {
+				t.Errorf("Get[Employee] = %d, want %d", got, inserters*perInserter/2)
+			}
+		})
+	}
+}
+
+// TestScanWorkerSettingsAgree checks the parallel scan against the
+// sequential one on a database large enough to cross the fan-out threshold.
+func TestScanWorkerSettingsAgree(t *testing.T) {
+	db := New(StrategyScan)
+	for i := 0; i < 2*scanParallelMin; i++ {
+		if i%3 == 0 {
+			db.InsertValue(employee(fmt.Sprintf("e%d", i), "Austin", i, "Sales"))
+		} else {
+			db.InsertValue(person(fmt.Sprintf("p%d", i), "Austin"))
+		}
+	}
+	db.SetScanWorkers(1)
+	seq := db.Get(employeeT)
+	db.SetScanWorkers(8)
+	par := db.Get(employeeT)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential scan found %d, parallel found %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Value != par[i].Value {
+			t.Fatalf("order diverges at %d: %s vs %s", i, seq[i], par[i])
+		}
+	}
+}
+
+// entrySpec drives the Get-vs-reference-scan property: a recipe for a small
+// heterogeneous database plus a query type.
+type entrySpec struct {
+	Kinds []uint8
+	Query uint8
+}
+
+// Generate implements quick.Generator.
+func (entrySpec) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(60)
+	ks := make([]uint8, n)
+	for i := range ks {
+		ks[i] = uint8(r.Intn(4))
+	}
+	return reflect.ValueOf(entrySpec{Kinds: ks, Query: uint8(r.Intn(4))})
+}
+
+func (s entrySpec) build(i int, k uint8) value.Value {
+	switch k % 4 {
+	case 0:
+		return person(fmt.Sprintf("p%d", i), "Austin")
+	case 1:
+		return employee(fmt.Sprintf("e%d", i), "Austin", i, "Sales")
+	case 2:
+		return student(fmt.Sprintf("s%d", i), "Austin", i)
+	default:
+		return value.Int(int64(i))
+	}
+}
+
+func (s entrySpec) queryType() types.Type {
+	switch s.Query % 4 {
+	case 0:
+		return personT
+	case 1:
+		return employeeT
+	case 2:
+		return studentT
+	default:
+		return types.Top
+	}
+}
+
+// TestQuickGetMatchesReferenceScan is the engine-semantics property: for a
+// random database and query, the sharded Get (both strategies, sequential
+// and fanned-out) returns exactly the members a plain reference scan over
+// All() selects, in the same order.
+func TestQuickGetMatchesReferenceScan(t *testing.T) {
+	f := func(spec entrySpec) bool {
+		db := New(StrategyScan)
+		for i, k := range spec.Kinds {
+			db.InsertValue(spec.build(i, k))
+		}
+		q := spec.queryType()
+
+		// Reference: a sequential filter over the merged, ordered contents.
+		var want []value.Value
+		for _, d := range db.All() {
+			if types.Subtype(d.Type(), q) {
+				want = append(want, d.Value())
+			}
+		}
+
+		check := func(ps []Packed) bool {
+			if len(ps) != len(want) {
+				return false
+			}
+			for i := range ps {
+				if ps[i].Value != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(db.Get(q)) {
+			return false
+		}
+		db.SetScanWorkers(8)
+		if !check(db.Get(q)) {
+			return false
+		}
+		db.SetStrategy(StrategyIndexed)
+		if !check(db.Get(q)) { // builds extents
+			return false
+		}
+		return check(db.Get(q)) // reads extents
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForkIsolationAfterCOW verifies the copy-on-write boundary: appends on
+// either side of a fork never leak into the other, even when the shared
+// backing arrays had spare capacity.
+func TestForkIsolationAfterCOW(t *testing.T) {
+	db := New(StrategyIndexed)
+	var ds []*dynamic.Dynamic
+	for i := 0; i < 200; i++ {
+		ds = append(ds, db.InsertValue(person(fmt.Sprintf("p%d", i), "Austin")))
+	}
+	db.Get(personT) // build extents so forks copy them too
+	f := db.Fork()
+
+	db.InsertValue(person("parent-only", "Austin"))
+	f.InsertValue(employee("fork-only", "Austin", 1, "Sales"))
+	f.Remove(ds[0])
+
+	if got := db.Len(); got != 201 {
+		t.Errorf("parent Len = %d, want 201", got)
+	}
+	if got := f.Len(); got != 200 {
+		t.Errorf("fork Len = %d, want 200", got)
+	}
+	for _, p := range db.Get(employeeT) {
+		if p.Value.(*value.Record).MustGet("Name") == value.String("fork-only") {
+			t.Errorf("fork insert leaked into parent")
+		}
+	}
+	if got := len(f.Get(personT)); got != 200 {
+		t.Errorf("fork Get[Person] = %d, want 200", got)
+	}
+	if got := len(db.Get(personT)); got != 201 {
+		t.Errorf("parent Get[Person] = %d, want 201", got)
+	}
+}

@@ -23,8 +23,9 @@ import (
 // the basic type Dynamic), so dynamics can be stored in records, lists and
 // databases like anything else.
 type Dynamic struct {
-	v value.Value
-	t types.Type
+	v  value.Value
+	t  types.Type
+	in *types.Interned // canonical handle of t, computed at construction
 }
 
 // Kind implements value.Value.
@@ -37,7 +38,8 @@ func (d *Dynamic) String() string {
 
 // Make pairs v with the most specific type that can be computed for it.
 func Make(v value.Value) *Dynamic {
-	return &Dynamic{v: v, t: value.TypeOf(v)}
+	t := value.TypeOf(v)
+	return &Dynamic{v: v, t: t, in: types.Intern(t)}
 }
 
 // MakeAt pairs v with the declared type t, which must be conformed to; the
@@ -49,7 +51,7 @@ func MakeAt(v value.Value, t types.Type) (*Dynamic, error) {
 	if !value.Conforms(v, t) {
 		return nil, &CoerceError{Have: value.TypeOf(v), Want: t}
 	}
-	return &Dynamic{v: v, t: t}, nil
+	return &Dynamic{v: v, t: t, in: types.Intern(t)}, nil
 }
 
 // Value returns the carried value without any check. Use Coerce for the
@@ -59,6 +61,11 @@ func (d *Dynamic) Value() value.Value { return d.v }
 // Type returns the carried type description — the paper's typeOf function
 // on dynamics.
 func (d *Dynamic) Type() types.Type { return d.t }
+
+// Interned returns the canonical handle of the carried type. The extent
+// engine shards and indexes by it, and IsInterned makes the per-candidate
+// subtype test a pointer-keyed cache hit.
+func (d *Dynamic) Interned() *types.Interned { return d.in }
 
 // TypeVal returns the carried type reified as a value of type Type.
 func (d *Dynamic) TypeVal() *value.TypeVal { return value.NewTypeVal(d.t) }
@@ -88,4 +95,9 @@ func (d *Dynamic) Coerce(want types.Type) (value.Value, error) {
 
 // Is reports whether the dynamic's carried type is a subtype of t — the
 // test at the heart of the generic Get function.
-func (d *Dynamic) Is(t types.Type) bool { return types.Subtype(d.t, t) }
+func (d *Dynamic) Is(t types.Type) bool { return types.SubtypeInterned(d.in, types.Intern(t)) }
+
+// IsInterned is Is with the target already interned, for callers testing
+// many dynamics against one type: both cache keys are then pointers the
+// caller already holds.
+func (d *Dynamic) IsInterned(t *types.Interned) bool { return types.SubtypeInterned(d.in, t) }

@@ -211,9 +211,9 @@ func builtins() []*Builtin {
 				types.NewList(types.NewExists("u", types.NewVar("t"), types.NewVar("u"))))),
 			Arity: 1,
 			Fn: func(_ *Interp, pos Pos, targs []types.Type, args []value.Value) (value.Value, error) {
-				want := types.Type(types.Top)
+				want := types.Intern(types.Top)
 				if len(targs) >= 1 {
-					want = targs[0]
+					want = types.Intern(targs[0])
 				}
 				lst, err := wantList(pos, "get", args[0])
 				if err != nil {
@@ -225,7 +225,7 @@ func builtins() []*Builtin {
 					if !ok {
 						return nil, errAt(pos, "run", "database element is not a dynamic: %s", el)
 					}
-					if d.Is(want) {
+					if d.IsInterned(want) {
 						out.Append(d.Value())
 					}
 				}

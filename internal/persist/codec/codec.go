@@ -337,6 +337,9 @@ func (e *Encoder) encodeType(t types.Type) {
 type Decoder struct {
 	r    *bufio.Reader
 	refs []value.Value
+	// typeDepth tracks Type's recursion so only complete top-level types are
+	// canonicalized (open subterms under a binder should not be interned).
+	typeDepth int
 }
 
 // NewDecoder checks the image header and returns a decoder.
@@ -553,8 +556,21 @@ func (d *Decoder) Value() (value.Value, error) {
 	}
 }
 
-// Type reads one type descriptor.
+// Type reads one type descriptor. Top-level types are routed through
+// types.Canon, so every image of a schema decodes to the one canonical
+// in-memory representation — and hence one entry in every type-keyed cache
+// and one extent handle in the database engine.
 func (d *Decoder) Type() (types.Type, error) {
+	d.typeDepth++
+	t, err := d.typeInner()
+	d.typeDepth--
+	if err == nil && d.typeDepth == 0 {
+		t = types.Canon(t)
+	}
+	return t, err
+}
+
+func (d *Decoder) typeInner() (types.Type, error) {
 	tag, err := d.r.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)

@@ -1,0 +1,57 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// TestConcurrentMarshalUnmarshal round-trips tagged images from many
+// goroutines sharing the same declared type. Run with -race: the decoder's
+// canonicalization path (types.Canon) and the value layer's label signatures
+// are exercised concurrently.
+func TestConcurrentMarshalUnmarshal(t *testing.T) {
+	declared := types.MustParse("{Name: String, Age: Int}")
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v := value.Rec(
+					"Name", value.String(fmt.Sprintf("p%d-%d", g, i)),
+					"Age", value.Int(int64(i)),
+				)
+				img, err := MarshalTagged(v, declared)
+				if err != nil {
+					t.Errorf("MarshalTagged: %v", err)
+					return
+				}
+				got, typ, err := UnmarshalTagged(img)
+				if err != nil {
+					t.Errorf("UnmarshalTagged: %v", err)
+					return
+				}
+				if !value.Equal(got, v) {
+					t.Errorf("round trip changed value: %s", got)
+					return
+				}
+				if !types.Equal(typ, declared) {
+					t.Errorf("round trip changed type: %s", typ)
+					return
+				}
+				// Decoded types are canonical: every image of the schema
+				// shares one in-memory representation.
+				if types.Intern(typ).Type() != typ {
+					t.Errorf("decoded type is not the canonical representative")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

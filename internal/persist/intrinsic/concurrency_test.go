@@ -1,0 +1,55 @@
+package intrinsic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// TestConcurrentBindOpenCommit exercises the store from concurrent binders,
+// readers and committers. Run with -race.
+func TestConcurrentBindOpenCommit(t *testing.T) {
+	s := open(t)
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				name := fmt.Sprintf("r%d-%d", g, i)
+				v := value.Rec("Name", value.String(name), "N", value.Int(int64(i)))
+				if err := s.Bind(name, v, nil); err != nil {
+					t.Errorf("Bind: %v", err)
+					return
+				}
+				got, err := s.OpenAs(name, types.Top)
+				if err != nil {
+					t.Errorf("OpenAs: %v", err)
+					return
+				}
+				if !value.Equal(got, v) {
+					t.Errorf("OpenAs(%q) = %s", name, got)
+					return
+				}
+				if i%5 == 0 {
+					if _, err := s.Commit(); err != nil {
+						t.Errorf("Commit: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := reopen(t, s)
+	if got, want := len(s2.Names()), goroutines*15; got != want {
+		t.Errorf("roots after reopen = %d, want %d", got, want)
+	}
+}

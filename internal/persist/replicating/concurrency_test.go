@@ -1,0 +1,58 @@
+package replicating
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dbpl/internal/value"
+)
+
+// TestConcurrentExternIntern round-trips dynamics through the store from
+// many goroutines, each on its own handle, with interleaved Handles scans.
+// Run with -race.
+func TestConcurrentExternIntern(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				h := fmt.Sprintf("h%d-%d", g, i)
+				v := value.Rec("Name", value.String(h), "Age", value.Int(int64(i)))
+				if err := s.ExternValue(h, v); err != nil {
+					t.Errorf("ExternValue: %v", err)
+					return
+				}
+				d, err := s.Intern(h)
+				if err != nil {
+					t.Errorf("Intern: %v", err)
+					return
+				}
+				if !value.Equal(d.Value(), v) {
+					t.Errorf("round trip changed %q: %s", h, d.Value())
+					return
+				}
+				if i%7 == 0 {
+					if _, err := s.Handles(); err != nil {
+						t.Errorf("Handles: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hs, err := s.Handles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != goroutines*20 {
+		t.Errorf("Handles = %d, want %d", len(hs), goroutines*20)
+	}
+}

@@ -1,0 +1,47 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dbpl/internal/value"
+)
+
+// TestConcurrentBindLookupSave exercises the environment from concurrent
+// binders, readers and snapshotters. Run with -race.
+func TestConcurrentBindLookupSave(t *testing.T) {
+	e := NewEnvironment()
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				name := fmt.Sprintf("x%d-%d", g, i)
+				e.Bind(name, value.Rec("N", value.Int(int64(i))))
+				if _, ok := e.Lookup(name); !ok {
+					t.Errorf("binding %q lost", name)
+					return
+				}
+				if i%10 == 0 {
+					var buf bytes.Buffer
+					if err := Save(&buf, e); err != nil {
+						t.Errorf("Save: %v", err)
+						return
+					}
+					if _, err := Resume(&buf); err != nil {
+						t.Errorf("Resume: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := e.Len(), goroutines*40; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+}

@@ -348,7 +348,8 @@ func Diff(r, s *Relation) *Relation {
 // conformance. This is precisely the class-extraction operation of the
 // paper's earlier sections, now expressed relationally.
 func ExtractByType(r *Relation, t types.Type) *Relation {
-	return Select(r, func(v value.Value) bool { return value.Conforms(v, t) })
+	want := types.Intern(t)
+	return Select(r, func(v value.Value) bool { return value.ConformsInterned(v, want) })
 }
 
 // String renders the relation with members in canonical order.

@@ -1,0 +1,104 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternCanonical(t *testing.T) {
+	a := MustParse("{Name: String, Age: Int}")
+	b := MustParse("{Age: Int, Name: String}") // same structure, fresh pointers
+	if Intern(a) != Intern(b) {
+		t.Errorf("structurally equal types interned to distinct handles")
+	}
+	if Intern(a).Key() != Key(a) {
+		t.Errorf("handle key %q != Key %q", Intern(a).Key(), Key(a))
+	}
+	if Intern(a) == Intern(MustParse("{Name: String}")) {
+		t.Errorf("distinct types share a handle")
+	}
+}
+
+func TestInternAlphaEquivalence(t *testing.T) {
+	a := MustParse("forall t . List[t] -> t")
+	b := MustParse("forall u . List[u] -> u")
+	if Intern(a) != Intern(b) {
+		t.Errorf("alpha-equivalent quantified types interned to distinct handles")
+	}
+	r1 := NewRec("x", NewRecord(Field{Label: "Next", Type: NewVar("x")}))
+	r2 := NewRec("y", NewRecord(Field{Label: "Next", Type: NewVar("y")}))
+	if Intern(r1) != Intern(r2) {
+		t.Errorf("alpha-equivalent recursive types interned to distinct handles")
+	}
+}
+
+func TestCanonSharesRepresentative(t *testing.T) {
+	a := MustParse("{Pay: Float, Boss: {Pay: Float}}")
+	b := MustParse("{Boss: {Pay: Float}, Pay: Float}")
+	ca, cb := Canon(a), Canon(b)
+	if ca != cb {
+		t.Errorf("Canon returned distinct representatives for equal types")
+	}
+	if Key(ca) != Key(a) {
+		t.Errorf("canonical representative changed the key")
+	}
+}
+
+// TestSubtypeInEmptyContextCached is the regression test for the cache
+// bypass asymmetry: a non-nil context that binds nothing must hit the same
+// verdict cache as a nil context.
+func TestSubtypeInEmptyContextCached(t *testing.T) {
+	// Fresh labels so the pair cannot already be cached by another test.
+	s := MustParse("{XEmptyCtxA: Int, XEmptyCtxB: String}")
+	u := MustParse("{XEmptyCtxA: Float}")
+	pair := internPair{Intern(s), Intern(u)}
+	if _, ok := subtypeCache.Load(pair); ok {
+		t.Fatalf("pair already cached; pick fresher labels")
+	}
+	if !SubtypeIn(new(Context), s, u) {
+		t.Fatalf("SubtypeIn(empty, s, u) = false, want true")
+	}
+	v, ok := subtypeCache.Load(pair)
+	if !ok {
+		t.Fatalf("empty-context SubtypeIn bypassed the verdict cache")
+	}
+	if v != true {
+		t.Fatalf("cached verdict = %v, want true", v)
+	}
+	// And a chain of zero-value nodes is still empty.
+	if !new(Context).Extend("", nil).isEmpty() {
+		t.Errorf("chain of unnamed nodes not recognized as empty")
+	}
+	if new(Context).Extend("t", Top).isEmpty() {
+		t.Errorf("binding context reported empty")
+	}
+}
+
+// TestQuickInternMatchesKey checks the interning invariant: two random types
+// (randType and genType come from quick_test.go) share a handle exactly when
+// they share a canonical key.
+func TestQuickInternMatchesKey(t *testing.T) {
+	f := func(a, b randType) bool {
+		return (Intern(a.T) == Intern(b.T)) == (Key(a.T) == Key(b.T))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecUnfoldStable checks the memoized unfolding: repeated Unfold
+// returns one pointer, and it interns to the folded type's handle (the
+// equi-recursive equality the subtype rules depend on).
+func TestQuickRecUnfoldStable(t *testing.T) {
+	f := func(a randType, seed int64) bool {
+		r := NewRec("x", NewRecord(
+			Field{Label: "V", Type: a.T},
+			Field{Label: "Next", Type: NewVar("x")},
+		))
+		u := r.Unfold()
+		return r.Unfold() == u && Equal(r, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

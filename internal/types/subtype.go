@@ -26,12 +26,31 @@ func (c *Context) Bound(name string) (Type, bool) {
 	return nil, false
 }
 
-// subtypeCache memoizes verdicts for closed type pairs. The paper notes that
-// a database programming language performs "a certain amount of computation
-// at the level of types"; caching keeps repeated extent extraction cheap.
-// DESIGN.md lists the cache as an ablation target (BenchmarkSubtype* with
-// SubtypeUncached).
-var subtypeCache sync.Map // string -> bool
+// isEmpty reports whether the context binds no variables. A non-nil chain of
+// zero-value nodes (e.g. new(Context)) is as empty as nil, and must hit the
+// same verdict cache.
+func (c *Context) isEmpty() bool {
+	for ctx := c; ctx != nil; ctx = ctx.parent {
+		if ctx.name != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// internPair is a pair of canonical type handles — the key of both the
+// global verdict cache and the per-derivation assumption set. Comparing and
+// hashing it is pointer work; no strings are built on the subtype hot path.
+type internPair [2]*Interned
+
+// subtypeCache memoizes verdicts for type pairs checked in an empty context.
+// The paper notes that a database programming language performs "a certain
+// amount of computation at the level of types"; caching keeps repeated
+// extent extraction cheap. The cache is keyed on interned handle pairs, so a
+// hit costs two pointer lookups instead of two key constructions and a
+// concatenation. DESIGN.md lists the cache as an ablation target
+// (BenchmarkSubtype* with SubtypeUncached).
+var subtypeCache sync.Map // internPair -> bool
 
 // Subtype reports whether s ≤ t: every value of type s is usable as a value
 // of type t. The order includes Int ≤ Float, record width and depth
@@ -41,39 +60,50 @@ var subtypeCache sync.Map // string -> bool
 func Subtype(s, t Type) bool { return SubtypeIn(nil, s, t) }
 
 // SubtypeIn is Subtype under a context giving bounds to free variables.
+// A context that binds nothing — nil or a chain of zero-value nodes — is
+// normalized to the cached empty-context path.
 func SubtypeIn(ctx *Context, s, t Type) bool {
-	ck := ""
-	if ctx == nil {
-		ck = Key(s) + "≤" + Key(t)
-		if v, ok := subtypeCache.Load(ck); ok {
-			return v.(bool)
-		}
+	if ctx.isEmpty() {
+		return SubtypeInterned(Intern(s), Intern(t))
 	}
-	v := subtype(ctx, s, t, map[[2]string]bool{})
-	if ck != "" {
-		subtypeCache.Store(ck, v)
+	return subtype(ctx, s, t, map[internPair]bool{})
+}
+
+// SubtypeInterned reports s.Type() ≤ t.Type() through the interned verdict
+// cache. It is the form the extent engine uses per candidate object: alpha-
+// equivalent witnesses collapse onto one handle, so a scan over a million
+// same-shaped records performs one derivation and a pointer-keyed load each.
+func SubtypeInterned(s, t *Interned) bool {
+	if s == t {
+		return true
 	}
+	pair := internPair{s, t}
+	if v, ok := subtypeCache.Load(pair); ok {
+		return v.(bool)
+	}
+	v := subtype(nil, s.t, t.t, map[internPair]bool{})
+	subtypeCache.Store(pair, v)
 	return v
 }
 
 // SubtypeUncached is Subtype with the global verdict cache bypassed. It
 // exists so benchmarks can measure the raw cost of subtype derivation.
 func SubtypeUncached(s, t Type) bool {
-	return subtype(nil, s, t, map[[2]string]bool{})
+	return subtype(nil, s, t, map[internPair]bool{})
 }
 
-func subtype(ctx *Context, s, t Type, seen map[[2]string]bool) bool {
+func subtype(ctx *Context, s, t Type, seen map[internPair]bool) bool {
 	// Reflexivity and universal bounds.
 	if t.Kind() == KindTop || s.Kind() == KindBottom {
 		return true
 	}
-	sk, tk := Key(s), Key(t)
-	if sk == tk {
+	si, ti := Intern(s), Intern(t)
+	if si == ti {
 		return true
 	}
 	// Coinductive hypothesis: assume the pair holds while deriving it. This
 	// is what makes equi-recursive subtyping terminate.
-	pair := [2]string{sk, tk}
+	pair := internPair{si, ti}
 	if seen[pair] {
 		return true
 	}
@@ -116,10 +146,22 @@ func subtype(ctx *Context, s, t Type, seen map[[2]string]bool) bool {
 		if !ok {
 			return false
 		}
-		for i := 0; i < tt.Len(); i++ {
-			f := tt.Field(i)
-			st, ok := sr.Lookup(f.Label)
-			if !ok || !subtype(ctx, st, f.Type, seen) {
+		// Width subtyping needs labels(t) ⊆ labels(s); the precomputed label
+		// signatures reject a missing label without walking the fields. Both
+		// field slices are label-sorted, so the walk is a merge join.
+		if tt.labelBits&^sr.labelBits != 0 {
+			return false
+		}
+		j := 0
+		for i := range tt.fields {
+			f := &tt.fields[i]
+			for j < len(sr.fields) && sr.fields[j].Label < f.Label {
+				j++
+			}
+			if j == len(sr.fields) || sr.fields[j].Label != f.Label {
+				return false
+			}
+			if !subtype(ctx, sr.fields[j].Type, f.Type, seen) {
 				return false
 			}
 		}
@@ -129,10 +171,21 @@ func subtype(ctx *Context, s, t Type, seen map[[2]string]bool) bool {
 		if !ok {
 			return false
 		}
-		for i := 0; i < sv.Len(); i++ {
-			f := sv.Tag(i)
-			ut, ok := tt.Lookup(f.Label)
-			if !ok || !subtype(ctx, f.Type, ut, seen) {
+		// Dually, a variant needs tags(s) ⊆ tags(t); again a merge join over
+		// the sorted tag slices.
+		if sv.labelBits&^tt.labelBits != 0 {
+			return false
+		}
+		j := 0
+		for i := range sv.fields {
+			f := &sv.fields[i]
+			for j < len(tt.fields) && tt.fields[j].Label < f.Label {
+				j++
+			}
+			if j == len(tt.fields) || tt.fields[j].Label != f.Label {
+				return false
+			}
+			if !subtype(ctx, f.Type, tt.fields[j].Type, seen) {
 				return false
 			}
 		}
@@ -178,14 +231,14 @@ func subtype(ctx *Context, s, t Type, seen map[[2]string]bool) bool {
 // t ≤ s. Alpha-equivalent types are equal; so are a recursive type and its
 // unfolding.
 func Equal(s, t Type) bool {
-	if Key(s) == Key(t) {
+	if Intern(s) == Intern(t) {
 		return true
 	}
 	return Subtype(s, t) && Subtype(t, s)
 }
 
-func equal(ctx *Context, s, t Type, seen map[[2]string]bool) bool {
-	if Key(s) == Key(t) {
+func equal(ctx *Context, s, t Type, seen map[internPair]bool) bool {
+	if Intern(s) == Intern(t) {
 		return true
 	}
 	return subtype(ctx, s, t, seen) && subtype(ctx, t, s, seen)

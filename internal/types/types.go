@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates the concrete representations of Type.
@@ -89,22 +90,34 @@ type Type interface {
 // Basic types
 // ---------------------------------------------------------------------------
 
+// islot caches a node's canonical *Interned handle in the node itself, so
+// Intern on an already-seen pointer is one atomic load — no global map, no
+// eviction policy. Every concrete Type embeds it; the interner fills it on
+// first use. Concurrent stores all write the same canonical handle, so the
+// race-free atomic is enough.
+type islot struct{ h atomic.Pointer[Interned] }
+
+func (s *islot) internSlot() *atomic.Pointer[Interned] { return &s.h }
+
 // Basic is a type with no structure: Int, Float, String, Bool, Unit, Top,
 // Bottom, Dynamic and Type (the type of runtime type descriptions).
-type Basic struct{ kind Kind }
+type Basic struct {
+	islot
+	kind Kind
+}
 
 // Shared instances of every basic type. Because Basic is stateless these are
 // safe to compare by pointer, though Equal does not rely on that.
 var (
-	Int     = &Basic{KindInt}
-	Float   = &Basic{KindFloat}
-	String  = &Basic{KindString}
-	Bool    = &Basic{KindBool}
-	Unit    = &Basic{KindUnit}
-	Top     = &Basic{KindTop}
-	Bottom  = &Basic{KindBottom}
-	Dynamic = &Basic{KindDynamic}
-	TypeRep = &Basic{KindTypeRep}
+	Int     = &Basic{kind: KindInt}
+	Float   = &Basic{kind: KindFloat}
+	String  = &Basic{kind: KindString}
+	Bool    = &Basic{kind: KindBool}
+	Unit    = &Basic{kind: KindUnit}
+	Top     = &Basic{kind: KindTop}
+	Bottom  = &Basic{kind: KindBottom}
+	Dynamic = &Basic{kind: KindDynamic}
+	TypeRep = &Basic{kind: KindTypeRep}
 )
 
 // Kind implements Type.
@@ -127,7 +140,9 @@ type Field struct {
 // label; a record with more fields (or with pointwise-smaller field types)
 // is a subtype: {Name: String, Age: Int} ≤ {Name: String}.
 type Record struct {
-	fields []Field
+	islot
+	fields    []Field
+	labelBits uint64 // bit per label hash; see LabelBits
 }
 
 // NewRecord builds a record type from the given fields. Labels must be
@@ -142,8 +157,27 @@ func NewRecord(fields ...Field) *Record {
 			panic(fmt.Sprintf("types: duplicate record label %q", fs[i].Label))
 		}
 	}
-	return &Record{fields: fs}
+	return &Record{fields: fs, labelBits: labelBitsOf(fs)}
 }
+
+// LabelBit returns the signature bit for one label: a single set bit chosen
+// by hashing the label. Label-set inclusion then has a necessary condition
+// on the ORed signatures — a &^ b == 0 whenever labels(a) ⊆ labels(b) — so
+// width subtyping and the value-level information order can reject
+// incomparable records in one word operation before walking fields.
+func LabelBit(label string) uint64 { return 1 << (hashKey(label) & 63) }
+
+func labelBitsOf(fs []Field) uint64 {
+	var bits uint64
+	for _, f := range fs {
+		bits |= LabelBit(f.Label)
+	}
+	return bits
+}
+
+// LabelBits returns the record's precomputed label signature: the OR of
+// LabelBit over its labels.
+func (r *Record) LabelBits() uint64 { return r.labelBits }
 
 // Kind implements Type.
 func (r *Record) Kind() Kind { return KindRecord }
@@ -180,7 +214,9 @@ func (r *Record) String() string { return fieldString(r.fields, "{", "}") }
 // Variant is a tagged-union type [A: T1, ..., Z: Tn]. A variant with fewer
 // tags is a subtype: [Circle: Float] ≤ [Circle: Float, Square: Float].
 type Variant struct {
-	fields []Field
+	islot
+	fields    []Field
+	labelBits uint64 // bit per tag hash; see LabelBits on Record
 }
 
 // NewVariant builds a variant type. Tags must be distinct; NewVariant panics
@@ -194,7 +230,7 @@ func NewVariant(tags ...Field) *Variant {
 			panic(fmt.Sprintf("types: duplicate variant tag %q", fs[i].Label))
 		}
 	}
-	return &Variant{fields: fs}
+	return &Variant{fields: fs, labelBits: labelBitsOf(fs)}
 }
 
 // Kind implements Type.
@@ -238,7 +274,10 @@ func fieldString(fs []Field, open, close string) string {
 // ---------------------------------------------------------------------------
 
 // List is the type List[T] of finite sequences of T. Covariant.
-type List struct{ Elem Type }
+type List struct {
+	islot
+	Elem Type
+}
 
 // NewList returns List[elem].
 func NewList(elem Type) *List { return &List{Elem: elem} }
@@ -250,7 +289,10 @@ func (l *List) Kind() Kind { return KindList }
 func (l *List) String() string { return "List[" + l.Elem.String() + "]" }
 
 // Set is the type Set[T] of finite sets of T. Covariant.
-type Set struct{ Elem Type }
+type Set struct {
+	islot
+	Elem Type
+}
 
 // NewSet returns Set[elem].
 func NewSet(elem Type) *Set { return &Set{Elem: elem} }
@@ -268,6 +310,7 @@ func (s *Set) String() string { return "Set[" + s.Elem.String() + "]" }
 // Func is the type (P1, ..., Pn) -> R. Parameters are contravariant and the
 // result covariant, as usual.
 type Func struct {
+	islot
 	Params []Type
 	Result Type
 }
@@ -320,7 +363,10 @@ func parenFree(t Type) bool {
 // Exists or Rec binder with the same Name. Free variables (no enclosing
 // binder) are permitted in intermediate forms but are not subtypes of
 // anything except via their bound in a Context.
-type Var struct{ Name string }
+type Var struct {
+	islot
+	Name string
+}
 
 // NewVar returns a variable occurrence with the given name.
 func NewVar(name string) *Var { return &Var{Name: name} }
@@ -335,6 +381,7 @@ func (v *Var) String() string { return v.Name }
 // exists t <= Bound . Body, depending on kind (KindForAll or KindExists).
 // The unbounded forms use Top as the bound.
 type Quant struct {
+	islot
 	kind  Kind
 	Param string
 	Bound Type
@@ -379,8 +426,11 @@ func (q *Quant) String() string {
 // Body[t := rec t . Body]. It lets schemas such as the paper's Part type —
 // parts whose components are themselves parts — be expressed directly.
 type Rec struct {
+	islot
 	Param string
 	Body  Type
+
+	unfold atomic.Value // Type; memoized Unfold
 }
 
 // NewRec returns rec param . body.
@@ -393,4 +443,15 @@ func (r *Rec) Kind() Kind { return KindRec }
 func (r *Rec) String() string { return fmt.Sprintf("rec %s . %s", r.Param, r.Body) }
 
 // Unfold returns Body with the bound variable replaced by the Rec itself.
-func (r *Rec) Unfold() Type { return Substitute(r.Body, r.Param, r) }
+// The result is memoized: the coinductive subtype algorithm unfolds the same
+// Rec on every pass through a cycle, and a stable unfolding means the
+// interner's pointer memo (and hence the assumption set) sees one pointer per
+// cycle instead of a fresh substitution each time.
+func (r *Rec) Unfold() Type {
+	if u := r.unfold.Load(); u != nil {
+		return u.(Type)
+	}
+	u := Substitute(r.Body, r.Param, r)
+	r.unfold.Store(u)
+	return u
+}

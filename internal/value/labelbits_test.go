@@ -1,0 +1,85 @@
+package value
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dbpl/internal/types"
+)
+
+// recomputeBits is the reference definition of the label signature.
+func recomputeBits(r *Record) uint64 {
+	var bits uint64
+	for _, l := range r.Labels() {
+		bits |= types.LabelBit(l)
+	}
+	return bits
+}
+
+// mutationScript drives a random Set/Delete sequence over one record.
+type mutationScript struct {
+	Ops []struct {
+		Del   bool
+		Label uint8
+	}
+}
+
+// Generate implements quick.Generator.
+func (mutationScript) Generate(r *rand.Rand, _ int) reflect.Value {
+	var s mutationScript
+	n := r.Intn(40)
+	for i := 0; i < n; i++ {
+		s.Ops = append(s.Ops, struct {
+			Del   bool
+			Label uint8
+		}{Del: r.Intn(3) == 0, Label: uint8(r.Intn(12))})
+	}
+	return reflect.ValueOf(s)
+}
+
+// TestQuickLabelBitsExact checks the invariant the ⊑ fast path depends on:
+// after any Set/Delete sequence the maintained signature equals the
+// recomputed one — never a superset, never a subset.
+func TestQuickLabelBitsExact(t *testing.T) {
+	f := func(s mutationScript) bool {
+		r := NewRecord()
+		for _, op := range s.Ops {
+			l := fmt.Sprintf("L%d", op.Label)
+			if op.Del {
+				r.Delete(l)
+			} else {
+				r.Set(l, Int(1))
+			}
+			if r.LabelBits() != recomputeBits(r) {
+				return false
+			}
+		}
+		return r.Copy().LabelBits() == r.LabelBits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeqBloomRejectSound pins the fast-reject direction: a record with a
+// label absent from the other side is never ⊑ it, and the signature filter
+// agrees with the field walk on positive cases.
+func TestLeqBloomRejectSound(t *testing.T) {
+	small := Rec("A", Int(1))
+	big := Rec("A", Int(1), "B", Int(2))
+	if !Leq(small, big) {
+		t.Errorf("small ⊑ big expected")
+	}
+	if Leq(big, small) {
+		t.Errorf("big ⊑ small unexpected")
+	}
+	// Deleting the extra field restores mutual ⊑ — stale signature bits
+	// would break this.
+	big.Delete("B")
+	if !Leq(big, small) || !Leq(small, big) {
+		t.Errorf("records should be mutually ⊑ after Delete")
+	}
+}

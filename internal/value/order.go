@@ -35,6 +35,11 @@ func Leq(o, op Value) bool {
 		if !ok {
 			return false
 		}
+		// a ⊑ b needs labels(a) ⊆ labels(b); the precomputed signatures
+		// reject a missing label in one word operation.
+		if a.labelBits&^b.labelBits != 0 {
+			return false
+		}
 		for i, l := range a.labels {
 			bv, ok := b.Get(l)
 			if !ok || !Leq(a.values[i], bv) {
@@ -247,6 +252,7 @@ func maximalNaive(vs []Value) []Value {
 // sigGroup collects the records sharing one label set.
 type sigGroup struct {
 	labels []string
+	bits   uint64 // label signature of the shared label set
 	// members in input order, with their input indices (for the
 	// first-occurrence tie-break on mutually-⊑ pairs).
 	recs []*Record
@@ -286,7 +292,7 @@ func maximalRecords(vs []Value) []Value {
 		s := sigOf(r)
 		g, ok := groups[s]
 		if !ok {
-			g = &sigGroup{labels: r.Labels()}
+			g = &sigGroup{labels: r.Labels(), bits: r.labelBits}
 			groups[s] = g
 		}
 		g.recs = append(g.recs, r)
@@ -382,6 +388,11 @@ func maximalRecords(vs []Value) []Value {
 		labels := r.Labels()
 		dominated := false
 		for _, g := range groups {
+			// Signature prefilter: labels(r) ⊆ g.labels requires r's bits to
+			// be covered by the group's bits.
+			if r.labelBits&^g.bits != 0 {
+				continue
+			}
 			if len(g.labels) < len(labels) || !subset(labels, g.labels) {
 				continue
 			}

@@ -85,5 +85,13 @@ func typeOf(v Value, memo map[*Record]types.Type) types.Type {
 // is a subtype of t. This is the dynamic check behind coerce and behind the
 // generic Get function's filtering of a heterogeneous database.
 func Conforms(v Value, t types.Type) bool {
-	return types.Subtype(TypeOf(v), t)
+	return ConformsInterned(v, types.Intern(t))
+}
+
+// ConformsInterned is Conforms with the target type already interned, for
+// callers filtering many values against one type (relation extraction, class
+// conformance): the subtype verdict is then a pointer-keyed cache hit per
+// distinct value shape.
+func ConformsInterned(v Value, t *types.Interned) bool {
+	return types.SubtypeInterned(types.Intern(TypeOf(v)), t)
 }

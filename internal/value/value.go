@@ -133,6 +133,11 @@ func (bottomValue) String() string { return "⊥" }
 type Record struct {
 	labels []string // sorted
 	values []Value  // parallel to labels
+	// labelBits is the OR of types.LabelBit over labels, maintained eagerly
+	// by Set/Delete so concurrent readers (Leq under the extent engine) never
+	// write. It must stay exact — stale extra bits or missing bits both make
+	// the ⊑ fast-reject wrong.
+	labelBits uint64
 }
 
 // NewRecord returns an empty record object.
@@ -206,6 +211,7 @@ func (r *Record) Set(label string, v Value) {
 	copy(r.values[i+1:], r.values[i:])
 	r.labels[i] = label
 	r.values[i] = v
+	r.labelBits |= types.LabelBit(label)
 }
 
 // Delete removes the named field if present, reporting whether it was there.
@@ -216,8 +222,21 @@ func (r *Record) Delete(label string) bool {
 	}
 	r.labels = append(r.labels[:i], r.labels[i+1:]...)
 	r.values = append(r.values[:i], r.values[i+1:]...)
+	// Another label may hash to the deleted label's bit, so recompute rather
+	// than clear.
+	var bits uint64
+	for _, l := range r.labels {
+		bits |= types.LabelBit(l)
+	}
+	r.labelBits = bits
 	return true
 }
+
+// LabelBits returns the record's label signature: the OR of types.LabelBit
+// over its labels. labels(a) ⊆ labels(b) implies a.LabelBits()&^b.LabelBits()
+// == 0, which is what lets ⊑ and Maximal reject incomparable records without
+// walking fields.
+func (r *Record) LabelBits() uint64 { return r.labelBits }
 
 // Each calls f for every field in label order.
 func (r *Record) Each(f func(label string, v Value)) {
@@ -229,7 +248,7 @@ func (r *Record) Each(f func(label string, v Value)) {
 // Copy returns a deep copy of the record (sharing atoms, copying all
 // containers).
 func (r *Record) Copy() *Record {
-	out := &Record{labels: append([]string(nil), r.labels...), values: make([]Value, len(r.values))}
+	out := &Record{labels: append([]string(nil), r.labels...), values: make([]Value, len(r.values)), labelBits: r.labelBits}
 	for i, v := range r.values {
 		out.values[i] = Copy(v)
 	}
