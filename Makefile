@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples fuzz clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz clean
 
-all: build vet fmt-check test race
+all: build vet fmt-check test faults race
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,14 @@ report-quick:
 examples:
 	@for d in quickstart figure1 employees parkinglot billofmaterials evolution textsearch; do \
 		echo "=== $$d ==="; $(GO) run ./examples/$$d || exit 1; done
+
+# The fault-injection and crash-consistency suites: every persistence
+# store driven through iofault.Injector — per-operation failures, torn
+# writes, and a crash at every mutating I/O boundary — plus fsck/salvage
+# and the v1 log compatibility checks.
+faults:
+	$(GO) test -run 'Fault|Crash|Fsck|Salvage|Poison|V1Log|Inject|LoseUnsynced' \
+		./internal/persist/... ./cmd/dbpl/
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

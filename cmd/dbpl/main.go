@@ -9,6 +9,10 @@
 // intrinsic store at the given path; with -rep, extern/intern are backed by
 // a replicating store in the given directory. Scripts run in order in one
 // session, so a later script sees the bindings of earlier ones.
+//
+// The fsck verb verifies an intrinsic store log offline:
+//
+//	dbpl fsck [-salvage out.log] store.log
 package main
 
 import (
@@ -24,6 +28,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		if err := runFsck(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpl: fsck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "dbpl:", err)
 		os.Exit(1)

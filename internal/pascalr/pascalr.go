@@ -21,11 +21,13 @@ package pascalr
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
 
 	"dbpl/internal/persist/codec"
+	"dbpl/internal/persist/iofault"
 	"dbpl/internal/relation"
 	"dbpl/internal/types"
 	"dbpl/internal/value"
@@ -70,6 +72,7 @@ func NewRelType(elem types.Type) (RelType, error) {
 // up front, persisted wholesale like a file.
 type Database struct {
 	mu     sync.Mutex
+	fs     iofault.FS
 	path   string
 	schema map[string]RelType
 	rels   map[string]*relation.Flat
@@ -79,7 +82,13 @@ type Database struct {
 // map from field names to `relation of T` types. An existing file is
 // loaded; its contents must match the declared schema.
 func Declare(path string, schema map[string]RelType) (*Database, error) {
-	db := &Database{path: path, schema: map[string]RelType{}, rels: map[string]*relation.Flat{}}
+	return DeclareFS(iofault.OS{}, path, schema)
+}
+
+// DeclareFS is Declare over an explicit file system — the seam the fault
+// tests inject through.
+func DeclareFS(fsys iofault.FS, path string, schema map[string]RelType) (*Database, error) {
+	db := &Database{fs: fsys, path: path, schema: map[string]RelType{}, rels: map[string]*relation.Flat{}}
 	for name, rt := range schema {
 		db.schema[name] = rt
 		attrs := make([]string, 0, rt.Elem.Len())
@@ -88,7 +97,7 @@ func Declare(path string, schema map[string]RelType) (*Database, error) {
 		}
 		db.rels[name] = relation.NewFlat(attrs...)
 	}
-	if _, err := os.Stat(path); err == nil {
+	if _, err := fsys.Stat(path); err == nil {
 		if err := db.load(); err != nil {
 			return nil, err
 		}
@@ -137,49 +146,41 @@ func (db *Database) Fields() []string {
 
 // Save writes the whole database to its file — persistence "controlled in
 // the same way that it is for files": whole-value, no sharing, no
-// incrementality.
+// incrementality. The replace is atomic and durable (temp file, fsync,
+// rename, directory fsync).
 func (db *Database) Save() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	tmp, err := os.CreateTemp(dirOf(db.path), ".pascalr-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	enc := codec.NewEncoder(tmp)
-	names := make([]string, 0, len(db.rels))
-	for n := range db.rels {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	if err := enc.Value(value.Int(int64(len(names)))); err != nil {
-		return err
-	}
-	for _, n := range names {
-		if err := enc.Value(value.String(n)); err != nil {
+	return iofault.AtomicWriteFile(db.fs, db.path, func(w io.Writer) error {
+		enc := codec.NewEncoder(w)
+		names := make([]string, 0, len(db.rels))
+		for n := range db.rels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if err := enc.Value(value.Int(int64(len(names)))); err != nil {
 			return err
 		}
-		tuples := db.rels[n].Tuples()
-		lst := value.NewList()
-		for _, t := range tuples {
-			lst.Append(t)
+		for _, n := range names {
+			if err := enc.Value(value.String(n)); err != nil {
+				return err
+			}
+			tuples := db.rels[n].Tuples()
+			lst := value.NewList()
+			for _, t := range tuples {
+				lst.Append(t)
+			}
+			if err := enc.Value(lst); err != nil {
+				return err
+			}
 		}
-		if err := enc.Value(lst); err != nil {
-			return err
-		}
-	}
-	if err := enc.Flush(); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), db.path)
+		return enc.Flush()
+	})
 }
 
 // load reads the database file into the declared relations.
 func (db *Database) load() error {
-	f, err := os.Open(db.path)
+	f, err := db.fs.OpenFile(db.path, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -235,13 +236,4 @@ func (db *Database) load() error {
 		}
 	}
 	return nil
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

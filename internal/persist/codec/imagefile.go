@@ -1,0 +1,40 @@
+package codec
+
+import (
+	"io"
+
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// This file is the store-facing seam for *image files*: whole codec
+// images written as one file. The replicating store's externed dynamics
+// are the primary client; anything that materializes a tagged image on
+// disk should go through here so it inherits the durable atomic-replace
+// protocol and the fault-injection seam.
+
+// WriteImageFile atomically replaces path with the tagged image of v at
+// declared type t (MarshalTagged), through fsys: temp file, fsync,
+// rename, directory fsync. On any error the previous file, if any, is
+// untouched.
+func WriteImageFile(fsys iofault.FS, path string, v value.Value, t types.Type) error {
+	img, err := MarshalTagged(v, t)
+	if err != nil {
+		return err
+	}
+	return iofault.AtomicWriteFile(fsys, path, func(w io.Writer) error {
+		_, werr := w.Write(img)
+		return iofault.Wrap(iofault.OpWrite, path, werr)
+	})
+}
+
+// ReadImageFile reads a tagged image written by WriteImageFile and
+// decodes it to the value and its persisted type.
+func ReadImageFile(fsys iofault.FS, path string) (value.Value, types.Type, error) {
+	img, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return UnmarshalTagged(img)
+}

@@ -28,10 +28,19 @@ import (
 //	repeated groups of records, each group terminated by a commit marker:
 //	  'N' oid len imageBytes     -- a node (re)definition
 //	  'R' count {name typeLen typeBytes valueInline}  -- the root table
-//	  'C'                        -- commit marker
+//	  'C' [crc32c]               -- commit marker
+//
+// Version 2 (current) follows the 'C' with the little-endian CRC-32C of
+// the whole commit group — every byte from the end of the previous group
+// through the 'C' itself — so bit rot is *detected* with an offset
+// (CorruptError) instead of surfacing as an arbitrary decode failure.
+// Version 1 groups have no checksum; v1 logs remain fully readable, and a
+// store opened on one keeps appending v1 groups until Compact rewrites it
+// at v2.
 //
 // Replay applies whole groups only: a torn final group (crash mid-commit)
 // is ignored, so the store always reopens at the last complete commit.
+// See scan.go for the torn-versus-corrupt classification rule.
 
 // Errors returned by log decoding.
 var (
@@ -39,12 +48,18 @@ var (
 )
 
 const (
-	logMagic   = "DBPLLOG"
-	logVersion = 1
+	logMagic    = "DBPLLOG"
+	logVersion1 = 1
+	logVersion2 = 2
+	// logVersion is the format written to fresh logs.
+	logVersion = logVersion2
 
 	recNode   byte = 'N'
 	recRoots  byte = 'R'
 	recCommit byte = 'C'
+
+	// checksumSize is the CRC-32C trailer length after a v2 commit marker.
+	checksumSize = 4
 
 	// maxRecordSize bounds single node and type images as a corruption
 	// guard during replay.

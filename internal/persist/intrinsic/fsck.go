@@ -1,0 +1,146 @@
+package intrinsic
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dbpl/internal/persist/iofault"
+)
+
+// FsckReport is the verdict of a structural log verification: how much of
+// the file is valid, what it holds, and — when the log is damaged — whether
+// the damage is a recoverable torn tail or deterministic corruption.
+type FsckReport struct {
+	Path    string
+	Version byte  // log format version (1 or 2)
+	Size    int64 // file size in bytes
+	GoodEnd int64 // offset just past the last valid commit group
+	Commits int   // valid commit groups
+	Nodes   int   // node records inside valid groups
+	Roots   int   // root-table entries in the last valid root table
+	// TornTail reports bytes past GoodEnd that a crash explains (an
+	// interrupted commit); they are ignored by Open and dropped by Salvage.
+	TornTail bool
+	// Corrupt is non-nil when the log holds deterministically detected
+	// corruption (v2 checksum mismatch or structurally impossible bytes);
+	// Open refuses such a log, Salvage recovers the prefix before it.
+	Corrupt *CorruptError
+}
+
+// Clean reports whether the log is fully valid: no torn tail, no
+// corruption.
+func (r *FsckReport) Clean() bool { return !r.TornTail && r.Corrupt == nil }
+
+// String renders the report in the format the fsck CLI verb prints.
+func (r *FsckReport) String() string {
+	s := fmt.Sprintf("%s: log v%d, %d bytes, %d commits, %d nodes, %d roots\n",
+		r.Path, r.Version, r.Size, r.Commits, r.Nodes, r.Roots)
+	s += fmt.Sprintf("last valid commit ends at offset %d", r.GoodEnd)
+	switch {
+	case r.Corrupt != nil:
+		s += fmt.Sprintf("\nCORRUPT at offset %d: %s", r.Corrupt.Offset, r.Corrupt.Reason)
+		s += fmt.Sprintf("\nsalvageable prefix: %d bytes", r.GoodEnd)
+	case r.TornTail:
+		s += fmt.Sprintf("\ntorn tail: %d trailing bytes from an interrupted commit (ignored on open)", r.Size-r.GoodEnd)
+	default:
+		s += "\nclean"
+	}
+	return s
+}
+
+// Fsck verifies the log at path without opening it as a store: it checks
+// every record's structure and (v2) every commit group's CRC-32C, and
+// reports the last valid commit offset. It never modifies the file.
+func Fsck(path string) (*FsckReport, error) {
+	return FsckFS(iofault.OS{}, path)
+}
+
+// FsckFS is Fsck over an explicit file system.
+func FsckFS(fsys iofault.FS, path string) (*FsckReport, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := fsys.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &FsckReport{Path: path, Size: fi.Size()}
+	nodes := 0
+	var lastRoots int
+	pendingNodes := 0
+	pendingRoots := -1
+	sum, err := scanLog(f, scanSink{
+		node:  func(uint64, []byte) { pendingNodes++ },
+		roots: func(entries []rootEntry) { pendingRoots = len(entries) },
+		commit: func(int64) {
+			nodes += pendingNodes
+			pendingNodes = 0
+			if pendingRoots >= 0 {
+				lastRoots = pendingRoots
+				pendingRoots = -1
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sum.empty {
+		rep.Version = logVersion
+		rep.TornTail = false
+		return rep, nil
+	}
+	rep.Version = sum.version
+	rep.GoodEnd = sum.goodEnd
+	rep.Commits = sum.commits
+	rep.Nodes = nodes
+	rep.Roots = lastRoots
+	rep.TornTail = sum.torn
+	rep.Corrupt = sum.corrupt
+	return rep, nil
+}
+
+// Salvage copies the valid prefix of the log at src — everything up to and
+// including the last valid commit group — into a fresh log at dst, written
+// atomically and durably. The result opens cleanly and holds exactly the
+// last committed state; torn or corrupt bytes are dropped. It returns the
+// fsck report of the source, whose GoodEnd is the number of bytes kept.
+func Salvage(src, dst string) (*FsckReport, error) {
+	return SalvageFS(iofault.OS{}, src, dst)
+}
+
+// SalvageFS is Salvage over an explicit file system.
+func SalvageFS(fsys iofault.FS, src, dst string) (*FsckReport, error) {
+	rep, err := FsckFS(fsys, src)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Corrupt != nil && rep.GoodEnd == 0 {
+		// Not even the header survived; a fresh empty log is all that can
+		// be salvaged.
+		err := iofault.AtomicWriteFile(fsys, dst, func(w io.Writer) error {
+			_, werr := w.Write(append([]byte(logMagic), logVersion))
+			return werr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	f, err := fsys.OpenFile(src, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	err = iofault.AtomicWriteFile(fsys, dst, func(w io.Writer) error {
+		_, cerr := io.CopyN(w, f, rep.GoodEnd)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

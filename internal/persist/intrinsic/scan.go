@@ -1,0 +1,296 @@
+package intrinsic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file implements the single structural reader of the log, shared by
+// Open (replay) and Fsck (verification). It distinguishes, byte for byte:
+//
+//   - a clean log (every group ends in a valid commit marker);
+//   - a *torn tail* (the file ends inside a group — the signature of a
+//     crash mid-commit, recoverable by ignoring the tail);
+//   - *corruption* (v2 only: a complete group whose CRC-32C does not
+//     match, or structurally impossible bytes mid-file — the signature of
+//     bit rot, reported deterministically with an offset, never applied).
+//
+// The classification rule for v2 is: an anomaly that manifests as end of
+// input is torn (a crash can only shorten an fsynced append-only log);
+// any other anomaly is corruption. v1 logs have no checksum, so every
+// anomaly is treated leniently as a torn tail, exactly as before.
+
+// crcTable is the Castagnoli polynomial table; CRC-32C has hardware
+// support (SSE4.2 / ARMv8 CRC) through hash/crc32.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError is deterministically detected log corruption: where in the
+// file and why. It unwraps to ErrCorrupt.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("intrinsic: corrupt log at offset %d: %s", e.Offset, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// scanSink receives log records as they parse. Records arrive *before*
+// their group is validated: callers must buffer per group and apply only
+// on commit (which fires only for valid groups).
+type scanSink struct {
+	node   func(oid uint64, img []byte)
+	roots  func(entries []rootEntry)
+	commit func(end int64)
+}
+
+// scanSummary is the structural verdict over a whole log.
+type scanSummary struct {
+	empty   bool  // zero-length file (fresh store)
+	version byte  // header version (1 or 2)
+	goodEnd int64 // offset just past the last valid commit group
+	commits int   // valid commit groups
+	torn    bool  // trailing bytes past goodEnd that a crash explains
+	corrupt *CorruptError
+}
+
+// logScanner reads the log sequentially, tracking the absolute offset and
+// the running CRC-32C of the current commit group.
+type logScanner struct {
+	r   *bufio.Reader
+	off int64
+	crc uint32
+}
+
+// ReadByte implements io.ByteReader so binary.ReadUvarint counts and
+// checksums every byte it consumes.
+func (s *logScanner) ReadByte() (byte, error) {
+	b, err := s.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	s.off++
+	s.crc = crc32.Update(s.crc, crcTable, []byte{b})
+	return b, nil
+}
+
+func (s *logScanner) uvarint() (uint64, error) {
+	return binary.ReadUvarint(s)
+}
+
+func (s *logScanner) bytes(n int) ([]byte, error) {
+	buf, err := readN(s.r, n)
+	if err != nil {
+		return nil, err
+	}
+	s.off += int64(n)
+	s.crc = crc32.Update(s.crc, crcTable, buf)
+	return buf, nil
+}
+
+// raw reads n bytes without feeding the group checksum — used for the
+// stored checksum itself.
+func (s *logScanner) raw(n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return nil, err
+	}
+	s.off += int64(n)
+	return buf, nil
+}
+
+// isEOF reports whether err is an end-of-input condition — the only
+// anomaly a crash can produce on an append-only log.
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// scanRootTable parses a root-table record, validating lengths and type
+// images.
+func scanRootTable(s *logScanner) ([]rootEntry, error) {
+	count, err := s.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxRecordSize {
+		return nil, fmt.Errorf("%w: oversized root table", ErrCorrupt)
+	}
+	entries := make([]rootEntry, 0, capCount(int(count)))
+	for i := uint64(0); i < count; i++ {
+		n, err := s.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxRecordSize {
+			return nil, fmt.Errorf("%w: bad root name length", ErrCorrupt)
+		}
+		name, err := s.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		tn, err := s.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if tn > maxRecordSize {
+			return nil, fmt.Errorf("%w: oversized type record", ErrCorrupt)
+		}
+		tbuf, err := s.bytes(int(tn))
+		if err != nil {
+			return nil, err
+		}
+		typ, err := parseType(tbuf)
+		if err != nil {
+			return nil, err
+		}
+		vn, err := s.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if vn > maxRecordSize {
+			return nil, fmt.Errorf("%w: bad root value length", ErrCorrupt)
+		}
+		vbuf, err := s.bytes(int(vn))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, rootEntry{name: string(name), typ: typ, inline: vbuf})
+	}
+	return entries, nil
+}
+
+// scanLog reads the whole log from r, firing sink callbacks, and returns
+// the structural summary. The returned error is reserved for real I/O
+// failures of the underlying reader; corruption and torn tails are
+// reported in the summary.
+func scanLog(r io.Reader, sink scanSink) (scanSummary, error) {
+	s := &logScanner{r: bufio.NewReader(r)}
+	var sum scanSummary
+
+	header := make([]byte, len(logMagic)+1)
+	if _, err := io.ReadFull(s.r, header); err != nil {
+		if err == io.EOF {
+			sum.empty = true
+			return sum, nil
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// Fewer bytes than a header: a crash during store creation —
+			// the header write itself was torn. Recoverable.
+			sum.torn = true
+			return sum, nil
+		}
+		return sum, err
+	}
+	s.off = int64(len(header))
+	if string(header[:len(logMagic)]) != logMagic {
+		sum.corrupt = &CorruptError{Offset: 0, Reason: "bad magic"}
+		return sum, nil
+	}
+	v := header[len(logMagic)]
+	if v != logVersion1 && v != logVersion2 {
+		sum.corrupt = &CorruptError{Offset: int64(len(logMagic)), Reason: fmt.Sprintf("unsupported log version %d", v)}
+		return sum, nil
+	}
+	sum.version = v
+	sum.goodEnd = s.off
+
+	groupStart := s.off
+	s.crc = 0
+
+	// anomaly classifies a parse failure at offset off: torn when a crash
+	// explains it, corrupt otherwise (v2) or leniently torn (v1).
+	anomaly := func(off int64, reason string, err error) {
+		if err != nil && isEOF(err) {
+			sum.torn = true
+			return
+		}
+		if v == logVersion2 {
+			sum.corrupt = &CorruptError{Offset: off, Reason: reason}
+			return
+		}
+		sum.torn = true
+	}
+
+	for {
+		kindOff := s.off
+		kind, err := s.r.ReadByte()
+		if err == io.EOF {
+			if s.off > sum.goodEnd {
+				sum.torn = true // mid-group end of input
+			}
+			return sum, nil
+		}
+		if err != nil {
+			return sum, err
+		}
+		s.off++
+		s.crc = crc32.Update(s.crc, crcTable, []byte{kind})
+
+		switch kind {
+		case recNode:
+			oid, err := s.uvarint()
+			if err != nil {
+				anomaly(s.off, "bad node oid", err)
+				return sum, nil
+			}
+			n, err := s.uvarint()
+			if err != nil {
+				anomaly(s.off, "bad node length", err)
+				return sum, nil
+			}
+			if n > maxRecordSize {
+				anomaly(s.off, fmt.Sprintf("oversized node (%d bytes)", n), nil)
+				return sum, nil
+			}
+			img, err := s.bytes(int(n))
+			if err != nil {
+				anomaly(s.off, "short node image", err)
+				return sum, nil
+			}
+			if sink.node != nil {
+				sink.node(oid, img)
+			}
+		case recRoots:
+			entries, err := scanRootTable(s)
+			if err != nil {
+				anomaly(s.off, fmt.Sprintf("bad root table: %v", err), err)
+				return sum, nil
+			}
+			if sink.roots != nil {
+				sink.roots(entries)
+			}
+		case recCommit:
+			if v == logVersion2 {
+				want := s.crc
+				stored, err := s.raw(checksumSize)
+				if err != nil {
+					anomaly(s.off, "short commit checksum", err)
+					return sum, nil
+				}
+				if got := binary.LittleEndian.Uint32(stored); got != want {
+					sum.corrupt = &CorruptError{
+						Offset: groupStart,
+						Reason: fmt.Sprintf("checksum mismatch in commit group at offset %d (stored %08x, computed %08x)", groupStart, got, want),
+					}
+					return sum, nil
+				}
+			}
+			if sink.commit != nil {
+				sink.commit(s.off)
+			}
+			sum.commits++
+			sum.goodEnd = s.off
+			groupStart = s.off
+			s.crc = 0
+		default:
+			anomaly(kindOff, fmt.Sprintf("unknown record kind 0x%02x", kind), nil)
+			return sum, nil
+		}
+	}
+}

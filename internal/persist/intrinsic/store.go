@@ -26,16 +26,17 @@
 package intrinsic
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
 	"sync"
 
 	"dbpl/internal/dynamic"
+	"dbpl/internal/persist/iofault"
 	"dbpl/internal/types"
 	"dbpl/internal/value"
 )
@@ -47,6 +48,11 @@ var (
 	ErrInconsistent      = errors.New("intrinsic: stored and requested types are inconsistent")
 	ErrMigrationRequired = errors.New("intrinsic: schema enrichment requires value migration")
 	ErrClosed            = errors.New("intrinsic: store is closed")
+	// ErrPoisoned is returned by Commit and Compact after a failed commit
+	// whose torn bytes could not be rolled back: the log tail is in an
+	// unknown state, so further appends are refused until Abort (which
+	// replays and re-trims) or a reopen.
+	ErrPoisoned = errors.New("intrinsic: store poisoned by a failed commit; Abort or reopen to recover")
 )
 
 // TransientPrefix is the record-field label prefix marking fields that must
@@ -80,9 +86,23 @@ type CompactStats struct {
 // file. It is safe for concurrent use.
 type Store struct {
 	mu     sync.Mutex
+	fs     iofault.FS
 	path   string
-	f      *os.File
+	f      iofault.File
 	closed bool
+
+	// version is the log format of the backing file (1 or 2); appends
+	// must match it. Compact always rewrites at the current version.
+	version byte
+	// end is the offset just past the last durable commit group — the
+	// only legal append position.
+	end int64
+	// tailDirty records that the file extends past end with torn bytes
+	// (crash leftovers); the next append truncates them first.
+	tailDirty bool
+	// broken poisons the store after a commit failure that could not be
+	// rolled back; see ErrPoisoned.
+	broken error
 
 	roots map[string]*Root
 	// oids maps live container values to their OIDs; nodes holds the last
@@ -95,11 +115,18 @@ type Store struct {
 // Open opens (or creates) a store at path, replaying the log to the last
 // complete commit.
 func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(iofault.OS{}, path)
+}
+
+// OpenFS is Open over an explicit file system — the seam the fault and
+// crash tests inject through.
+func OpenFS(fsys iofault.FS, path string) (*Store, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
+		fs:    fsys,
 		path:  path,
 		f:     f,
 		roots: map[string]*Root{},
@@ -134,29 +161,14 @@ type rootEntry struct {
 	inline []byte // the inline value bytes (atom or ref)
 }
 
-// load replays the log and materializes the root graph.
+// load replays the log and materializes the root graph. Replay applies
+// whole valid commit groups only; a torn tail is remembered (and trimmed
+// before the next append) and deterministic v2 corruption fails the open
+// with a CorruptError naming the offset.
 func (s *Store) load() error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	r := bufio.NewReader(s.f)
-	header := make([]byte, len(logMagic)+1)
-	_, err := io.ReadFull(r, header)
-	if err == io.EOF {
-		// Fresh file: write the header.
-		if _, err := s.f.Write(append([]byte(logMagic), logVersion)); err != nil {
-			return err
-		}
-		return s.f.Sync()
-	}
-	if err != nil {
-		return fmt.Errorf("%w: short header", ErrCorrupt)
-	}
-	if string(header[:len(logMagic)]) != logMagic || header[len(logMagic)] != logVersion {
-		return fmt.Errorf("%w: bad header", ErrCorrupt)
-	}
-
-	// Replay whole commit groups; a torn tail is ignored.
 	committed := struct {
 		nodes map[uint64][]byte
 		roots []rootEntry
@@ -165,39 +177,10 @@ func (s *Store) load() error {
 	var pendingRoots []rootEntry
 	sawRoots := false
 
-	for {
-		kind, err := r.ReadByte()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		switch kind {
-		case recNode:
-			oid, err := binary.ReadUvarint(r)
-			if err != nil {
-				break
-			}
-			n, err := binary.ReadUvarint(r)
-			if err != nil || n > maxRecordSize {
-				break
-			}
-			img, err := readN(r, int(n))
-			if err != nil {
-				break
-			}
-			pending[oid] = img
-			continue
-		case recRoots:
-			entries, err := readRootTable(r)
-			if err != nil {
-				break
-			}
-			pendingRoots = entries
-			sawRoots = true
-			continue
-		case recCommit:
+	sum, err := scanLog(s.f, scanSink{
+		node:  func(oid uint64, img []byte) { pending[oid] = img },
+		roots: func(entries []rootEntry) { pendingRoots = entries; sawRoots = true },
+		commit: func(int64) {
 			for oid, img := range pending {
 				committed.nodes[oid] = img
 			}
@@ -206,11 +189,40 @@ func (s *Store) load() error {
 				committed.roots = pendingRoots
 				sawRoots = false
 			}
-			continue
-		}
-		// Torn or unknown record: stop replay at the last complete commit.
-		break
+		},
+	})
+	if err != nil {
+		return err
 	}
+	if sum.empty || (sum.corrupt == nil && sum.version == 0) {
+		// Fresh file — or a torn header fragment from a crash during store
+		// creation, which cannot contain any commit and is safe to clear.
+		header := append([]byte(logMagic), logVersion)
+		if !sum.empty {
+			if err := s.f.Truncate(0); err != nil {
+				return &iofault.IOError{Op: iofault.OpTruncate, Path: s.path, Err: err}
+			}
+			if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+				return &iofault.IOError{Op: iofault.OpSeek, Path: s.path, Err: err}
+			}
+		}
+		if _, err := s.f.Write(header); err != nil {
+			return &iofault.IOError{Op: iofault.OpWrite, Path: s.path, Err: err}
+		}
+		if err := s.f.Sync(); err != nil {
+			return &iofault.IOError{Op: iofault.OpSync, Path: s.path, Err: err}
+		}
+		s.version = logVersion
+		s.end = int64(len(header))
+		s.tailDirty = false
+		return nil
+	}
+	if sum.corrupt != nil {
+		return sum.corrupt
+	}
+	s.version = sum.version
+	s.end = sum.goodEnd
+	s.tailDirty = sum.torn
 
 	s.nodes = committed.nodes
 	for oid := range s.nodes {
@@ -230,57 +242,12 @@ func (s *Store) load() error {
 		}
 		s.roots[e.name] = &Root{Declared: e.typ, Value: v}
 	}
-	// Position the write handle at the end for appends.
-	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+	// Position the write handle at the end of durable data: a torn tail,
+	// if any, is overwritten by the next append (after truncation).
+	if _, err := s.f.Seek(s.end, io.SeekStart); err != nil {
 		return err
 	}
 	return nil
-}
-
-func readRootTable(r *bufio.Reader) ([]rootEntry, error) {
-	count, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, err
-	}
-	if count > maxRecordSize {
-		return nil, fmt.Errorf("%w: oversized root table", ErrCorrupt)
-	}
-	entries := make([]rootEntry, 0, capCount(int(count)))
-	for i := uint64(0); i < count; i++ {
-		n, err := binary.ReadUvarint(r)
-		if err != nil || n > maxRecordSize {
-			return nil, fmt.Errorf("%w: bad root name length", ErrCorrupt)
-		}
-		name, err := readN(r, int(n))
-		if err != nil {
-			return nil, err
-		}
-		tn, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		if tn > maxRecordSize {
-			return nil, fmt.Errorf("%w: oversized type record", ErrCorrupt)
-		}
-		tbuf, err := readN(r, int(tn))
-		if err != nil {
-			return nil, err
-		}
-		typ, err := parseType(tbuf)
-		if err != nil {
-			return nil, err
-		}
-		vn, err := binary.ReadUvarint(r)
-		if err != nil || vn > maxRecordSize {
-			return nil, fmt.Errorf("%w: bad root value length", ErrCorrupt)
-		}
-		vbuf, err := readN(r, int(vn))
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, rootEntry{name: string(name), typ: typ, inline: vbuf})
-	}
-	return entries, nil
 }
 
 // materialize decodes the node oid (and, recursively, its children) into a
@@ -562,14 +529,77 @@ func (s *Store) encodeRootTable(b *nodeBuf) error {
 	return nil
 }
 
+// wrapIO wraps cause in the shared I/O taxonomy.
+func wrapIO(op iofault.Op, path string, cause error) error {
+	return iofault.Wrap(op, path, cause)
+}
+
+// poison marks the store unusable for further appends until Abort or a
+// reopen, and returns cause.
+func (s *Store) poison(cause error) error {
+	s.broken = fmt.Errorf("%w (cause: %v)", ErrPoisoned, cause)
+	return cause
+}
+
+// rollback trims a torn append after a failed write or sync, so a later
+// commit can never bury the torn bytes behind further appends. If the
+// trim itself fails the store is poisoned.
+func (s *Store) rollback(op iofault.Op, cause error) error {
+	err := wrapIO(op, s.path, cause)
+	if terr := s.f.Truncate(s.end); terr != nil {
+		return s.poison(err)
+	}
+	if _, serr := s.f.Seek(s.end, io.SeekStart); serr != nil {
+		return s.poison(err)
+	}
+	return err
+}
+
+// appendGroup appends one encoded commit group at s.end — adding the
+// CRC-32C trailer on v2 logs and clearing any torn tail first — and
+// advances s.end only when the group is fully durable.
+func (s *Store) appendGroup(out *nodeBuf) error {
+	if s.version == logVersion2 {
+		var tr [checksumSize]byte
+		binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(out.Bytes(), crcTable))
+		out.Write(tr[:])
+	}
+	if s.tailDirty {
+		if err := s.f.Truncate(s.end); err != nil {
+			return s.poison(wrapIO(iofault.OpTruncate, s.path, err))
+		}
+		if _, err := s.f.Seek(s.end, io.SeekStart); err != nil {
+			return s.poison(wrapIO(iofault.OpSeek, s.path, err))
+		}
+		s.tailDirty = false
+	}
+	if _, err := s.f.Write(out.Bytes()); err != nil {
+		return s.rollback(iofault.OpWrite, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return s.rollback(iofault.OpSync, err)
+	}
+	s.end += int64(out.Len())
+	return nil
+}
+
 // Commit makes the current state of every handle durable. Only nodes whose
 // shallow image differs from the last committed image are appended — the
 // incremental property benchmarked in experiment E4.
+//
+// Commit is crash-consistent: on a write or sync failure the log is
+// truncated back to the pre-commit offset (and the in-memory images are
+// left at the last committed state), so a failed commit can never bury a
+// torn tail under later appends. If even the truncation fails, the store
+// is poisoned (ErrPoisoned) until Abort or a reopen.
 func (s *Store) Commit() (CommitStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return CommitStats{}, ErrClosed
+	}
+	if s.broken != nil {
+		return CommitStats{}, s.broken
 	}
 	order := s.reach()
 	oidOf := func(v value.Value) uint64 { return s.oids[v] }
@@ -597,13 +627,10 @@ func (s *Store) Commit() (CommitStats, error) {
 		return stats, err
 	}
 	out.WriteByte(recCommit)
+	if err := s.appendGroup(&out); err != nil {
+		return stats, err
+	}
 	stats.BytesWritten = out.Len()
-	if _, err := s.f.Write(out.Bytes()); err != nil {
-		return stats, err
-	}
-	if err := s.f.Sync(); err != nil {
-		return stats, err
-	}
 	for oid, img := range newImages {
 		s.nodes[oid] = img
 	}
@@ -619,6 +646,7 @@ func (s *Store) Abort() error {
 	if s.closed {
 		return ErrClosed
 	}
+	s.broken = nil // a poisoned store recovers by replaying the log
 	s.roots = map[string]*Root{}
 	s.oids = map[value.Value]uint64{}
 	s.nodes = map[uint64][]byte{}
@@ -630,24 +658,25 @@ func (s *Store) Abort() error {
 // nodes reachable from the current handles, at their current images. The
 // store must have no uncommitted changes worth keeping — Compact performs
 // a Commit first so the result is the current state, minimally stored.
+// Compact always rewrites at the current log version, so it is also the
+// upgrade path from a v1 (checksum-free) log to v2.
 func (s *Store) Compact() (CompactStats, error) {
 	if _, err := s.Commit(); err != nil {
 		return CompactStats{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	before, err := s.f.Seek(0, io.SeekEnd)
-	if err != nil {
-		return CompactStats{}, err
-	}
+	before := s.end
 	order := s.reach()
 	oidOf := func(v value.Value) uint64 { return s.oids[v] }
 
-	tmp, err := os.CreateTemp(dirOf(s.path), ".compact-*")
+	tmp, err := s.fs.CreateTemp(iofault.Dir(s.path), ".compact-*")
 	if err != nil {
-		return CompactStats{}, err
+		return CompactStats{}, wrapIO(iofault.OpCreateTemp, s.path, err)
 	}
-	defer os.Remove(tmp.Name())
+	tmpName := tmp.Name()
+	defer s.fs.Remove(tmpName)
+	headerLen := len(logMagic) + 1
 	var out nodeBuf
 	out.WriteString(logMagic)
 	out.WriteByte(logVersion)
@@ -670,43 +699,51 @@ func (s *Store) Compact() (CompactStats, error) {
 		return CompactStats{}, err
 	}
 	out.WriteByte(recCommit)
+	// The group checksum covers everything after the header.
+	var tr [checksumSize]byte
+	binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(out.Bytes()[headerLen:], crcTable))
+	out.Write(tr[:])
 	if _, err := tmp.Write(out.Bytes()); err != nil {
 		tmp.Close()
-		return CompactStats{}, err
+		return CompactStats{}, wrapIO(iofault.OpWrite, tmpName, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return CompactStats{}, err
+		return CompactStats{}, wrapIO(iofault.OpSync, tmpName, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return CompactStats{}, err
+		return CompactStats{}, wrapIO(iofault.OpClose, tmpName, err)
 	}
-	if err := os.Rename(tmp.Name(), s.path); err != nil {
-		return CompactStats{}, err
+	if err := s.fs.Rename(tmpName, s.path); err != nil {
+		return CompactStats{}, wrapIO(iofault.OpRename, s.path, err)
 	}
-	// Swap the file handle to the compacted log.
-	old := s.f
-	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	// From here the on-disk log is the compacted file. Swap the handle
+	// before anything else can fail, so appends never target the unlinked
+	// old inode; failure to swap poisons the store.
+	f, err := s.fs.OpenFile(s.path, os.O_RDWR, 0o644)
 	if err != nil {
-		return CompactStats{}, err
+		return CompactStats{}, s.poison(wrapIO(iofault.OpOpen, s.path, err))
 	}
-	old.Close()
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return CompactStats{}, s.poison(wrapIO(iofault.OpSeek, s.path, err))
+	}
+	s.f.Close()
 	s.f = f
+	s.version = logVersion
+	s.end = int64(out.Len())
+	s.tailDirty = false
 	freed := len(s.nodes) - len(kept)
 	s.nodes = kept
+	// fsync the containing directory: without it the rename itself — the
+	// whole compaction — can be undone by a crash.
+	if err := s.fs.SyncDir(iofault.Dir(s.path)); err != nil {
+		return CompactStats{}, wrapIO(iofault.OpSyncDir, s.path, err)
+	}
 	return CompactStats{
 		BytesBefore: before,
 		BytesAfter:  int64(out.Len()),
 		NodesKept:   len(kept),
 		NodesFreed:  freed,
 	}, nil
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

@@ -1,0 +1,110 @@
+package intrinsic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// writeV1Log handcrafts a version-1 (checksum-free) log holding one
+// committed root x = 7, byte for byte what the pre-v2 store wrote.
+func writeV1Log(t *testing.T, path string) {
+	t.Helper()
+	var b nodeBuf
+	b.WriteString(logMagic)
+	b.WriteByte(logVersion1)
+	b.WriteByte(recRoots)
+	b.uvarint(1)
+	b.str("x")
+	if err := b.typ(types.Int); err != nil {
+		t.Fatal(err)
+	}
+	var vb nodeBuf
+	if err := encodeInline(&vb, value.Int(7), nil); err != nil {
+		t.Fatal(err)
+	}
+	b.uvarint(uint64(vb.Len()))
+	b.Write(vb.Bytes())
+	b.WriteByte(recCommit) // v1: no checksum after the commit marker
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1LogCompat: a v1 log still opens, appends stay v1 (a mixed-version
+// log would be unreadable), and Compact upgrades the file to v2.
+func TestV1LogCompat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.log")
+	writeV1Log(t, path)
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open v1 log: %v", err)
+	}
+	if r, ok := s.Root("x"); !ok || !value.Equal(r.Value, value.Int(7)) {
+		t.Fatalf("v1 root x = %v, want 7", r)
+	}
+	if err := s.Bind("y", value.Int(8), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatalf("Commit onto v1 log: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The appended group is v1 too: the log stays structurally clean at
+	// version 1 (an appended checksum would read as a stray record).
+	rep, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != logVersion1 {
+		t.Fatalf("version = %d after append, want 1", rep.Version)
+	}
+	if !rep.Clean() || rep.Commits != 2 {
+		t.Fatalf("report = %+v, want clean with 2 commits", rep)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen v1 log: %v", err)
+	}
+	if r, ok := s2.Root("y"); !ok || !value.Equal(r.Value, value.Int(8)) {
+		t.Fatalf("appended v1 root y = %v, want 8", r)
+	}
+
+	// Compact rewrites at the current version: the upgrade path to v2.
+	if _, err := s2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Version != logVersion2 {
+		t.Fatalf("version = %d after Compact, want 2", rep2.Version)
+	}
+	if !rep2.Clean() {
+		t.Fatalf("upgraded log not clean: %+v", rep2)
+	}
+
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen upgraded log: %v", err)
+	}
+	defer s3.Close()
+	if r, ok := s3.Root("x"); !ok || !value.Equal(r.Value, value.Int(7)) {
+		t.Fatalf("upgraded root x = %v, want 7", r)
+	}
+	if r, ok := s3.Root("y"); !ok || !value.Equal(r.Value, value.Int(8)) {
+		t.Fatalf("upgraded root y = %v, want 8", r)
+	}
+}

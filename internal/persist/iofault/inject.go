@@ -1,0 +1,407 @@
+package iofault
+
+import (
+	"os"
+	"sync"
+)
+
+// Injector wraps an FS with deterministic fault injection. Two independent
+// mechanisms are provided:
+//
+//   - FailAt(op, nth): the nth operation of that kind returns an injected
+//     error. A failed write is *torn* by default — half the bytes land
+//     before the error — because that is what a failed write looks like to
+//     a store (set CleanWrites to suppress the partial effect).
+//
+//   - CrashAt(nth): at the nth *mutating* operation the process "dies":
+//     the operation takes partial effect (a write lands a torn prefix; a
+//     sync, rename, truncate or remove does not happen at all), and every
+//     subsequent operation fails with ErrCrashed. With LoseUnsynced set,
+//     crashing also drops data written but never fsynced — each file is
+//     truncated back to its size at the last successful Sync — modeling a
+//     kernel page cache that never reached the platter.
+//
+// After a simulated crash the test reopens the store over the real files
+// (through OS) and asserts on what survived. Ops() reports how many
+// mutating operations a fault-free run performed, which is how the crash
+// matrix enumerates every I/O boundary.
+type Injector struct {
+	inner FS
+
+	// LoseUnsynced drops unsynced writes when the crash fires.
+	LoseUnsynced bool
+	// CleanWrites makes injected write failures land zero bytes instead of
+	// a torn prefix.
+	CleanWrites bool
+
+	mu        sync.Mutex
+	ops       int // mutating operations observed
+	crashAt   int // 0 = disabled; crash on the crashAt-th mutating op
+	crashed   bool
+	kindCount map[Op]int
+	fails     map[Op]map[int]bool
+	files     map[string]*fileState // per real path, for unsynced-loss
+}
+
+// fileState tracks durability per path: the size that is known synced.
+type fileState struct {
+	synced int64
+	open   *injFile // most recent open handle, nil after close
+}
+
+// NewInjector wraps inner (typically OS) with fault injection.
+func NewInjector(inner FS) *Injector {
+	return &Injector{
+		inner:     inner,
+		kindCount: map[Op]int{},
+		fails:     map[Op]map[int]bool{},
+		files:     map[string]*fileState{},
+	}
+}
+
+// FailAt arranges for the nth (1-based) operation of the given kind to
+// fail with ErrInjected.
+func (i *Injector) FailAt(op Op, nth int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.fails[op] == nil {
+		i.fails[op] = map[int]bool{}
+	}
+	i.fails[op][nth] = true
+}
+
+// CrashAt arranges a simulated crash at the nth (1-based) mutating
+// operation. Zero disables.
+func (i *Injector) CrashAt(nth int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashAt = nth
+}
+
+// Ops reports the number of mutating operations observed so far.
+func (i *Injector) Ops() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.ops
+}
+
+// Count reports how many operations of the given kind have been observed,
+// so tests can target "the next write" with FailAt(op, Count(op)+1).
+func (i *Injector) Count(op Op) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.kindCount[op]
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// mutating reports whether op is an I/O boundary for the crash matrix.
+func mutating(op Op) bool {
+	switch op {
+	case OpWrite, OpSync, OpClose, OpTruncate, OpRename, OpRemove,
+		OpCreateTemp, OpSyncDir, OpMkdirAll:
+		return true
+	}
+	return false
+}
+
+// gate is the common fault check. It returns crash=true when the caller
+// must apply the partial effect of the operation and then call crash();
+// err non-nil when the operation fails outright.
+func (i *Injector) gate(op Op, path string) (crash bool, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return false, &IOError{Op: op, Path: path, Err: ErrCrashed}
+	}
+	i.kindCount[op]++
+	if i.fails[op][i.kindCount[op]] {
+		return false, &IOError{Op: op, Path: path, Err: ErrInjected}
+	}
+	if mutating(op) {
+		i.ops++
+		if i.crashAt > 0 && i.ops == i.crashAt {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// crash flips the injector into the crashed state and, with LoseUnsynced,
+// truncates every tracked file back to its last synced size.
+func (i *Injector) crash() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return
+	}
+	i.crashed = true
+	if !i.LoseUnsynced {
+		return
+	}
+	for path, st := range i.files {
+		if st.open != nil {
+			st.open.f.Truncate(st.synced)
+			continue
+		}
+		if fi, err := os.Stat(path); err == nil && fi.Size() > st.synced {
+			os.Truncate(path, st.synced)
+		}
+	}
+}
+
+// state returns (creating if needed) the durability state for path.
+// Callers hold i.mu.
+func (i *Injector) state(path string) *fileState {
+	st, ok := i.files[path]
+	if !ok {
+		st = &fileState{}
+		i.files[path] = st
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// FS implementation
+// ---------------------------------------------------------------------------
+
+func (i *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if _, err := i.gate(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := i.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return i.track(f, name, flag&os.O_TRUNC != 0), nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	crash, err := i.gate(OpCreateTemp, dir)
+	if err != nil {
+		return nil, err
+	}
+	if crash {
+		i.crash()
+		return nil, &IOError{Op: OpCreateTemp, Path: dir, Err: ErrCrashed}
+	}
+	f, err := i.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return i.track(f, f.Name(), true), nil
+}
+
+// track registers an opened file. Existing content counts as synced (it
+// was durable before we opened it); truncated/new files start at zero.
+func (i *Injector) track(f File, name string, fresh bool) *injFile {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	st := i.state(name)
+	if fresh {
+		st.synced = 0
+	} else if fi, err := os.Stat(name); err == nil {
+		st.synced = fi.Size()
+	}
+	inf := &injFile{inj: i, f: f, name: name, st: st}
+	st.open = inf
+	return inf
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	crash, err := i.gate(OpRename, newpath)
+	if err != nil {
+		return err
+	}
+	if crash {
+		// A crash at the rename boundary: the rename never happens.
+		i.crash()
+		return &IOError{Op: OpRename, Path: newpath, Err: ErrCrashed}
+	}
+	if err := i.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	i.mu.Lock()
+	if st, ok := i.files[oldpath]; ok {
+		delete(i.files, oldpath)
+		i.files[newpath] = st
+	}
+	i.mu.Unlock()
+	return nil
+}
+
+func (i *Injector) Remove(name string) error {
+	crash, err := i.gate(OpRemove, name)
+	if err != nil {
+		return err
+	}
+	if crash {
+		i.crash()
+		return &IOError{Op: OpRemove, Path: name, Err: ErrCrashed}
+	}
+	i.mu.Lock()
+	delete(i.files, name)
+	i.mu.Unlock()
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if _, err := i.gate(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return i.inner.ReadFile(name)
+}
+
+func (i *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if _, err := i.gate(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return i.inner.ReadDir(name)
+}
+
+func (i *Injector) Stat(name string) (os.FileInfo, error) {
+	if _, err := i.gate(OpStat, name); err != nil {
+		return nil, err
+	}
+	return i.inner.Stat(name)
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	crash, err := i.gate(OpMkdirAll, path)
+	if err != nil {
+		return err
+	}
+	if crash {
+		i.crash()
+		return &IOError{Op: OpMkdirAll, Path: path, Err: ErrCrashed}
+	}
+	return i.inner.MkdirAll(path, perm)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	crash, err := i.gate(OpSyncDir, dir)
+	if err != nil {
+		return err
+	}
+	if crash {
+		i.crash()
+		return &IOError{Op: OpSyncDir, Path: dir, Err: ErrCrashed}
+	}
+	return i.inner.SyncDir(dir)
+}
+
+// ---------------------------------------------------------------------------
+// File implementation
+// ---------------------------------------------------------------------------
+
+type injFile struct {
+	inj  *Injector
+	f    File
+	name string
+	st   *fileState
+}
+
+func (f *injFile) Name() string { return f.name }
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if _, err := f.inj.gate(OpRead, f.name); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	if _, err := f.inj.gate(OpSeek, f.name); err != nil {
+		return 0, err
+	}
+	return f.f.Seek(offset, whence)
+}
+
+// Write lands all, half, or none of p. Both an injected failure and a
+// crash leave a torn prefix (unless CleanWrites), because that is the
+// hazard the store's rollback path must handle.
+func (f *injFile) Write(p []byte) (int, error) {
+	crash, err := f.inj.gate(OpWrite, f.name)
+	if err != nil {
+		n := 0
+		if !f.inj.CleanWrites {
+			n, _ = f.f.Write(p[:len(p)/2])
+		}
+		return n, err
+	}
+	if crash {
+		n := 0
+		if !f.inj.CleanWrites {
+			n, _ = f.f.Write(p[:len(p)/2])
+		}
+		f.inj.crash()
+		return n, &IOError{Op: OpWrite, Path: f.name, Err: ErrCrashed}
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	crash, err := f.inj.gate(OpSync, f.name)
+	if err != nil {
+		return err
+	}
+	if crash {
+		// The sync never completes: whatever was unsynced stays at risk.
+		f.inj.crash()
+		return &IOError{Op: OpSync, Path: f.name, Err: ErrCrashed}
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.inj.mu.Lock()
+	if fi, err := os.Stat(f.name); err == nil {
+		f.st.synced = fi.Size()
+	}
+	f.inj.mu.Unlock()
+	return nil
+}
+
+func (f *injFile) Truncate(size int64) error {
+	crash, err := f.inj.gate(OpTruncate, f.name)
+	if err != nil {
+		return err
+	}
+	if crash {
+		f.inj.crash()
+		return &IOError{Op: OpTruncate, Path: f.name, Err: ErrCrashed}
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.inj.mu.Lock()
+	if f.st.synced > size {
+		f.st.synced = size
+	}
+	f.inj.mu.Unlock()
+	return nil
+}
+
+func (f *injFile) Close() error {
+	crash, err := f.inj.gate(OpClose, f.name)
+	if err != nil {
+		// Still release the descriptor; the logical operation failed.
+		f.f.Close()
+		return err
+	}
+	f.inj.mu.Lock()
+	if f.st.open == f {
+		f.st.open = nil
+	}
+	f.inj.mu.Unlock()
+	if crash {
+		f.f.Close()
+		f.inj.crash()
+		return &IOError{Op: OpClose, Path: f.name, Err: ErrCrashed}
+	}
+	return f.f.Close()
+}

@@ -1,0 +1,184 @@
+// Package iofault is the injectable I/O layer beneath every persistence
+// store. The paper's second principle — "while a value persists, so does
+// its type" — presumes the medium itself is trustworthy; "Orthogonal
+// Persistence Revisited" (PAPERS.md) names resilience of the stable store
+// as the unsolved engineering half of orthogonal persistence. This package
+// makes that half testable: stores perform all file-system operations
+// through the FS interface, production code passes OS, and the fault tests
+// pass an Injector that can fail or short-write any Nth operation, or
+// simulate a crash at every I/O boundary.
+//
+// The package also defines the shared I/O error taxonomy: every store
+// wraps a failed file operation in *IOError, which identifies the
+// operation and path and unwraps both to ErrIOFailed and to the cause.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Op identifies a class of file-system operation, for error reporting and
+// fault targeting.
+type Op string
+
+// The operation classes. Mutating operations (everything except the read
+// family) are the I/O boundaries the crash matrix enumerates.
+const (
+	OpOpen       Op = "open"
+	OpCreateTemp Op = "create-temp"
+	OpRead       Op = "read"
+	OpReadFile   Op = "read-file"
+	OpReadDir    Op = "read-dir"
+	OpStat       Op = "stat"
+	OpSeek       Op = "seek"
+	OpWrite      Op = "write"
+	OpSync       Op = "sync"
+	OpClose      Op = "close"
+	OpTruncate   Op = "truncate"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpMkdirAll   Op = "mkdir-all"
+	OpSyncDir    Op = "sync-dir"
+)
+
+// Errors in the taxonomy. ErrIOFailed is the sentinel every *IOError
+// unwraps to; ErrInjected and ErrCrashed are the causes produced by the
+// Injector.
+var (
+	ErrIOFailed = errors.New("persist: i/o operation failed")
+	ErrInjected = errors.New("iofault: injected fault")
+	ErrCrashed  = errors.New("iofault: simulated crash")
+)
+
+// IOError is a failed file-system operation: which operation, on which
+// path, and why. It unwraps to both ErrIOFailed and the underlying cause,
+// so errors.Is works against either.
+type IOError struct {
+	Op   Op
+	Path string
+	Err  error
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("persist: %s %q: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *IOError) Unwrap() []error { return []error{ErrIOFailed, e.Err} }
+
+// Wrap wraps err as an *IOError unless it already is one (faults from the
+// Injector arrive pre-wrapped). A nil err stays nil.
+func Wrap(op Op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ioe *IOError
+	if errors.As(err, &ioe) {
+		return err
+	}
+	return &IOError{Op: op, Path: path, Err: err}
+}
+
+// File is the subset of *os.File the persistence stores need.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Name() string
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the file-system surface the persistence stores operate through.
+// OS is the production implementation; Injector wraps any FS with fault
+// injection.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making preceding renames and
+	// creates in it durable. Required after every atomic-replace rename:
+	// without it the rename is metadata that a crash can undo.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: direct delegation to package os.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error) {
+	return os.ReadDir(name)
+}
+func (OS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// AtomicWriteFile replaces path with content produced by write, using the
+// full durable-replace protocol: write to a temporary file in the same
+// directory, fsync it, close, rename over path, then fsync the directory
+// so the rename itself survives a crash. path either keeps its previous
+// content or holds the complete new content — never a torn mixture.
+func AtomicWriteFile(fsys FS, path string, write func(io.Writer) error) error {
+	dir := Dir(path)
+	tmp, err := fsys.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return Wrap(OpCreateTemp, path, err)
+	}
+	name := tmp.Name()
+	defer fsys.Remove(name)
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return Wrap(OpSync, name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return Wrap(OpClose, name, err)
+	}
+	if err := fsys.Rename(name, path); err != nil {
+		return Wrap(OpRename, path, err)
+	}
+	return Wrap(OpSyncDir, dir, fsys.SyncDir(dir))
+}
+
+// Dir returns the directory containing path, "." when path has none. It is
+// the argument SyncDir wants after renaming into path.
+func Dir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,173 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+	f, err := fs.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	img, err := fs.ReadFile(filepath.Join(dir, "b"))
+	if err != nil || string(img) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", img, err)
+	}
+}
+
+func TestDir(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c": "/a/b",
+		"/a":     "/",
+		"a":      ".",
+		"a/b":    "a",
+	}
+	for in, want := range cases {
+		if got := Dir(in); got != want {
+			t.Errorf("Dir(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestInjectedWriteFailureIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	inj.FailAt(OpWrite, 1)
+	f, err := inj.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrIOFailed) {
+		t.Fatalf("want injected IO error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want 5", n)
+	}
+	// The second write succeeds: the fault was one-shot.
+	if _, err := f.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	img, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(img) != "01234xy" {
+		t.Fatalf("file = %q", img)
+	}
+}
+
+func TestCrashStopsAllFurtherIO(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	f, err := inj.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil { // op 1
+		t.Fatal(err)
+	}
+	inj.CrashAt(2)
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrCrashed) { // op 2: crash
+		t.Fatalf("want crash, got %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	if _, err := f.Write([]byte("later")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if err := inj.Rename("x", "y"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+}
+
+func TestCrashLoseUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	inj := NewInjector(OS{})
+	inj.LoseUnsynced = true
+	f, err := inj.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+volatile")); err != nil { // op 3
+		t.Fatal(err)
+	}
+	inj.CrashAt(4)
+	f.Sync() // op 4: crash before the sync happens
+	img, _ := os.ReadFile(path)
+	if string(img) != "durable" {
+		t.Fatalf("after crash file = %q, want only the synced prefix", img)
+	}
+}
+
+func TestCrashAtRenameLeavesTarget(t *testing.T) {
+	dir := t.TempDir()
+	oldp, newp := filepath.Join(dir, "tmp"), filepath.Join(dir, "dst")
+	if err := os.WriteFile(oldp, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newp, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS{})
+	inj.CrashAt(1)
+	if err := inj.Rename(oldp, newp); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	img, _ := os.ReadFile(newp)
+	if string(img) != "old" {
+		t.Fatalf("rename happened despite crash: %q", img)
+	}
+}
+
+// TestOpsCountIsDeterministic: two identical fault-free runs observe the
+// same boundary count — the property the crash matrix relies on.
+func TestOpsCountIsDeterministic(t *testing.T) {
+	run := func() int {
+		dir := t.TempDir()
+		inj := NewInjector(OS{})
+		f, err := inj.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("x"))
+		f.Sync()
+		f.Close()
+		inj.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+		inj.SyncDir(dir)
+		return inj.Ops()
+	}
+	a, b := run(), run()
+	if a != b || a == 0 {
+		t.Fatalf("ops %d vs %d", a, b)
+	}
+}

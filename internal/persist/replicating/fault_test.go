@@ -1,0 +1,114 @@
+package replicating
+
+import (
+	"errors"
+	"testing"
+
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/value"
+)
+
+// TestExternFaultAtomicity fails each mutating op of the atomic-replace
+// protocol in turn and asserts the previously externed image is always the
+// one interned afterward: a failed Extern never leaves a torn replica.
+func TestExternFaultAtomicity(t *testing.T) {
+	for _, op := range []iofault.Op{
+		iofault.OpCreateTemp, iofault.OpWrite, iofault.OpSync,
+		iofault.OpClose, iofault.OpRename,
+	} {
+		t.Run(string(op), func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if err := st.ExternValue("db", value.Int(1)); err != nil {
+				t.Fatalf("baseline Extern: %v", err)
+			}
+
+			inj := iofault.NewInjector(iofault.OS{})
+			fst, err := OpenFS(inj, dir)
+			if err != nil {
+				t.Fatalf("OpenFS: %v", err)
+			}
+			inj.FailAt(op, 1)
+			if err := fst.ExternValue("db", value.Int(2)); err == nil {
+				t.Fatalf("Extern: expected injected %s error", op)
+			} else if !errors.Is(err, iofault.ErrInjected) {
+				t.Fatalf("Extern error %v does not wrap ErrInjected", err)
+			}
+
+			d, err := st.Intern("db")
+			if err != nil {
+				t.Fatalf("Intern after failed Extern: %v", err)
+			}
+			if got := d.Value().(value.Int); got != 1 {
+				t.Fatalf("interned %d, want previous image 1", got)
+			}
+		})
+	}
+}
+
+// TestExternCrashEveryBoundary crashes at every I/O boundary during a
+// re-extern; the handle must afterward intern as either the old or the new
+// value — never fail, never yield garbage.
+func TestExternCrashEveryBoundary(t *testing.T) {
+	// Probe run to count boundaries.
+	probeDir := t.TempDir()
+	{
+		st, err := Open(probeDir)
+		if err != nil {
+			t.Fatalf("probe Open: %v", err)
+		}
+		if err := st.ExternValue("db", value.Int(1)); err != nil {
+			t.Fatalf("probe baseline: %v", err)
+		}
+	}
+	probe := iofault.NewInjector(iofault.OS{})
+	pst, err := OpenFS(probe, probeDir)
+	if err != nil {
+		t.Fatalf("probe OpenFS: %v", err)
+	}
+	if err := pst.ExternValue("db", value.Int(2)); err != nil {
+		t.Fatalf("probe Extern: %v", err)
+	}
+	n := probe.Ops()
+	if n == 0 {
+		t.Fatalf("probe recorded no mutating ops")
+	}
+
+	for k := 1; k <= n; k++ {
+		for _, lose := range []bool{false, true} {
+			dir := t.TempDir()
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if err := st.ExternValue("db", value.Int(1)); err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			inj := iofault.NewInjector(iofault.OS{})
+			inj.LoseUnsynced = lose
+			inj.CrashAt(k)
+			fst, err := OpenFS(inj, dir)
+			if err != nil {
+				// MkdirAll is the first mutating op; a crash there leaves
+				// the baseline intact.
+				if !errors.Is(err, iofault.ErrCrashed) {
+					t.Fatalf("OpenFS: %v", err)
+				}
+			} else {
+				_ = fst.ExternValue("db", value.Int(2))
+			}
+
+			d, err := st.Intern("db")
+			if err != nil {
+				t.Fatalf("crash %d (lose=%v): Intern: %v", k, lose, err)
+			}
+			got := int64(d.Value().(value.Int))
+			if got != 1 && got != 2 {
+				t.Fatalf("crash %d (lose=%v): interned %d, want 1 or 2", k, lose, got)
+			}
+		}
+	}
+}

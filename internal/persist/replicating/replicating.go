@@ -28,6 +28,7 @@ import (
 
 	"dbpl/internal/dynamic"
 	"dbpl/internal/persist/codec"
+	"dbpl/internal/persist/iofault"
 	"dbpl/internal/types"
 	"dbpl/internal/value"
 )
@@ -45,15 +46,22 @@ const fileSuffix = ".dyn"
 // programs is — as the paper warns — the caller's problem.
 type Store struct {
 	mu  sync.Mutex
+	fs  iofault.FS
 	dir string
 }
 
 // Open returns a store rooted at dir, creating it if needed.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(iofault.OS{}, dir)
+}
+
+// OpenFS is Open over an explicit file system — the seam the fault tests
+// inject through.
+func OpenFS(fsys iofault.FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir}, nil
+	return &Store{fs: fsys, dir: dir}, nil
 }
 
 // checkHandle guards against path escapes.
@@ -69,30 +77,16 @@ func (s *Store) path(handle string) string {
 }
 
 // Extern writes a *copy* of the dynamic — the value, everything reachable
-// from it, and its type — under the handle, replacing any previous image.
+// from it, and its type — under the handle, replacing any previous image
+// atomically and durably (temp file, fsync, rename, directory fsync): a
+// failed or interrupted Extern leaves the previous image intact.
 func (s *Store) Extern(handle string, d *dynamic.Dynamic) error {
 	if err := checkHandle(handle); err != nil {
 		return err
 	}
-	img, err := codec.MarshalTagged(d.Value(), d.Type())
-	if err != nil {
-		return err
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tmp, err := os.CreateTemp(s.dir, ".extern-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(img); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), s.path(handle))
+	return codec.WriteImageFile(s.fs, s.path(handle), d.Value(), d.Type())
 }
 
 // ExternValue is Extern of a dynamic made from v at its most specific type.
@@ -108,16 +102,12 @@ func (s *Store) Intern(handle string) (*dynamic.Dynamic, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	img, err := os.ReadFile(s.path(handle))
+	v, t, err := codec.ReadImageFile(s.fs, s.path(handle))
 	s.mu.Unlock()
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %q", ErrNoHandle, handle)
 		}
-		return nil, err
-	}
-	v, t, err := codec.UnmarshalTagged(img)
-	if err != nil {
 		return nil, err
 	}
 	return dynamic.MakeAt(v, t)
@@ -138,7 +128,7 @@ func (s *Store) InternAs(handle string, want types.Type) (value.Value, error) {
 func (s *Store) Handles() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +149,7 @@ func (s *Store) Remove(handle string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Remove(s.path(handle)); err != nil {
+	if err := s.fs.Remove(s.path(handle)); err != nil {
 		if os.IsNotExist(err) {
 			return fmt.Errorf("%w: %q", ErrNoHandle, handle)
 		}
@@ -176,7 +166,7 @@ func (s *Store) Size(handle string) (int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fi, err := os.Stat(s.path(handle))
+	fi, err := s.fs.Stat(s.path(handle))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, fmt.Errorf("%w: %q", ErrNoHandle, handle)

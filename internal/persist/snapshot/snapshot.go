@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"dbpl/internal/persist/codec"
+	"dbpl/internal/persist/iofault"
 	"dbpl/internal/value"
 )
 
@@ -143,40 +144,33 @@ func Resume(r io.Reader) (*Environment, error) {
 	return env, nil
 }
 
-// SaveFile saves atomically to path (write to a temporary file, then
-// rename), so a crash mid-save never destroys the previous image — though,
-// as the paper notes, everything else about this model remains fragile.
+// SaveFile saves atomically and durably to path (temporary file, fsync,
+// rename, directory fsync), so a crash mid-save — or even just after the
+// rename — never destroys the previous image — though, as the paper
+// notes, everything else about this model remains fragile.
 func SaveFile(path string, e *Environment) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".snapshot-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := Save(tmp, e); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return SaveFileFS(iofault.OS{}, path, e)
+}
+
+// SaveFileFS is SaveFile over an explicit file system — the seam the
+// fault tests inject through.
+func SaveFileFS(fsys iofault.FS, path string, e *Environment) error {
+	return iofault.AtomicWriteFile(fsys, path, func(w io.Writer) error {
+		return Save(w, e)
+	})
 }
 
 // ResumeFile resumes from a file written by SaveFile.
 func ResumeFile(path string) (*Environment, error) {
-	f, err := os.Open(path)
+	return ResumeFileFS(iofault.OS{}, path)
+}
+
+// ResumeFileFS is ResumeFile over an explicit file system.
+func ResumeFileFS(fsys iofault.FS, path string) (*Environment, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	return Resume(f)
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }
