@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests clean
 
-all: build vet fmt-check test faults race
+all: build vet fmt-check test faults race serve-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -51,11 +51,23 @@ faults:
 	$(GO) test -run 'Fault|Crash|Fsck|Salvage|Poison|V1Log|Inject|LoseUnsynced' \
 		./internal/persist/... ./cmd/dbpl/
 
+# The server battery: the e2e suite, the commit/abort isolation stress,
+# and the client/wire unit tests, all under the race detector, plus the
+# cmd-level signal regression tests.
+serve-tests:
+	$(GO) test -race ./internal/server/... ./client/ ./cmd/dbpl/
+
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalValue -fuzztime=30s ./internal/persist/codec/
 	$(GO) test -fuzz=FuzzDecodeType -fuzztime=30s ./internal/persist/codec/
 	$(GO) test -fuzz=FuzzRun -fuzztime=30s ./internal/lang/
+
+# The wire-decoder fuzz contract (part of `make all`): malformed frames,
+# truncated length prefixes and oversize claims must yield typed wire
+# errors — never a panic, never an unbounded allocation.
+fuzz-wire:
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/server/wire/
 
 clean:
 	$(GO) clean ./...

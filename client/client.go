@@ -1,0 +1,573 @@
+// Package client is the Go client for `dbpl serve` (internal/server): a
+// connection-pooled, pipelining front end to the remote store.
+//
+// A Client multiplexes stateless requests (Get, Put, Delete, Join, Names,
+// Ping) over a small fixed pool of connections. Each connection pipelines:
+// concurrent callers write their frames back to back and a single reader
+// goroutine matches responses to callers in FIFO order, so N in-flight
+// requests cost one round trip, not N. Dead connections are redialed
+// transparently on next use — a client survives a server restart and sees
+// exactly the state the server recovered from its log.
+//
+// Transactions are session-scoped on the server, so Begin pins a dedicated
+// connection: the *Session's Put/Delete buffer server-side until Commit
+// makes them one durable commit group (Abort discards them). A Session's
+// own Get sees its buffered writes; other clients never do.
+//
+// Failures carry the server's taxonomy: errors returned by remote
+// operations unwrap to the wire sentinels (wire.ErrNoRoot, wire.ErrTxn,
+// wire.ErrRemoteCorrupt, ...) and remote I/O failures additionally to
+// iofault.ErrIOFailed, so errors.Is against a remote store reads the same
+// as against a local one.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbpl/internal/core"
+	"dbpl/internal/persist/codec"
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/server/wire"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// Errors produced locally by the client.
+var (
+	ErrClosed   = errors.New("client: closed")
+	ErrDeadline = errors.New("client: request deadline exceeded")
+	ErrDone     = errors.New("client: session already finished")
+)
+
+// The remote failure taxonomy, re-exported from the wire protocol
+// (which lives under internal/) so programs outside this module can
+// dispatch on remote failures with errors.Is.
+var (
+	ErrBadFrame      = wire.ErrBadFrame
+	ErrTooLarge      = wire.ErrTooLarge
+	ErrUnknownOp     = wire.ErrUnknownOp
+	ErrBadRequest    = wire.ErrBadRequest
+	ErrNoRoot        = wire.ErrNoRoot
+	ErrNotConforming = wire.ErrNotConforming
+	ErrInconsistent  = wire.ErrInconsistent
+	ErrTxn           = wire.ErrTxn
+	ErrRemoteIO      = wire.ErrRemoteIO
+	ErrRemoteCorrupt = wire.ErrRemoteCorrupt
+	ErrShutdown      = wire.ErrShutdown
+	ErrInternal      = wire.ErrInternal
+
+	// ErrIOFailed is the persistence layer's I/O sentinel
+	// (iofault.ErrIOFailed); a remote I/O failure unwraps to it too, so
+	// one errors.Is covers local and served stores alike.
+	ErrIOFailed = iofault.ErrIOFailed
+)
+
+// Options tunes a Client. The zero value is usable.
+type Options struct {
+	// PoolSize is the number of pooled connections for stateless
+	// requests; 0 means 2. Sessions always dial their own.
+	PoolSize int
+	// MaxFrame bounds frames in both directions; 0 means wire.MaxFrame.
+	MaxFrame int
+	// DialTimeout bounds connection establishment; 0 means 5s.
+	DialTimeout time.Duration
+	// RequestTimeout is the per-request deadline, covering the write and
+	// the wait for the response; 0 means 30s, negative disables.
+	RequestTimeout time.Duration
+}
+
+func (o Options) poolSize() int {
+	if o.PoolSize <= 0 {
+		return 2
+	}
+	return o.PoolSize
+}
+
+func (o Options) maxFrame() int {
+	if o.MaxFrame <= 0 {
+		return wire.MaxFrame
+	}
+	return o.MaxFrame
+}
+
+func (o Options) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.DialTimeout
+}
+
+func (o Options) requestTimeout() time.Duration {
+	if o.RequestTimeout == 0 {
+		return 30 * time.Second
+	}
+	if o.RequestTimeout < 0 {
+		return 0
+	}
+	return o.RequestTimeout
+}
+
+// Packed mirrors core.Packed: a remote object with the witness type it was
+// stored at.
+type Packed = core.Packed
+
+// Client is a pooled connection to one dbpl server. It is safe for
+// concurrent use.
+type Client struct {
+	addr string
+	o    Options
+
+	mu     sync.Mutex
+	pool   []*conn // fixed slots, lazily (re)dialed
+	closed bool
+	next   atomic.Uint64 // round-robin over the pool
+}
+
+// Dial connects to a dbpl server, verifying liveness with a Ping.
+func Dial(addr string, opts *Options) (*Client, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	c := &Client{addr: addr, o: o, pool: make([]*conn, o.poolSize())}
+	if err := c.Ping(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes every pooled connection. Sessions hold their own
+// connections and must be finished separately.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for i, cn := range c.pool {
+		if cn != nil {
+			cn.fail(ErrClosed)
+			c.pool[i] = nil
+		}
+	}
+	return nil
+}
+
+// getConn returns a live pooled connection, redialing a dead slot.
+func (c *Client) getConn() (*conn, error) {
+	slot := int(c.next.Add(1)-1) % len(c.pool)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cn := c.pool[slot]
+	if cn != nil && !cn.isDead() {
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	// Dial outside the lock; racing callers may dial the same slot, the
+	// loser's connection is closed.
+	fresh, err := dialConn(c.addr, c.o)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		fresh.fail(ErrClosed)
+		return nil, ErrClosed
+	}
+	if cur := c.pool[slot]; cur != nil && !cur.isDead() {
+		fresh.fail(ErrClosed)
+		return cur, nil
+	}
+	c.pool[slot] = fresh
+	return fresh, nil
+}
+
+func (c *Client) roundTrip(op byte, fields ...[]byte) (byte, [][]byte, error) {
+	cn, err := c.getConn()
+	if err != nil {
+		return 0, nil, err
+	}
+	return cn.roundTrip(c.o.requestTimeout(), op, fields...)
+}
+
+// ---------------------------------------------------------------------------
+// Stateless operations
+// ---------------------------------------------------------------------------
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, _, err := expect(wire.OpOK)(c.roundTrip(wire.OpPing))
+	return err
+}
+
+// Get is the paper's generic extraction, remotely: every root whose
+// declared type is a subtype of t, packaged with its witness.
+func (c *Client) Get(t types.Type) ([]Packed, error) {
+	return decodeGet(c.roundTrip(wire.OpGet, mustTypeField(t)))
+}
+
+// GetExpr is Get over the concrete type syntax, e.g. "{Name: String}".
+func (c *Client) GetExpr(src string) ([]Packed, error) {
+	t, err := types.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Get(t)
+}
+
+// Put binds name to v at the declared type (nil means v's most specific
+// type) and commits it as one group.
+func (c *Client) Put(name string, v value.Value, declared types.Type) error {
+	f, err := putFields(name, v, declared)
+	if err != nil {
+		return err
+	}
+	_, _, err = expect(wire.OpOK)(c.roundTrip(wire.OpPut, f...))
+	return err
+}
+
+// Delete unbinds name, reporting whether it existed.
+func (c *Client) Delete(name string) (bool, error) {
+	return decodeDelete(c.roundTrip(wire.OpDelete, []byte(name)))
+}
+
+// Join computes the generalized natural join (the paper's Figure 1) of
+// the extents at t1 and t2, remotely.
+func (c *Client) Join(t1, t2 types.Type) ([]value.Value, error) {
+	ps, err := decodeGet(c.roundTrip(wire.OpJoin, mustTypeField(t1), mustTypeField(t2)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Value, len(ps))
+	for i, p := range ps {
+		out[i] = p.Value
+	}
+	return out, nil
+}
+
+// Names lists the root names.
+func (c *Client) Names() ([]string, error) {
+	_, fields, err := expect(wire.OpOK)(c.roundTrip(wire.OpNames))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = string(f)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sessions (server-side transactions)
+// ---------------------------------------------------------------------------
+
+// Session is one server-side transaction, pinned to its own connection.
+// Finish it with Commit or Abort (Close aborts if neither happened).
+type Session struct {
+	c    *Client
+	cn   *conn
+	done bool
+}
+
+// Begin opens a transaction on a dedicated connection.
+func (c *Client) Begin() (*Session, error) {
+	cn, err := dialConn(c.addr, c.o)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := expect(wire.OpOK)(cn.roundTrip(c.o.requestTimeout(), wire.OpBegin)); err != nil {
+		cn.fail(ErrClosed)
+		return nil, err
+	}
+	return &Session{c: c, cn: cn}, nil
+}
+
+func (s *Session) roundTrip(op byte, fields ...[]byte) (byte, [][]byte, error) {
+	if s.done {
+		return 0, nil, ErrDone
+	}
+	return s.cn.roundTrip(s.c.o.requestTimeout(), op, fields...)
+}
+
+// Get inside the session sees its own buffered writes overlaid on the
+// snapshot pinned at Begin.
+func (s *Session) Get(t types.Type) ([]Packed, error) {
+	return decodeGet(s.roundTrip(wire.OpGet, mustTypeField(t)))
+}
+
+// Put buffers a binding in the transaction.
+func (s *Session) Put(name string, v value.Value, declared types.Type) error {
+	f, err := putFields(name, v, declared)
+	if err != nil {
+		return err
+	}
+	_, _, err = expect(wire.OpOK)(s.roundTrip(wire.OpPut, f...))
+	return err
+}
+
+// Delete buffers an unbinding, reporting whether the name was bound in
+// the session's view.
+func (s *Session) Delete(name string) (bool, error) {
+	return decodeDelete(s.roundTrip(wire.OpDelete, []byte(name)))
+}
+
+// Join runs the generalized join against the session's view.
+func (s *Session) Join(t1, t2 types.Type) ([]value.Value, error) {
+	ps, err := decodeGet(s.roundTrip(wire.OpJoin, mustTypeField(t1), mustTypeField(t2)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Value, len(ps))
+	for i, p := range ps {
+		out[i] = p.Value
+	}
+	return out, nil
+}
+
+// Names lists the root names in the session's view.
+func (s *Session) Names() ([]string, error) {
+	_, fields, err := expect(wire.OpOK)(s.roundTrip(wire.OpNames))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = string(f)
+	}
+	return out, nil
+}
+
+// Commit makes the buffered writes one durable commit group and ends the
+// session.
+func (s *Session) Commit() error {
+	_, _, err := expect(wire.OpOK)(s.roundTrip(wire.OpCommit))
+	s.finish()
+	return err
+}
+
+// Abort discards the buffered writes and ends the session.
+func (s *Session) Abort() error {
+	_, _, err := expect(wire.OpOK)(s.roundTrip(wire.OpAbort))
+	s.finish()
+	return err
+}
+
+// Close aborts the session if it is still open.
+func (s *Session) Close() error {
+	if s.done {
+		return nil
+	}
+	return s.Abort()
+}
+
+func (s *Session) finish() {
+	if !s.done {
+		s.done = true
+		s.cn.fail(ErrDone)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Request/response plumbing
+// ---------------------------------------------------------------------------
+
+func mustTypeField(t types.Type) []byte {
+	b, err := wire.MarshalType(t)
+	if err != nil {
+		// Every types.Type the package can produce is encodable; an
+		// unencodable one is a programming error surfaced loudly.
+		panic(fmt.Sprintf("client: unencodable type %s: %v", t, err))
+	}
+	return b
+}
+
+func putFields(name string, v value.Value, declared types.Type) ([][]byte, error) {
+	img, err := codec.MarshalTagged(v, declared)
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{[]byte(name), img}, nil
+}
+
+// expect checks the response opcode, decoding OpError frames into their
+// *wire.WireError.
+func expect(want byte) func(byte, [][]byte, error) (byte, [][]byte, error) {
+	return func(op byte, fields [][]byte, err error) (byte, [][]byte, error) {
+		if err != nil {
+			return op, fields, err
+		}
+		if op == wire.OpError {
+			return op, nil, wire.DecodeError(fields)
+		}
+		if op != want {
+			return op, nil, &wire.WireError{Code: wire.CodeBadFrame,
+				Msg: fmt.Sprintf("unexpected response opcode %#x", op)}
+		}
+		return op, fields, nil
+	}
+}
+
+func decodeGet(op byte, fields [][]byte, err error) ([]Packed, error) {
+	if _, fields, err = expect(wire.OpValues)(op, fields, err); err != nil {
+		return nil, err
+	}
+	out := make([]Packed, len(fields))
+	for i, f := range fields {
+		v, t, err := codec.UnmarshalTagged(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Packed{Value: v, Witness: t}
+	}
+	return out, nil
+}
+
+func decodeDelete(op byte, fields [][]byte, err error) (bool, error) {
+	if _, fields, err = expect(wire.OpOK)(op, fields, err); err != nil {
+		return false, err
+	}
+	if len(fields) != 1 || len(fields[0]) != 1 {
+		return false, &wire.WireError{Code: wire.CodeBadFrame, Msg: "malformed DELETE response"}
+	}
+	return fields[0][0] == 1, nil
+}
+
+// ---------------------------------------------------------------------------
+// conn: one pipelining connection
+// ---------------------------------------------------------------------------
+
+type result struct {
+	op     byte
+	fields [][]byte
+	err    error
+}
+
+// conn is a single connection with FIFO request pipelining: writers append
+// a response slot and write their frame under wmu (so slot order equals
+// frame order), and the reader goroutine delivers responses to slots in
+// order.
+type conn struct {
+	nc       net.Conn
+	maxFrame int
+
+	wmu sync.Mutex // serializes {enqueue, write}
+
+	mu      sync.Mutex
+	pending []chan result
+	dead    error // sticky; set once by fail
+}
+
+func dialConn(addr string, o Options) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, o.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{nc: nc, maxFrame: o.maxFrame()}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *conn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead != nil
+}
+
+// fail marks the connection dead, closes it, and delivers err to every
+// in-flight request. Idempotent.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.dead != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = err
+	ps := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range ps {
+		ch <- result{err: err}
+	}
+}
+
+func (c *conn) readLoop() {
+	r := bufio.NewReader(c.nc)
+	for {
+		op, fields, err := wire.ReadFrame(r, c.maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		if len(c.pending) == 0 {
+			c.mu.Unlock()
+			c.fail(&wire.WireError{Code: wire.CodeBadFrame, Msg: "unsolicited response"})
+			return
+		}
+		ch := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		ch <- result{op: op, fields: fields}
+	}
+}
+
+// roundTrip writes one request and waits for its response. Concurrent
+// callers pipeline: their frames are written back to back and answered in
+// order. timeout covers the whole round trip; on expiry the connection is
+// killed (responses can no longer be matched) and redialed by the pool on
+// next use.
+func (c *conn) roundTrip(timeout time.Duration, op byte, fields ...[]byte) (byte, [][]byte, error) {
+	ch := make(chan result, 1)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	c.wmu.Lock()
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return 0, nil, err
+	}
+	c.pending = append(c.pending, ch)
+	c.mu.Unlock()
+	c.nc.SetWriteDeadline(deadline)
+	err := wire.WriteFrame(c.nc, c.maxFrame, op, fields...)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("client: write failed: %w", err))
+		r := <-ch // fail delivered to every pending slot, including ours
+		return 0, nil, r.err
+	}
+	if timeout <= 0 {
+		r := <-ch
+		return r.op, r.fields, r.err
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.op, r.fields, r.err
+	case <-timer.C:
+		c.fail(ErrDeadline)
+		r := <-ch
+		if r.err == nil {
+			// The response won the race with fail's delivery.
+			return r.op, r.fields, nil
+		}
+		return 0, nil, r.err
+	}
+}

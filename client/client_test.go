@@ -1,0 +1,187 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbpl/internal/server/wire"
+)
+
+// fakeServer accepts one connection and hands it to serve; the wire
+// protocol is spoken by hand so the client's transport behavior is tested
+// without a real server behind it.
+func fakeServer(t *testing.T, serve func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serve(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// answerPings responds OK to every frame it reads, forever.
+func answerPings(conn net.Conn) {
+	defer conn.Close()
+	for {
+		if _, _, err := wire.ReadFrame(conn, 0); err != nil {
+			return
+		}
+		if err := wire.WriteFrame(conn, 0, wire.OpOK); err != nil {
+			return
+		}
+	}
+}
+
+// TestRequestTimeoutKillsConn: a server that swallows requests must not
+// wedge the caller — the request fails with ErrDeadline, the connection
+// is condemned, and the pool redials transparently on next use.
+func TestRequestTimeoutKillsConn(t *testing.T) {
+	var responsive atomic.Bool
+	responsive.Store(true)
+	addr := fakeServer(t, func(conn net.Conn) {
+		if responsive.Load() {
+			answerPings(conn)
+			return
+		}
+		// Swallow everything, answer nothing.
+		defer conn.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, &Options{PoolSize: 1, RequestTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	responsive.Store(false) // the redial after this lands on the black hole
+	// Kill the live conn so the next request redials to the black hole.
+	c.mu.Lock()
+	c.pool[0].fail(errors.New("test: condemned"))
+	c.mu.Unlock()
+
+	start := time.Now()
+	if err := c.Ping(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Ping against a black hole = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline took %v, want ~100ms", elapsed)
+	}
+
+	responsive.Store(true)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after redial: %v", err)
+	}
+}
+
+// TestPoolRedialsDeadSlots: every pooled connection dying (server
+// restart) is invisible to callers beyond the failed in-flight requests.
+func TestPoolRedialsDeadSlots(t *testing.T) {
+	addr := fakeServer(t, answerPings)
+	c, err := Dial(addr, &Options{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ { // touch both slots
+		if err := c.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	for _, cn := range c.pool {
+		if cn != nil {
+			cn.fail(errors.New("test: server restarted"))
+		}
+	}
+	c.mu.Unlock()
+	for i := 0; i < 4; i++ {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("Ping %d after restart: %v", i, err)
+		}
+	}
+}
+
+// TestUnsolicitedResponseCondemnsConn: a server pushing frames nobody
+// asked for is a protocol violation, not a crash.
+func TestUnsolicitedResponseCondemnsConn(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		// Answer the Dial-time ping, then inject garbage.
+		if _, _, err := wire.ReadFrame(conn, 0); err != nil {
+			return
+		}
+		wire.WriteFrame(conn, 0, wire.OpOK)
+		wire.WriteFrame(conn, 0, wire.OpOK) // unsolicited
+		// Hold the conn open so the client reader sees the frame.
+		time.Sleep(2 * time.Second)
+	})
+	c, err := Dial(addr, &Options{PoolSize: 1, RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(time.Second)
+	for {
+		c.mu.Lock()
+		cn := c.pool[0]
+		c.mu.Unlock()
+		if cn != nil && cn.isDead() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("unsolicited response did not condemn the connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRemoteErrorsKeepTheTaxonomy: an OpError response surfaces as the
+// typed wire error, and the connection stays usable (an application
+// error is not a transport error).
+func TestRemoteErrorsKeepTheTaxonomy(t *testing.T) {
+	reqs := 0
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		for {
+			if _, _, err := wire.ReadFrame(conn, 0); err != nil {
+				return
+			}
+			reqs++
+			if reqs == 2 { // the post-Dial request gets the error
+				wire.WriteFrame(conn, 0, wire.OpError,
+					wire.ErrorFields(&wire.WireError{Code: wire.CodeNoRoot, Msg: "no root \"x\""})...)
+				continue
+			}
+			wire.WriteFrame(conn, 0, wire.OpOK)
+		}
+	})
+	c, err := Dial(addr, &Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Names(); !errors.Is(err, wire.ErrNoRoot) {
+		t.Fatalf("err = %v, want wire.ErrNoRoot", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after an application error: %v", err)
+	}
+}

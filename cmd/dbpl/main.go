@@ -13,6 +13,14 @@
 // The fsck verb verifies an intrinsic store log offline:
 //
 //	dbpl fsck [-salvage out.log] store.log
+//
+// The serve verb exposes a store to concurrent remote clients (see
+// docs/SERVER.md):
+//
+//	dbpl serve [-addr :7070] store.log
+//
+// Every verb handles SIGINT/SIGTERM gracefully: open stores are closed
+// (the server additionally drains in-flight requests) before exiting.
 package main
 
 import (
@@ -35,6 +43,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpl: serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "dbpl:", err)
 		os.Exit(1)
@@ -48,8 +63,10 @@ func run() error {
 	flag.Parse()
 
 	in := lang.New(os.Stdout)
+	var st *intrinsic.Store
 	if *storePath != "" {
-		st, err := intrinsic.Open(*storePath)
+		var err error
+		st, err = intrinsic.Open(*storePath)
 		if err != nil {
 			return err
 		}
@@ -63,6 +80,17 @@ func run() error {
 		}
 		in.Replicating = rep
 	}
+	// SIGINT/SIGTERM must not abandon an open store: close it (waiting out
+	// any in-flight commit, which holds the store mutex) before exiting —
+	// the same graceful-shutdown discipline the serve verb uses.
+	stop := onSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "dbpl: %v — closing store\n", sig)
+		if st != nil {
+			st.Close()
+		}
+		os.Exit(exitCode(sig))
+	})
+	defer stop()
 
 	if flag.NArg() == 0 {
 		return repl(in)

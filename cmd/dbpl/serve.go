@@ -1,0 +1,73 @@
+// The serve verb: a concurrent database server over an intrinsic store.
+//
+//	dbpl serve [-addr :7070] [-drain 5s] store.log
+//
+// See docs/SERVER.md for the wire protocol and transaction semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"dbpl/internal/persist/intrinsic"
+	"dbpl/internal/server"
+)
+
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":7070", "TCP listen address")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: dbpl serve [-addr :7070] [-drain 5s] store.log")
+	}
+	st, err := intrinsic.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	srv, err := server.New(st, server.Config{
+		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	// SIGINT/SIGTERM drain the server, append the final commit group, and
+	// close the store — the same graceful path every verb now shares. The
+	// handler goes in before the banner below announces readiness, so a
+	// supervisor reacting to the banner can never catch the default
+	// (store-abandoning) signal disposition.
+	stop := onSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "dbpl: %v — draining server and closing store\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpl: shutdown:", err)
+		}
+		st.Close()
+	})
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The banner is a protocol for scripts and tests: the bound address on
+	// one line, flushed before the first Accept.
+	fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots)\n", fs.Arg(0), ln.Addr(), srv.Stats().Roots)
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, server.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "dbpl: server stopped")
+	return nil
+}

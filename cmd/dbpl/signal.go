@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// onSignal invokes handler (once) when SIGINT or SIGTERM arrives, so every
+// verb routes termination through a graceful path instead of dying with
+// stores open. A second signal during the handler forces an immediate
+// exit. The returned stop function uninstalls the handler.
+func onSignal(handler func(sig os.Signal)) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		go func() {
+			if _, again := <-ch; again {
+				os.Exit(1)
+			}
+		}()
+		handler(sig)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
+
+// exitCode maps a signal to the conventional 128+N exit status.
+func exitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
+}

@@ -1,0 +1,110 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"dbpl/client"
+	"dbpl/internal/persist/intrinsic"
+	"dbpl/internal/server"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// BenchmarkServeGet measures the full remote GET round trip — client
+// encode, TCP, server-side lock-free extent extraction, response framing,
+// client decode — over a 512-root store at three selectivities: the query
+// type matches all roots, a tagged 1/8 subset, or none (E13 in
+// EXPERIMENTS.md). Parallel variants multiplex pipelined clients over the
+// loopback.
+func BenchmarkServeGet(b *testing.B) {
+	const nRoots = 512
+	baseT := types.MustParse("{Name: String, Empno: Int}")
+	taggedT := types.MustParse("{Name: String, Empno: Int, Tag: Bool}")
+	missT := types.MustParse("{Nonesuch: Int}")
+
+	st, err := intrinsic.Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < nRoots; i++ {
+		name := fmt.Sprintf("r%04d", i)
+		var v value.Value
+		var t types.Type
+		if i%8 == 0 { // the 1/8 selectivity tier
+			v = value.Rec("Name", value.String(name), "Empno", value.Int(int64(i)), "Tag", value.Bool(true))
+			t = taggedT
+		} else {
+			v = value.Rec("Name", value.String(name), "Empno", value.Int(int64(i)))
+			t = baseT
+		}
+		if err := st.Bind(name, v, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+
+	srv, err := server.New(st, server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	cases := []struct {
+		name string
+		t    types.Type
+		want int
+	}{
+		{"all-512", baseT, nRoots},
+		{"tagged-64", taggedT, nRoots / 8},
+		{"miss-0", missT, 0},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := client.Dial(addr, &client.Options{PoolSize: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := c.Get(tc.t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ps) != tc.want {
+					b.Fatalf("got %d, want %d", len(ps), tc.want)
+				}
+			}
+		})
+		b.Run(tc.name+"-parallel", func(b *testing.B) {
+			c, err := client.Dial(addr, &client.Options{PoolSize: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					ps, err := c.Get(tc.t)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(ps) != tc.want {
+						b.Fatalf("got %d, want %d", len(ps), tc.want)
+					}
+				}
+			})
+		})
+	}
+}

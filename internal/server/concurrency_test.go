@@ -1,0 +1,209 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dbpl/client"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// TestConcurrentIsolation is the acceptance criterion under -race: client
+// goroutines hammer GETs while one session runs commit/abort cycles, and
+// every GET observes only committed states. The writer keeps three roots
+// a, b, c in lockstep (all equal to the cycle number) inside each
+// transaction, and interleaves aborted transactions that write a sentinel
+// root; a reader that ever sees a != b != c, or sees the sentinel, has
+// observed an uncommitted state.
+func TestConcurrentIsolation(t *testing.T) {
+	h := boot(t, filepath.Join(t.TempDir(), "race.log"))
+
+	tripleT := types.MustParse("{K: String, V: Int}")
+	sentinelT := types.MustParse("{Ghost: Bool}")
+	triple := func(k string, v int64) value.Value {
+		return value.Rec("K", value.String(k), "V", value.Int(v))
+	}
+
+	wc := dial(t, h, &client.Options{PoolSize: 1})
+	// Committed cycle 0 so readers always have a complete triple to see.
+	for _, k := range []string{"a", "b", "c"} {
+		if err := wc.Put(k, triple(k, 0), tripleT); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Modest sizes: the host has one CPU, and the point is interleaving,
+	// not throughput.
+	const (
+		readers = 4
+		cycles  = 40
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+
+	for i := 0; i < readers; i++ {
+		rc := dial(t, h, &client.Options{PoolSize: 1})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				ps, err := rc.Get(tripleT)
+				if err != nil {
+					errs <- fmt.Errorf("reader GET: %w", err)
+					return
+				}
+				vs := map[string]int64{}
+				for _, p := range ps {
+					r := p.Value.(*value.Record)
+					k, _ := r.Get("K")
+					v, _ := r.Get("V")
+					vs[string(k.(value.String))] = int64(v.(value.Int))
+				}
+				if len(vs) != 3 || vs["a"] != vs["b"] || vs["b"] != vs["c"] {
+					errs <- fmt.Errorf("torn read: observed uncommitted state %v", vs)
+					return
+				}
+				ghosts, err := rc.Get(sentinelT)
+				if err != nil {
+					errs <- fmt.Errorf("reader GET sentinel: %w", err)
+					return
+				}
+				if len(ghosts) != 0 {
+					errs <- errors.New("observed a root written by an aborted transaction")
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := int64(1); i <= cycles; i++ {
+			s, err := wc.Begin()
+			if err != nil {
+				errs <- fmt.Errorf("writer BEGIN: %w", err)
+				return
+			}
+			for _, k := range []string{"a", "b", "c"} {
+				if err := s.Put(k, triple(k, i), tripleT); err != nil {
+					errs <- fmt.Errorf("writer PUT: %w", err)
+					return
+				}
+			}
+			if err := s.Commit(); err != nil {
+				errs <- fmt.Errorf("writer COMMIT: %w", err)
+				return
+			}
+			// An aborted transaction: its sentinel must never surface.
+			s2, err := wc.Begin()
+			if err != nil {
+				errs <- fmt.Errorf("writer BEGIN(2): %w", err)
+				return
+			}
+			if err := s2.Put("ghost", value.Rec("Ghost", value.Bool(true)), sentinelT); err != nil {
+				errs <- fmt.Errorf("writer PUT ghost: %w", err)
+				return
+			}
+			if err := s2.Abort(); err != nil {
+				errs <- fmt.Errorf("writer ABORT: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The final committed state is the last full cycle.
+	final, err := wc.Get(tripleT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range final {
+		v, _ := p.Value.(*value.Record).Get("V")
+		if int64(v.(value.Int)) != cycles {
+			t.Errorf("final state %s, want V=%d", p.Value, cycles)
+		}
+	}
+}
+
+// TestConcurrentAutocommitWriters: many sessions autocommitting to
+// disjoint roots race through commitMu; every write survives, and
+// concurrent full-extent GETs stay well-formed throughout.
+func TestConcurrentAutocommitWriters(t *testing.T) {
+	h := boot(t, filepath.Join(t.TempDir(), "writers.log"))
+	rowT := types.MustParse("{W: Int, N: Int}")
+
+	const (
+		writers = 4
+		rows    = 25
+	)
+	var writerWG, scanWG sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		c := dial(t, h, &client.Options{PoolSize: 1})
+		writerWG.Add(1)
+		go func(w int64) {
+			defer writerWG.Done()
+			for n := int64(0); n < rows; n++ {
+				name := fmt.Sprintf("w%d.n%d", w, n)
+				v := value.Rec("W", value.Int(w), "N", value.Int(n))
+				if err := c.Put(name, v, rowT); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	rc := dial(t, h, nil)
+	done := make(chan struct{})
+	scanWG.Add(1)
+	go func() {
+		defer scanWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ps, err := rc.Get(rowT)
+			if err != nil {
+				errs <- fmt.Errorf("scanner: %w", err)
+				return
+			}
+			for _, p := range ps {
+				if _, ok := p.Value.(*value.Record); !ok {
+					errs <- fmt.Errorf("scanner: malformed member %T", p.Value)
+					return
+				}
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(done)
+	scanWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	ps, err := rc.Get(rowT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != writers*rows {
+		t.Errorf("final extent = %d rows, want %d", len(ps), writers*rows)
+	}
+}

@@ -1,0 +1,716 @@
+// Package server is `dbpl serve`: a concurrent TCP front end that exposes
+// the paper's operations — the generic Get, PUT/DELETE on named handles,
+// the generalized-relation join, and commit groups — to many remote
+// programs at once. "Orthogonal Persistence Revisited" (PAPERS.md) argues
+// the persistent-store abstraction earns its keep precisely when shared by
+// concurrent programs; this package is that sharing.
+//
+// # Architecture
+//
+// The server owns one intrinsic store (durability) and publishes, through
+// an atomic pointer, an immutable *state*: the committed root bindings
+// plus a sharded copy-on-write core.Database holding one dynamic per
+// root. Readers (GET, JOIN, NAMES outside a transaction) load the pointer
+// and run lock-free against that snapshot — they can never observe a
+// commit in progress, because the pointer is swapped only after the
+// store's commit group is durable. Writers buffer per session and
+// serialize through commitMu: apply the session's operations to the
+// store, store.Commit(), then publish the next state (a Fork of the
+// previous database with the delta applied). If the store commit fails,
+// store.Abort() replays the log back to the last durable group and the
+// published state is left untouched — the remote failure taxonomy
+// (wire.CodeIO / wire.CodeCorrupt) mirrors the local one.
+//
+// # Sessions and transactions
+//
+// Each connection is a session. Outside BEGIN, PUT and DELETE autocommit
+// (a one-operation commit group). BEGIN pins the session to the state
+// current at that moment and buffers subsequent PUT/DELETE; the session's
+// own reads see its buffered writes overlaid on the pinned snapshot
+// (read-your-writes at repeatable-read isolation), while every other
+// session keeps reading the published committed state. COMMIT turns the
+// buffer into one commit group; ABORT discards it. Conflicts are resolved
+// last-writer-wins per root name at commit time.
+//
+// # Shutdown
+//
+// Shutdown closes the listener, interrupts idle reads, lets every
+// in-flight request finish and its response flush, force-closes laggards
+// when the context expires, and appends a final (possibly empty) commit
+// group so the shutdown itself is a durable boundary — the drain + final
+// fsync the ISSUE requires, and the same path cmd/dbpl routes SIGINT and
+// SIGTERM through.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbpl/internal/core"
+	"dbpl/internal/dynamic"
+	"dbpl/internal/persist/codec"
+	"dbpl/internal/persist/intrinsic"
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/relation"
+	"dbpl/internal/server/wire"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown completes the drain.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// MaxFrame bounds request and response payloads; 0 means
+	// wire.MaxFrame.
+	MaxFrame int
+	// ReadTimeout bounds receiving the remainder of a request frame once
+	// its header has arrived (an idle connection may block indefinitely);
+	// 0 means 30s, negative disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response frame; 0 means 30s,
+	// negative disables.
+	WriteTimeout time.Duration
+	// Logf, when set, receives one line per accepted connection error and
+	// per protocol violation. nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) maxFrame() int {
+	if c.MaxFrame <= 0 {
+		return wire.MaxFrame
+	}
+	return c.MaxFrame
+}
+
+func timeoutOr(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// state is one immutable committed view: the root bindings and the
+// database derived from them. Published through Server.state; never
+// mutated after publication.
+type state struct {
+	roots map[string]*dynamic.Dynamic
+	db    *core.Database
+}
+
+// apply returns the successor state with ops applied, forking the
+// database (O(shards)) so the previous state stays valid for readers
+// holding it.
+func (st *state) apply(ops []txnOp) *state {
+	next := &state{
+		roots: make(map[string]*dynamic.Dynamic, len(st.roots)+len(ops)),
+		db:    st.db.Fork(),
+	}
+	for k, v := range st.roots {
+		next.roots[k] = v
+	}
+	for _, o := range ops {
+		if old, ok := next.roots[o.name]; ok {
+			next.db.Remove(old)
+			delete(next.roots, o.name)
+		}
+		if !o.del {
+			next.roots[o.name] = o.dyn
+			next.db.Insert(o.dyn)
+		}
+	}
+	return next
+}
+
+// txnOp is one buffered session write: bind name to dyn, or delete it.
+type txnOp struct {
+	name string
+	dyn  *dynamic.Dynamic
+	del  bool
+}
+
+// Server serves the dbpl wire protocol over an intrinsic store.
+type Server struct {
+	cfg   Config
+	store *intrinsic.Store
+
+	// state is the published committed view; see the package comment.
+	state atomic.Pointer[state]
+	// commitMu serializes writers end to end: store mutation, commit
+	// group, state publication.
+	commitMu sync.Mutex
+
+	draining atomic.Bool
+	mu       sync.Mutex // guards ln, conns
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a server over an opened store, deriving the initial
+// published state from the store's committed roots.
+func New(store *intrinsic.Store, cfg Config) (*Server, error) {
+	st := &state{roots: map[string]*dynamic.Dynamic{}, db: core.New(core.StrategyIndexed)}
+	for _, name := range store.Names() {
+		r, ok := store.Root(name)
+		if !ok {
+			continue
+		}
+		d, err := dynamic.MakeAt(r.Value, r.Declared)
+		if err != nil {
+			return nil, fmt.Errorf("server: root %q does not conform to its declared type: %w", name, err)
+		}
+		st.roots[name] = d
+		st.db.Insert(d)
+	}
+	srv := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}}
+	srv.state.Store(st)
+	return srv, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Addr returns the listening address, nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr (":7070" style) and serves until
+// Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown, returning
+// ErrServerClosed after a clean drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	if s.draining.Load() {
+		ln.Close()
+		return ErrServerClosed
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains the server: no new connections or requests are
+// accepted, requests already received run to completion and their
+// responses flush, then a final commit group is appended so shutdown is a
+// durable boundary. When ctx expires first, remaining connections are
+// force-closed. The store is left open — the caller owns it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Interrupt idle reads: a session blocked waiting for the next request
+	// header wakes with a deadline error and exits; a session mid-handle
+	// is untouched (writes have their own deadline) and finishes.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	// Final fsync: an (often empty) commit group marking the shutdown
+	// boundary durable.
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if _, err := s.store.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// session is the per-connection protocol state.
+type session struct {
+	srv   *Server
+	inTxn bool
+	base  *state // snapshot pinned at BEGIN
+	ops   []txnOp
+	// overlay indexes the last buffered op per name, for read-your-writes.
+	overlay map[string]int
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sess := &session{srv: s}
+	readTO := timeoutOr(s.cfg.ReadTimeout, 30*time.Second)
+	writeTO := timeoutOr(s.cfg.WriteTimeout, 30*time.Second)
+	for {
+		if s.draining.Load() {
+			return // an implicit abort of any open transaction
+		}
+		op, fields, err := readRequest(s, conn, s.cfg.maxFrame(), readTO)
+		if err != nil {
+			var we *wire.WireError
+			if errors.As(err, &we) {
+				// Protocol violation: report it, then close — the stream
+				// is not trustworthy past a framing error.
+				s.logf("server: %v: %v", conn.RemoteAddr(), we)
+				if writeTO > 0 {
+					conn.SetWriteDeadline(time.Now().Add(writeTO))
+				}
+				wire.WriteFrame(conn, s.cfg.maxFrame(), wire.OpError, wire.ErrorFields(we)...)
+			}
+			return
+		}
+		respOp, respFields := s.handle(sess, op, fields)
+		if writeTO > 0 {
+			conn.SetWriteDeadline(time.Now().Add(writeTO))
+		}
+		if err := wire.WriteFrame(conn, s.cfg.maxFrame(), respOp, respFields...); err != nil {
+			return
+		}
+		if writeTO > 0 {
+			conn.SetWriteDeadline(time.Time{})
+		}
+	}
+}
+
+// readRequest reads one request frame. The wait for the header may block
+// indefinitely (idle connection; Shutdown interrupts it via read
+// deadline); once the header has arrived the remainder must land within
+// bodyTimeout.
+func readRequest(s *Server, conn net.Conn, max int, bodyTimeout time.Duration) (byte, [][]byte, error) {
+	conn.SetReadDeadline(time.Time{})
+	// Re-check draining after clearing the deadline: Shutdown may have set
+	// its wake-up deadline between our caller's check and the clear above,
+	// and it must not be lost or this connection idles until force-close.
+	if s.draining.Load() {
+		conn.SetReadDeadline(time.Now())
+	}
+	r := &deadlineReader{conn: conn, bodyTimeout: bodyTimeout}
+	return wire.ReadFrame(r, max)
+}
+
+// deadlineReader arms the body deadline after the first successful read
+// (the frame header), bounding how long a half-sent request can hold the
+// session.
+type deadlineReader struct {
+	conn        net.Conn
+	bodyTimeout time.Duration
+	started     bool
+}
+
+func (d *deadlineReader) Read(p []byte) (int, error) {
+	n, err := d.conn.Read(p)
+	if err == nil && !d.started && d.bodyTimeout > 0 {
+		d.started = true
+		d.conn.SetReadDeadline(time.Now().Add(d.bodyTimeout))
+	}
+	return n, err
+}
+
+// handle dispatches one request and returns the response frame. All
+// failures become OpError frames; a handler panic is confined to the
+// request that caused it.
+func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, respFields [][]byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("server: panic handling op %#x: %v", op, r)
+			respOp = wire.OpError
+			respFields = wire.ErrorFields(&wire.WireError{Code: wire.CodeInternal, Msg: fmt.Sprint(r)})
+		}
+	}()
+	if s.draining.Load() {
+		return errResp(&wire.WireError{Code: wire.CodeShutdown, Msg: "server is draining"})
+	}
+	switch op {
+	case wire.OpPing:
+		return wire.OpOK, nil
+	case wire.OpGet:
+		return s.handleGet(sess, fields)
+	case wire.OpPut:
+		return s.handlePut(sess, fields)
+	case wire.OpDelete:
+		return s.handleDelete(sess, fields)
+	case wire.OpJoin:
+		return s.handleJoin(sess, fields)
+	case wire.OpBegin:
+		if sess.inTxn {
+			return errResp(&wire.WireError{Code: wire.CodeTxn, Msg: "BEGIN inside a transaction"})
+		}
+		sess.inTxn = true
+		sess.base = s.state.Load()
+		sess.ops = nil
+		sess.overlay = map[string]int{}
+		return wire.OpOK, nil
+	case wire.OpCommit:
+		if !sess.inTxn {
+			return errResp(&wire.WireError{Code: wire.CodeTxn, Msg: "COMMIT outside a transaction"})
+		}
+		ops := sess.ops
+		sess.endTxn()
+		if err := s.commit(ops); err != nil {
+			return errResp(toWireError(err))
+		}
+		return wire.OpOK, nil
+	case wire.OpAbort:
+		if !sess.inTxn {
+			return errResp(&wire.WireError{Code: wire.CodeTxn, Msg: "ABORT outside a transaction"})
+		}
+		sess.endTxn()
+		return wire.OpOK, nil
+	case wire.OpNames:
+		names := sess.viewNames(s)
+		out := make([][]byte, len(names))
+		for i, n := range names {
+			out[i] = []byte(n)
+		}
+		return wire.OpOK, out
+	default:
+		return errResp(&wire.WireError{Code: wire.CodeUnknownOp, Msg: fmt.Sprintf("opcode %#x", op)})
+	}
+}
+
+func (sess *session) endTxn() {
+	sess.inTxn = false
+	sess.base = nil
+	sess.ops = nil
+	sess.overlay = nil
+}
+
+func errResp(we *wire.WireError) (byte, [][]byte) {
+	return wire.OpError, wire.ErrorFields(we)
+}
+
+// toWireError folds any server-side failure into the wire taxonomy,
+// preserving the message so the remote diagnosis matches the local one.
+func toWireError(err error) *wire.WireError {
+	var we *wire.WireError
+	if errors.As(err, &we) {
+		return we
+	}
+	code := wire.CodeInternal
+	switch {
+	case errors.Is(err, intrinsic.ErrNoRoot):
+		code = wire.CodeNoRoot
+	case errors.Is(err, intrinsic.ErrNotConforming):
+		code = wire.CodeNotConforming
+	case errors.Is(err, intrinsic.ErrInconsistent), errors.Is(err, intrinsic.ErrMigrationRequired):
+		code = wire.CodeInconsistent
+	case errors.Is(err, intrinsic.ErrCorrupt):
+		code = wire.CodeCorrupt
+	case errors.Is(err, iofault.ErrIOFailed), errors.Is(err, intrinsic.ErrPoisoned):
+		code = wire.CodeIO
+	case errors.Is(err, intrinsic.ErrClosed):
+		code = wire.CodeShutdown
+	case errors.Is(err, codec.ErrCorrupt), errors.Is(err, codec.ErrBadMagic),
+		errors.Is(err, codec.ErrBadVersion), errors.Is(err, codec.ErrLimitExceeded),
+		errors.Is(err, codec.ErrUnsupported):
+		code = wire.CodeBadRequest
+	}
+	return &wire.WireError{Code: code, Msg: err.Error()}
+}
+
+// badReq shortens the common decode-failure response.
+func badReq(format string, args ...any) (byte, [][]byte) {
+	return errResp(&wire.WireError{Code: wire.CodeBadRequest, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// Reads: GET, JOIN, NAMES
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleGet(sess *session, fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 1 {
+		return badReq("GET wants 1 field, got %d", len(fields))
+	}
+	t, err := wire.UnmarshalType(fields[0])
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	var packed []core.Packed
+	if sess.inTxn {
+		packed = sess.getOverlay(t)
+	} else {
+		// The lock-free hot path: one atomic load, then the sharded COW
+		// engine.
+		packed = s.state.Load().db.Get(t)
+	}
+	out := make([][]byte, len(packed))
+	for i, p := range packed {
+		img, err := codec.MarshalTagged(p.Value, p.Witness)
+		if err != nil {
+			return errResp(toWireError(err))
+		}
+		out[i] = img
+	}
+	return wire.OpValues, out
+}
+
+// getOverlay is GET inside a transaction: the pinned snapshot with the
+// session's buffered writes overlaid (read-your-writes). Results are in
+// name order; only the lock-free non-transactional path promises the
+// database's insertion order.
+func (sess *session) getOverlay(t types.Type) []core.Packed {
+	want := types.Intern(t)
+	var out []core.Packed
+	for _, nd := range sess.viewBindings() {
+		if nd.dyn.IsInterned(want) {
+			out = append(out, core.Packed{Value: nd.dyn.Value(), Witness: nd.dyn.Type()})
+		}
+	}
+	return out
+}
+
+type namedDyn struct {
+	name string
+	dyn  *dynamic.Dynamic
+}
+
+// viewBindings materializes the session's transactional view in name
+// order.
+func (sess *session) viewBindings() []namedDyn {
+	names := make([]string, 0, len(sess.base.roots)+len(sess.overlay))
+	for n := range sess.base.roots {
+		if _, shadowed := sess.overlay[n]; !shadowed {
+			names = append(names, n)
+		}
+	}
+	for n := range sess.overlay {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]namedDyn, 0, len(names))
+	for _, n := range names {
+		if i, ok := sess.overlay[n]; ok {
+			if op := sess.ops[i]; !op.del {
+				out = append(out, namedDyn{name: n, dyn: op.dyn})
+			}
+			continue
+		}
+		out = append(out, namedDyn{name: n, dyn: sess.base.roots[n]})
+	}
+	return out
+}
+
+// viewNames lists the root names visible to the session.
+func (sess *session) viewNames(s *Server) []string {
+	if sess.inTxn {
+		bs := sess.viewBindings()
+		names := make([]string, len(bs))
+		for i, b := range bs {
+			names[i] = b.name
+		}
+		return names
+	}
+	st := s.state.Load()
+	names := make([]string, 0, len(st.roots))
+	for n := range st.roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Server) handleJoin(sess *session, fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 2 {
+		return badReq("JOIN wants 2 fields, got %d", len(fields))
+	}
+	t1, err := wire.UnmarshalType(fields[0])
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	t2, err := wire.UnmarshalType(fields[1])
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	var vals1, vals2 []value.Value
+	if sess.inTxn {
+		for _, p := range sess.getOverlay(t1) {
+			vals1 = append(vals1, p.Value)
+		}
+		for _, p := range sess.getOverlay(t2) {
+			vals2 = append(vals2, p.Value)
+		}
+	} else {
+		st := s.state.Load()
+		vals1 = st.db.GetValues(t1)
+		vals2 = st.db.GetValues(t2)
+	}
+	joined := relation.JoinFast(relation.New(vals1...), relation.New(vals2...))
+	members := joined.Members()
+	out := make([][]byte, len(members))
+	for i, m := range members {
+		img, err := codec.MarshalTagged(m, nil)
+		if err != nil {
+			return errResp(toWireError(err))
+		}
+		out[i] = img
+	}
+	return wire.OpValues, out
+}
+
+// ---------------------------------------------------------------------------
+// Writes: PUT, DELETE, commit
+// ---------------------------------------------------------------------------
+
+func (s *Server) handlePut(sess *session, fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 2 {
+		return badReq("PUT wants 2 fields, got %d", len(fields))
+	}
+	name := string(fields[0])
+	if name == "" {
+		return badReq("PUT with empty root name")
+	}
+	v, t, err := codec.UnmarshalTagged(fields[1])
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	d, err := dynamic.MakeAt(v, t)
+	if err != nil {
+		return errResp(&wire.WireError{Code: wire.CodeNotConforming, Msg: err.Error()})
+	}
+	op := txnOp{name: name, dyn: d}
+	if sess.inTxn {
+		sess.buffer(op)
+		return wire.OpOK, nil
+	}
+	if err := s.commit([]txnOp{op}); err != nil {
+		return errResp(toWireError(err))
+	}
+	return wire.OpOK, nil
+}
+
+func (s *Server) handleDelete(sess *session, fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 1 {
+		return badReq("DELETE wants 1 field, got %d", len(fields))
+	}
+	name := string(fields[0])
+	op := txnOp{name: name, del: true}
+	if sess.inTxn {
+		existed := false
+		if i, ok := sess.overlay[name]; ok {
+			existed = !sess.ops[i].del
+		} else {
+			_, existed = sess.base.roots[name]
+		}
+		sess.buffer(op)
+		return wire.OpOK, [][]byte{boolField(existed)}
+	}
+	_, existed := s.state.Load().roots[name]
+	if err := s.commit([]txnOp{op}); err != nil {
+		return errResp(toWireError(err))
+	}
+	return wire.OpOK, [][]byte{boolField(existed)}
+}
+
+func boolField(b bool) []byte {
+	if b {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+func (sess *session) buffer(op txnOp) {
+	sess.ops = append(sess.ops, op)
+	sess.overlay[op.name] = len(sess.ops) - 1
+}
+
+// commit turns ops into one durable commit group and publishes the
+// successor state. Writers serialize here; readers never block. On store
+// failure the log is replayed back to the last durable group and the
+// published state is untouched, so a GET during or after a failed commit
+// still observes only committed roots.
+func (s *Server) commit(ops []txnOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	cur := s.state.Load()
+	for _, o := range ops {
+		if o.del {
+			s.store.Unbind(o.name)
+			continue
+		}
+		if err := s.store.Bind(o.name, o.dyn.Value(), o.dyn.Type()); err != nil {
+			s.store.Abort()
+			return err
+		}
+	}
+	if _, err := s.store.Commit(); err != nil {
+		// Abort replays the log: in-memory store state returns to the
+		// last durable commit, which is exactly the published state.
+		s.store.Abort()
+		return err
+	}
+	s.state.Store(cur.apply(ops))
+	return nil
+}
+
+// Stats reports the server's current committed view, for tests and the
+// serve verb's startup banner.
+type Stats struct {
+	Roots int
+}
+
+// Stats returns current statistics.
+func (s *Server) Stats() Stats {
+	return Stats{Roots: len(s.state.Load().roots)}
+}

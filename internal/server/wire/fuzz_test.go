@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"dbpl/internal/persist/codec"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// FuzzReadFrame is the wire-decoder contract, the same one
+// persist/codec/fuzz_test.go enforces for the image codec: any byte
+// stream — malformed frames, truncated length prefixes, oversize claims —
+// yields frames or a *WireError, never a panic and never an allocation
+// beyond the frame limit; and every frame that decodes re-encodes to a
+// frame that decodes identically.
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: every request shape the protocol defines, plus
+	// degenerate inputs.
+	mustFrame := func(op byte, fields ...[]byte) []byte {
+		b, err := AppendFrame(nil, 0, op, fields...)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	typeImg, err := MarshalType(types.MustParse("{Name: String, Age: Int}"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	tagged, err := codec.MarshalTagged(value.Rec("Name", value.String("J Doe")), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mustFrame(OpPing))
+	f.Add(mustFrame(OpGet, typeImg))
+	f.Add(mustFrame(OpPut, []byte("root"), tagged))
+	f.Add(mustFrame(OpDelete, []byte("root")))
+	f.Add(mustFrame(OpJoin, typeImg, typeImg))
+	f.Add(mustFrame(OpError, []byte{byte(CodeIO)}, []byte("write failed")))
+	f.Add(append(mustFrame(OpBegin), mustFrame(OpCommit)...)) // pipelined
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Add(mustFrame(OpGet, typeImg)[:7]) // truncated mid-payload
+	f.Add(func() []byte {                // field length claiming past the end
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 3)
+		return append(hdr[:], OpGet, 0xF0, 0x01)
+	}())
+
+	const limit = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			op, fields, err := ReadFrame(r, limit)
+			if err != nil {
+				// Every failure must be a classified wire error or a raw
+				// transport error at/inside the header.
+				var we *WireError
+				if !errors.As(err, &we) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+				return
+			}
+			// Decoded frames re-encode and re-decode to the same frame.
+			reenc, err := AppendFrame(nil, limit, op, fields...)
+			if err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+			op2, fields2, err := ReadFrame(bytes.NewReader(reenc), limit)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if op2 != op || len(fields2) != len(fields) {
+				t.Fatalf("re-decode mismatch: op %#x/%#x, %d/%d fields",
+					op, op2, len(fields), len(fields2))
+			}
+			for i := range fields {
+				if !bytes.Equal(fields[i], fields2[i]) {
+					t.Fatalf("field %d mismatch", i)
+				}
+			}
+		}
+	})
+}

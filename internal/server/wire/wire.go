@@ -1,0 +1,336 @@
+// Package wire is the dbpl network protocol: the framing, opcodes and
+// error taxonomy shared by the server (internal/server) and the client
+// package (dbpl/client).
+//
+// A frame is a 4-byte big-endian payload length followed by the payload:
+// one opcode byte and zero or more *fields*, each a uvarint length prefix
+// followed by that many bytes. Fields carry UTF-8 names, single bytes
+// (error codes, booleans) or complete persist/codec images — the same
+// self-describing value+type encoding every persistence store uses, so a
+// value travels the network exactly as it travels to disk (the paper's
+// second principle: while a value persists — or here, transits — so does
+// its type).
+//
+// The decoder is hardened the same way the image codec is: a malformed
+// frame, a truncated length prefix or an oversize length claim yields a
+// *WireError, never a panic and never an allocation larger than the
+// configured frame limit. FuzzReadFrame enforces this.
+//
+// Remote failures keep their local diagnosability: a *WireError carries a
+// Code and the server's message, and unwraps to a per-code sentinel —
+// CodeIO additionally unwraps to iofault.ErrIOFailed, so
+// errors.Is(err, iofault.ErrIOFailed) holds across the network exactly as
+// it does against a local store.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dbpl/internal/persist/codec"
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/types"
+)
+
+// MaxFrame is the default bound on a frame payload. A peer claiming a
+// larger frame is refused before any allocation.
+const MaxFrame = 16 << 20
+
+const headerLen = 4
+
+// Request opcodes.
+const (
+	OpPing   byte = 0x01 // []                      -> OK []
+	OpGet    byte = 0x02 // [type-image]            -> Values [tagged...]
+	OpPut    byte = 0x03 // [name, tagged-image]    -> OK []
+	OpDelete byte = 0x04 // [name]                  -> OK [existed(1)]
+	OpJoin   byte = 0x05 // [type-image, type-image]-> Values [tagged...]
+	OpBegin  byte = 0x06 // []                      -> OK []
+	OpCommit byte = 0x07 // []                      -> OK []
+	OpAbort  byte = 0x08 // []                      -> OK []
+	OpNames  byte = 0x09 // []                      -> OK [name...]
+)
+
+// Response opcodes.
+const (
+	OpOK     byte = 0x80
+	OpValues byte = 0x81
+	OpError  byte = 0x82 // [code(1), message]
+)
+
+// Code classifies a remote failure, mirroring the local error taxonomy of
+// the stores (iofault.IOError, intrinsic.CorruptError, the intrinsic
+// binding errors). Codes are wire format: values are stable.
+type Code byte
+
+const (
+	// CodeBadFrame: the frame itself was malformed (bad length prefix,
+	// truncated payload, empty frame). The connection is closed after it.
+	CodeBadFrame Code = 1 + iota
+	// CodeTooLarge: a length claim exceeded the frame limit.
+	CodeTooLarge
+	// CodeUnknownOp: the opcode is not in the protocol.
+	CodeUnknownOp
+	// CodeBadRequest: the frame was well-formed but a field was not (bad
+	// image, wrong field count).
+	CodeBadRequest
+	// CodeNoRoot: no handle with the requested name.
+	CodeNoRoot
+	// CodeNotConforming: the value does not conform to its declared type.
+	CodeNotConforming
+	// CodeInconsistent: stored and requested types are inconsistent, or
+	// migration would be required (the schema-evolution failures).
+	CodeInconsistent
+	// CodeTxn: a transaction-state error (COMMIT without BEGIN, nested
+	// BEGIN).
+	CodeTxn
+	// CodeIO: the store failed an I/O operation; unwraps to
+	// iofault.ErrIOFailed.
+	CodeIO
+	// CodeCorrupt: the store detected log corruption.
+	CodeCorrupt
+	// CodeShutdown: the server is draining and refused the request.
+	CodeShutdown
+	// CodeInternal: an unclassified server-side failure.
+	CodeInternal
+)
+
+// Per-code sentinels; a *WireError unwraps to the sentinel of its code so
+// clients dispatch with errors.Is.
+var (
+	ErrBadFrame      = errors.New("wire: malformed frame")
+	ErrTooLarge      = errors.New("wire: frame exceeds size limit")
+	ErrUnknownOp     = errors.New("wire: unknown opcode")
+	ErrBadRequest    = errors.New("wire: malformed request")
+	ErrNoRoot        = errors.New("wire: no such root")
+	ErrNotConforming = errors.New("wire: value does not conform to declared type")
+	ErrInconsistent  = errors.New("wire: types are inconsistent")
+	ErrTxn           = errors.New("wire: transaction state error")
+	ErrRemoteIO      = errors.New("wire: remote i/o failure")
+	ErrRemoteCorrupt = errors.New("wire: remote store corrupt")
+	ErrShutdown      = errors.New("wire: server shutting down")
+	ErrInternal      = errors.New("wire: internal server error")
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeBadFrame:
+		return "bad-frame"
+	case CodeTooLarge:
+		return "too-large"
+	case CodeUnknownOp:
+		return "unknown-op"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeNoRoot:
+		return "no-root"
+	case CodeNotConforming:
+		return "not-conforming"
+	case CodeInconsistent:
+		return "inconsistent"
+	case CodeTxn:
+		return "txn"
+	case CodeIO:
+		return "io"
+	case CodeCorrupt:
+		return "corrupt"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code(%d)", byte(c))
+	}
+}
+
+// Sentinel returns the errors.Is target for the code.
+func (c Code) Sentinel() error {
+	switch c {
+	case CodeBadFrame:
+		return ErrBadFrame
+	case CodeTooLarge:
+		return ErrTooLarge
+	case CodeUnknownOp:
+		return ErrUnknownOp
+	case CodeBadRequest:
+		return ErrBadRequest
+	case CodeNoRoot:
+		return ErrNoRoot
+	case CodeNotConforming:
+		return ErrNotConforming
+	case CodeInconsistent:
+		return ErrInconsistent
+	case CodeTxn:
+		return ErrTxn
+	case CodeIO:
+		return ErrRemoteIO
+	case CodeCorrupt:
+		return ErrRemoteCorrupt
+	case CodeShutdown:
+		return ErrShutdown
+	default:
+		return ErrInternal
+	}
+}
+
+// WireError is a protocol-level failure: which class, and the peer's (or
+// decoder's) diagnostic message.
+type WireError struct {
+	Code Code
+	Msg  string
+}
+
+func (e *WireError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("wire: %s", e.Code)
+	}
+	return fmt.Sprintf("wire: %s: %s", e.Code, e.Msg)
+}
+
+// Unwrap exposes the per-code sentinel; CodeIO failures additionally
+// unwrap to iofault.ErrIOFailed, keeping remote store failures in the
+// same taxonomy as local ones.
+func (e *WireError) Unwrap() []error {
+	if e.Code == CodeIO {
+		return []error{e.Code.Sentinel(), iofault.ErrIOFailed}
+	}
+	return []error{e.Code.Sentinel()}
+}
+
+// errf builds a *WireError.
+func errf(c Code, format string, args ...any) *WireError {
+	return &WireError{Code: c, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+// AppendFrame appends the encoded frame to dst and returns it, or an error
+// if the frame would exceed max (<= 0 means MaxFrame).
+func AppendFrame(dst []byte, max int, op byte, fields ...[]byte) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	n := 1
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, f := range fields {
+		n += binary.PutUvarint(lenBuf[:], uint64(len(f))) + len(f)
+	}
+	if n > max {
+		return dst, errf(CodeTooLarge, "frame payload %d exceeds limit %d", n, max)
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, op)
+	for _, f := range fields {
+		k := binary.PutUvarint(lenBuf[:], uint64(len(f)))
+		dst = append(dst, lenBuf[:k]...)
+		dst = append(dst, f...)
+	}
+	return dst, nil
+}
+
+// WriteFrame writes one frame in a single Write call (so concurrent
+// writers serialized by a mutex never interleave partial frames).
+func WriteFrame(w io.Writer, max int, op byte, fields ...[]byte) error {
+	buf, err := AppendFrame(nil, max, op, fields...)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. max bounds the payload (<= 0 means MaxFrame);
+// an oversize claim fails before any allocation. Errors reading the 4-byte
+// header are returned raw (io.EOF at a frame boundary is a clean close);
+// everything after the header that goes wrong is a *WireError.
+func ReadFrame(r io.Reader, max int) (op byte, fields [][]byte, err error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, errf(CodeBadFrame, "empty frame")
+	}
+	if n > uint32(max) {
+		return 0, nil, errf(CodeTooLarge, "frame payload %d exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, errf(CodeBadFrame, "truncated frame: %v", err)
+	}
+	fields, err = SplitFields(payload[1:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return payload[0], fields, nil
+}
+
+// SplitFields parses the field sequence of a frame payload. The returned
+// slices alias b.
+func SplitFields(b []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(b) > 0 {
+		n, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, errf(CodeBadFrame, "bad field length prefix")
+		}
+		if n > uint64(len(b)-k) {
+			return nil, errf(CodeBadFrame, "field length %d exceeds remaining %d", n, len(b)-k)
+		}
+		out = append(out, b[k:k+int(n)])
+		b = b[k+int(n):]
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Field images (persist/codec reuse)
+// ---------------------------------------------------------------------------
+
+// MarshalType encodes a type as a self-contained codec image field.
+func MarshalType(t types.Type) ([]byte, error) {
+	var buf bytes.Buffer
+	e := codec.NewEncoder(&buf)
+	if err := e.Type(t); err != nil {
+		return nil, err
+	}
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalType decodes a type image field.
+func UnmarshalType(b []byte) (types.Type, error) {
+	d, err := codec.NewDecoder(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	return d.Type()
+}
+
+// ErrorFields encodes an OpError payload.
+func ErrorFields(e *WireError) [][]byte {
+	return [][]byte{{byte(e.Code)}, []byte(e.Msg)}
+}
+
+// DecodeError reconstructs the *WireError from an OpError payload. A
+// malformed error payload is itself a protocol error.
+func DecodeError(fields [][]byte) error {
+	if len(fields) < 2 || len(fields[0]) != 1 {
+		return errf(CodeBadFrame, "malformed error response")
+	}
+	return &WireError{Code: Code(fields[0][0]), Msg: string(fields[1])}
+}

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		op     byte
+		fields [][]byte
+	}{
+		{OpPing, nil},
+		{OpGet, [][]byte{[]byte("one")}},
+		{OpPut, [][]byte{[]byte("name"), {0x01, 0x02, 0x00}}},
+		{OpValues, [][]byte{{}, []byte("x"), bytes.Repeat([]byte{7}, 300)}},
+		{OpError, [][]byte{{byte(CodeNoRoot)}, []byte("no such root")}},
+	}
+	var buf bytes.Buffer
+	for _, c := range cases {
+		if err := WriteFrame(&buf, 0, c.op, c.fields...); err != nil {
+			t.Fatalf("WriteFrame(%#x): %v", c.op, err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for _, c := range cases {
+		op, fields, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if op != c.op {
+			t.Errorf("op = %#x, want %#x", op, c.op)
+		}
+		if len(fields) != len(c.fields) {
+			t.Fatalf("fields = %d, want %d", len(fields), len(c.fields))
+		}
+		for i := range fields {
+			if !bytes.Equal(fields[i], c.fields[i]) {
+				t.Errorf("field %d = %v, want %v", i, fields[i], c.fields[i])
+			}
+		}
+	}
+	if _, _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Errorf("trailing ReadFrame err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsMalformed(t *testing.T) {
+	frame := func(payload []byte) []byte {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		return append(hdr[:], payload...)
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty payload", frame(nil), ErrBadFrame},
+		{"oversize claim", func() []byte {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], 1<<30)
+			return hdr[:]
+		}(), ErrTooLarge},
+		{"truncated payload", frame([]byte{OpPing, 5, 'a'})[:5], ErrBadFrame},
+		{"field length past end", frame([]byte{OpGet, 200, 1}), ErrBadFrame},
+		{"bad uvarint prefix", frame(append([]byte{OpGet}, bytes.Repeat([]byte{0xFF}, 10)...)), ErrBadFrame},
+	}
+	for _, c := range cases {
+		_, _, err := ReadFrame(bytes.NewReader(c.in), 1<<20)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	// Truncated header: a transport error, not a WireError.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), 0); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated header err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriteFrameRefusesOversize(t *testing.T) {
+	err := WriteFrame(io.Discard, 16, OpPut, bytes.Repeat([]byte{1}, 64))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTypeFieldRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"Int", "{Name: String, Age: Int}", "List[Set[Bool]]",
+		"forall t <= {A: Int} . t -> t", "rec t . {Next: t}",
+	} {
+		want := types.MustParse(src)
+		b, err := MarshalType(want)
+		if err != nil {
+			t.Fatalf("MarshalType(%s): %v", src, err)
+		}
+		got, err := UnmarshalType(b)
+		if err != nil {
+			t.Fatalf("UnmarshalType(%s): %v", src, err)
+		}
+		if !types.Equal(got, want) {
+			t.Errorf("round trip of %s = %s", src, got)
+		}
+	}
+}
+
+func TestWireErrorTaxonomy(t *testing.T) {
+	for code, sentinel := range map[Code]error{
+		CodeBadFrame:      ErrBadFrame,
+		CodeTooLarge:      ErrTooLarge,
+		CodeUnknownOp:     ErrUnknownOp,
+		CodeBadRequest:    ErrBadRequest,
+		CodeNoRoot:        ErrNoRoot,
+		CodeNotConforming: ErrNotConforming,
+		CodeInconsistent:  ErrInconsistent,
+		CodeTxn:           ErrTxn,
+		CodeIO:            ErrRemoteIO,
+		CodeCorrupt:       ErrRemoteCorrupt,
+		CodeShutdown:      ErrShutdown,
+		CodeInternal:      ErrInternal,
+	} {
+		err := DecodeError(ErrorFields(&WireError{Code: code, Msg: "detail"}))
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%s does not unwrap to its sentinel", code)
+		}
+		if !strings.Contains(err.Error(), "detail") {
+			t.Errorf("%s drops the message: %v", code, err)
+		}
+	}
+	// Remote I/O failures stay in the local persistence taxonomy.
+	ioErr := DecodeError(ErrorFields(&WireError{Code: CodeIO, Msg: "write /x: disk died"}))
+	if !errors.Is(ioErr, iofault.ErrIOFailed) {
+		t.Error("CodeIO does not unwrap to iofault.ErrIOFailed")
+	}
+	if errors.Is(DecodeError(ErrorFields(&WireError{Code: CodeNoRoot})), iofault.ErrIOFailed) {
+		t.Error("CodeNoRoot wrongly unwraps to iofault.ErrIOFailed")
+	}
+	// A malformed error payload is itself diagnosed, not trusted.
+	if err := DecodeError([][]byte{{1, 2, 3}}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("malformed error payload: %v", err)
+	}
+}
+
+func TestSplitFieldsAliasesInput(t *testing.T) {
+	payload := []byte{1, 'a', 2, 'b', 'c', 0}
+	fields, err := SplitFields(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("a"), []byte("bc"), {}}
+	if !reflect.DeepEqual(fields, want) {
+		t.Fatalf("fields = %q", fields)
+	}
+}
