@@ -550,6 +550,12 @@ func (c *conn) roundTrip(timeout time.Duration, op byte, fields ...[]byte) (byte
 	if err != nil {
 		c.fail(fmt.Errorf("client: write failed: %w", err))
 		r := <-ch // fail delivered to every pending slot, including ours
+		if r.err == nil {
+			// The response won the race with fail's delivery: the frame
+			// reached the server despite the reported write error, and the
+			// reader matched its answer to our slot before fail drained it.
+			return r.op, r.fields, nil
+		}
 		return 0, nil, r.err
 	}
 	if timeout <= 0 {

@@ -185,3 +185,78 @@ func TestRemoteErrorsKeepTheTaxonomy(t *testing.T) {
 		t.Fatalf("connection unusable after an application error: %v", err)
 	}
 }
+
+// failWriteConn wraps a net.Conn so the one armed write forwards its bytes
+// to the peer, then waits for release and reports failure — modeling a
+// write error on a frame the server nevertheless received and answered.
+type failWriteConn struct {
+	net.Conn
+	arm     atomic.Bool
+	wrote   chan struct{}
+	release chan struct{}
+}
+
+func (f *failWriteConn) Write(p []byte) (int, error) {
+	if !f.arm.Load() {
+		return f.Conn.Write(p)
+	}
+	f.arm.Store(false)
+	if _, err := f.Conn.Write(p); err != nil {
+		return 0, err
+	}
+	close(f.wrote)
+	<-f.release
+	return 0, errors.New("test: injected write failure")
+}
+
+// TestWriteFailureKeepsWonResponse: when a request's response wins the
+// race with the write error's fail delivery, roundTrip must return that
+// successful response — not op 0 with a nil error, which callers would
+// report as a bogus "unexpected response opcode 0x0".
+func TestWriteFailureKeepsWonResponse(t *testing.T) {
+	addr := fakeServer(t, answerPings)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &failWriteConn{Conn: nc, wrote: make(chan struct{}), release: make(chan struct{})}
+	cn := &conn{nc: fw, maxFrame: wire.MaxFrame}
+	go cn.readLoop()
+
+	fw.arm.Store(true)
+	type res struct {
+		op  byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		op, _, err := cn.roundTrip(5*time.Second, wire.OpPing)
+		done <- res{op, err}
+	}()
+
+	<-fw.wrote
+	// The slot was enqueued before the write, so pending draining to zero
+	// means the reader has matched the response to our request. Only then
+	// let the write failure land: the drained result is the won response.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		cn.mu.Lock()
+		n := len(cn.pending)
+		cn.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reader never delivered the response")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(fw.release)
+	r := <-done
+	if r.err != nil || r.op != wire.OpOK {
+		t.Fatalf("roundTrip = op %#x, err %v; want the won OpOK response", r.op, r.err)
+	}
+	if !cn.isDead() {
+		t.Error("connection must still be condemned after the write failure")
+	}
+}

@@ -46,14 +46,27 @@ func runServe(args []string, out io.Writer) error {
 	// handler goes in before the banner below announces readiness, so a
 	// supervisor reacting to the banner can never catch the default
 	// (store-abandoning) signal disposition.
+	//
+	// Shutdown closes the listener first, which makes srv.Serve below
+	// return while the handler is still draining in-flight requests — so
+	// the handler signals completion through shutdownDone, and Serve's
+	// caller waits on it before letting the process exit. Without that
+	// wait, returning from runServe would kill requests mid-commit against
+	// a store the deferred Close is closing, and lose the final durable
+	// boundary the drain exists to write.
+	shutdownDone := make(chan struct{})
 	stop := onSignal(func(sig os.Signal) {
+		defer close(shutdownDone)
 		fmt.Fprintf(os.Stderr, "dbpl: %v — draining server and closing store\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "dbpl: shutdown:", err)
 		}
-		st.Close()
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpl: close:", err)
+		}
+		fmt.Fprintln(os.Stderr, "dbpl: store closed")
 	})
 	defer stop()
 
@@ -65,8 +78,15 @@ func runServe(args []string, out io.Writer) error {
 	// one line, flushed before the first Accept.
 	fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots)\n", fs.Arg(0), ln.Addr(), srv.Stats().Roots)
 
-	if err := srv.Serve(ln); err != nil && !errors.Is(err, server.ErrServerClosed) {
+	err = srv.Serve(ln)
+	if err != nil && !errors.Is(err, server.ErrServerClosed) {
 		return err
+	}
+	if errors.Is(err, server.ErrServerClosed) {
+		// ErrServerClosed means the signal handler called Shutdown; wait
+		// for the drain, the final commit group, and the store close to
+		// complete before the process exits.
+		<-shutdownDone
 	}
 	fmt.Fprintln(out, "dbpl: server stopped")
 	return nil

@@ -3,16 +3,19 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"io"
 	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
+	"dbpl/client"
 	"dbpl/internal/persist/intrinsic"
 	"dbpl/internal/value"
 )
@@ -165,4 +168,112 @@ func TestServeSignalDrains(t *testing.T) {
 		t.Fatalf("store did not survive SIGTERM: %v", err)
 	}
 	st.Close()
+}
+
+// TestServeSignalDrainWaitsForInflight is the regression test for the
+// shutdown race: Shutdown closes the listener first, so srv.Serve returns
+// while the signal handler is still draining — runServe must wait for the
+// handler to finish (drain, final commit group, store close) before the
+// process exits, instead of killing in-flight requests mid-commit. The
+// server is signaled while client goroutines are streaming PUTs; the
+// handler's completion marker must appear, exit must be clean, and every
+// acknowledged PUT must be durable in the reopened log.
+func TestServeSignalDrainWaitsForInflight(t *testing.T) {
+	bin := buildDbpl(t)
+	storePath := filepath.Join(t.TempDir(), "busy.log")
+
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", storePath)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	banner := waitFor(t, sc, "dbpl: serving")
+	fields := strings.Fields(banner)
+	var addr string
+	for i, f := range fields {
+		if f == "on" && i+1 < len(fields) {
+			addr = fields[i+1]
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no address in banner %q", banner)
+	}
+
+	c, err := client.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Stream PUTs until the drain refuses them; every acknowledged write
+	// must survive the shutdown.
+	const writers = 4
+	var mu sync.Mutex
+	var acked []string
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				name := fmt.Sprintf("w%d.n%d", w, i)
+				if err := c.Put(name, value.Int(int64(i)), nil); err != nil {
+					return // drain refusal or dead conn: shutdown reached us
+				}
+				mu.Lock()
+				acked = append(acked, name)
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Let traffic flow, then shoot the server mid-stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writers never got going")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, sc, "server stopped")
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exit after SIGTERM: %v (stderr: %s)", err, stderr.String())
+	}
+	wg.Wait()
+
+	// "server stopped" and process exit may only follow the handler's full
+	// graceful path; its completion marker proves the wait happened.
+	if !strings.Contains(stderr.String(), "dbpl: store closed") {
+		t.Errorf("process exited before the signal handler finished; stderr: %q", stderr.String())
+	}
+
+	st, err := intrinsic.Open(storePath)
+	if err != nil {
+		t.Fatalf("store did not survive SIGTERM under load: %v", err)
+	}
+	defer st.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range acked {
+		if _, ok := st.Root(name); !ok {
+			t.Errorf("acknowledged root %q lost by shutdown", name)
+		}
+	}
 }

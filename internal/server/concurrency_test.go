@@ -207,3 +207,42 @@ func TestConcurrentAutocommitWriters(t *testing.T) {
 		t.Errorf("final extent = %d rows, want %d", len(ps), writers*rows)
 	}
 }
+
+// TestConcurrentDeleteReportsExistedOnce: `existed` is computed under
+// commitMu against the committed state each DELETE's commit group actually
+// applies to, so of N racing DELETEs of one root exactly one observes it —
+// not the stale pre-lock answer where several can claim the kill.
+func TestConcurrentDeleteReportsExistedOnce(t *testing.T) {
+	h := boot(t, filepath.Join(t.TempDir(), "delete.log"))
+	c := dial(t, h, &client.Options{PoolSize: 4})
+
+	for round := 0; round < 5; round++ {
+		if err := c.Put("X", value.Int(int64(round)), nil); err != nil {
+			t.Fatal(err)
+		}
+		const deleters = 8
+		var wg sync.WaitGroup
+		existed := make([]bool, deleters)
+		errs := make([]error, deleters)
+		for i := 0; i < deleters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				existed[i], errs[i] = c.Delete("X")
+			}(i)
+		}
+		wg.Wait()
+		trues := 0
+		for i := range existed {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			if existed[i] {
+				trues++
+			}
+		}
+		if trues != 1 {
+			t.Fatalf("round %d: %d deleters saw existed=true, want exactly 1", round, trues)
+		}
+	}
+}

@@ -149,6 +149,11 @@ type Server struct {
 	// commitMu serializes writers end to end: store mutation, commit
 	// group, state publication.
 	commitMu sync.Mutex
+	// poisoned (guarded by commitMu) is set when a failed commit could not
+	// be rolled back: the store's in-memory state has diverged from the
+	// published committed state, and any further commit group would durably
+	// encode that divergence. Every subsequent write is refused with it.
+	poisoned error
 
 	draining atomic.Bool
 	mu       sync.Mutex // guards ln, conns
@@ -270,9 +275,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// Final fsync: an (often empty) commit group marking the shutdown
-	// boundary durable.
+	// boundary durable. A poisoned write path must not append it — the
+	// store's in-memory root table has diverged from the committed state,
+	// and the group would durably encode that divergence.
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	if s.poisoned != nil {
+		return s.poisoned
+	}
 	if _, err := s.store.Commit(); err != nil {
 		return err
 	}
@@ -405,7 +415,7 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 		}
 		ops := sess.ops
 		sess.endTxn()
-		if err := s.commit(ops); err != nil {
+		if _, err := s.commit(ops); err != nil {
 			return errResp(toWireError(err))
 		}
 		return wire.OpOK, nil
@@ -631,7 +641,7 @@ func (s *Server) handlePut(sess *session, fields [][]byte) (byte, [][]byte) {
 		sess.buffer(op)
 		return wire.OpOK, nil
 	}
-	if err := s.commit([]txnOp{op}); err != nil {
+	if _, err := s.commit([]txnOp{op}); err != nil {
 		return errResp(toWireError(err))
 	}
 	return wire.OpOK, nil
@@ -653,11 +663,11 @@ func (s *Server) handleDelete(sess *session, fields [][]byte) (byte, [][]byte) {
 		sess.buffer(op)
 		return wire.OpOK, [][]byte{boolField(existed)}
 	}
-	_, existed := s.state.Load().roots[name]
-	if err := s.commit([]txnOp{op}); err != nil {
+	existed, err := s.commit([]txnOp{op})
+	if err != nil {
 		return errResp(toWireError(err))
 	}
-	return wire.OpOK, [][]byte{boolField(existed)}
+	return wire.OpOK, [][]byte{boolField(existed[0])}
 }
 
 func boolField(b bool) []byte {
@@ -673,35 +683,55 @@ func (sess *session) buffer(op txnOp) {
 }
 
 // commit turns ops into one durable commit group and publishes the
-// successor state. Writers serialize here; readers never block. On store
-// failure the log is replayed back to the last durable group and the
-// published state is untouched, so a GET during or after a failed commit
-// still observes only committed roots.
-func (s *Server) commit(ops []txnOp) error {
+// successor state, reporting per-op whether each name existed in the
+// committed state the group was applied to (computed under commitMu, so
+// concurrent DELETEs of one name see exactly one existed=true). Writers
+// serialize here; readers never block. On store failure the log is
+// replayed back to the last durable group and the published state is
+// untouched, so a GET during or after a failed commit still observes only
+// committed roots.
+func (s *Server) commit(ops []txnOp) ([]bool, error) {
 	if len(ops) == 0 {
-		return nil
+		return nil, nil
 	}
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	if s.poisoned != nil {
+		return nil, s.poisoned
+	}
 	cur := s.state.Load()
-	for _, o := range ops {
+	existed := make([]bool, len(ops))
+	for i, o := range ops {
+		_, existed[i] = cur.roots[o.name]
 		if o.del {
 			s.store.Unbind(o.name)
 			continue
 		}
 		if err := s.store.Bind(o.name, o.dyn.Value(), o.dyn.Type()); err != nil {
-			s.store.Abort()
-			return err
+			s.rollback(err)
+			return nil, err
 		}
 	}
 	if _, err := s.store.Commit(); err != nil {
-		// Abort replays the log: in-memory store state returns to the
-		// last durable commit, which is exactly the published state.
-		s.store.Abort()
-		return err
+		s.rollback(err)
+		return nil, err
 	}
 	s.state.Store(cur.apply(ops))
-	return nil
+	return existed, nil
+}
+
+// rollback reverts a failed commit by replaying the log: in-memory store
+// state returns to the last durable commit, which is exactly the published
+// state. If the replay itself fails (plausibly the same failing disk), the
+// store's roots no longer match the published ones and the next successful
+// commit group would durably drop committed roots — so the write path is
+// poisoned instead: commit and Shutdown's final group refuse with the
+// rollback failure until the process restarts. The caller holds commitMu.
+func (s *Server) rollback(cause error) {
+	if aerr := s.store.Abort(); aerr != nil {
+		s.poisoned = fmt.Errorf("server: write path poisoned (rollback after %v failed): %w", cause, aerr)
+		s.logf("%v", s.poisoned)
+	}
 }
 
 // Stats reports the server's current committed view, for tests and the
