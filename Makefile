@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests clean
 
-all: build vet fmt-check test faults race serve-tests fuzz-wire
+all: build vet fmt-check test faults race serve-tests chaos-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,14 @@ faults:
 # cmd-level signal regression tests.
 serve-tests:
 	$(GO) test -race ./internal/server/... ./client/ ./cmd/dbpl/
+
+# The resilience battery (docs/RESILIENCE.md): the netfault proxy unit
+# tests, the chaos e2e suite (resets/partitions/corruption/overload
+# around acknowledged writes), the idempotency dedup, and the client
+# retry-policy tests — all under the race detector.
+chaos-tests:
+	$(GO) test -race -run 'Chaos|Idem|Retry|Overload|Health|Forward|Latency|Reset|Flip|Blackhole|Partition' \
+		./internal/server/... ./client/
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

@@ -14,6 +14,17 @@
 // makes them one durable commit group (Abort discards them). A Session's
 // own Get sees its buffered writes; other clients never do.
 //
+// # Retries
+//
+// Every stateless call runs under the Options.RetryPolicy (on by default):
+// dial failures, request deadlines, lost connections and CodeOverloaded
+// load-shedding refusals are retried with exponential backoff, full
+// jitter, and a total sleep budget. Reads (Get, Join, Names, Ping,
+// Health) are idempotent and retried as-is; Put and Delete are stamped
+// with a client-unique idempotency key that the server deduplicates in a
+// bounded LRU of applied write ids, so a retry after a lost
+// acknowledgement applies exactly once. See docs/RESILIENCE.md.
+//
 // Failures carry the server's taxonomy: errors returned by remote
 // operations unwrap to the wire sentinels (wire.ErrNoRoot, wire.ErrTxn,
 // wire.ErrRemoteCorrupt, ...) and remote I/O failures additionally to
@@ -23,8 +34,11 @@ package client
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -43,6 +57,10 @@ var (
 	ErrClosed   = errors.New("client: closed")
 	ErrDeadline = errors.New("client: request deadline exceeded")
 	ErrDone     = errors.New("client: session already finished")
+	// ErrConnLost marks transport failures (a reset, an unexpected close,
+	// a failed write): the connection died with the request in flight.
+	// Idempotent and key-stamped requests are retried on it.
+	ErrConnLost = errors.New("client: connection lost")
 )
 
 // The remote failure taxonomy, re-exported from the wire protocol
@@ -61,12 +79,24 @@ var (
 	ErrRemoteCorrupt = wire.ErrRemoteCorrupt
 	ErrShutdown      = wire.ErrShutdown
 	ErrInternal      = wire.ErrInternal
+	// ErrOverloaded is admission control shedding the request; the retry
+	// policy backs off (honoring the server's retry-after hint) and tries
+	// again, so callers usually only see it once the budget is exhausted.
+	ErrOverloaded = wire.ErrOverloaded
+	// ErrDegraded is the server's degraded read-only mode: its write path
+	// is poisoned and every write is refused until the process restarts,
+	// while reads and Health keep working. Not retryable.
+	ErrDegraded = wire.ErrDegraded
 
 	// ErrIOFailed is the persistence layer's I/O sentinel
 	// (iofault.ErrIOFailed); a remote I/O failure unwraps to it too, so
 	// one errors.Is covers local and served stores alike.
 	ErrIOFailed = iofault.ErrIOFailed
 )
+
+// Health is the server's HEALTH self-report (wire.Health re-exported):
+// poisoned flag, in-flight count, session count, root count, uptime.
+type Health = wire.Health
 
 // Options tunes a Client. The zero value is usable.
 type Options struct {
@@ -78,8 +108,84 @@ type Options struct {
 	// DialTimeout bounds connection establishment; 0 means 5s.
 	DialTimeout time.Duration
 	// RequestTimeout is the per-request deadline, covering the write and
-	// the wait for the response; 0 means 30s, negative disables.
+	// the wait for the response; 0 means 30s, negative disables. Under
+	// the retry policy it bounds each *attempt*, not the whole call.
 	RequestTimeout time.Duration
+	// RetryPolicy governs transparent retries of failed requests. The
+	// zero value is the documented default (retries ON: 4 attempts,
+	// 25ms–1s exponential backoff with full jitter, 3s sleep budget);
+	// set MaxAttempts to 1 (or negative) to disable retries.
+	RetryPolicy RetryPolicy
+}
+
+// RetryPolicy is exponential backoff with full jitter, capped by a total
+// sleep budget. A request is retried when it failed in a way that cannot
+// have half-happened or that is safe to repeat: dial errors, request
+// deadlines, lost connections, and the server's CodeOverloaded
+// load-shedding refusal (whose retry-after hint, when longer than the
+// computed backoff, is honored instead). Reads are idempotent by nature;
+// writes are made idempotent by the key the client stamps on them (the
+// server deduplicates applied write ids), so both retry safely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including
+	// the first; 0 means 4, 1 or negative disables retries.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter backoff before the first retry and
+	// doubles per attempt; 0 means 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter backoff; 0 means 1s.
+	MaxDelay time.Duration
+	// Budget caps the total time one call may spend sleeping between
+	// attempts; a retry that would exceed it is not taken and the last
+	// error returns. 0 means 3s, negative means unlimited.
+	Budget time.Duration
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts == 0 {
+		return 4
+	}
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 25 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return time.Second
+	}
+	return p.MaxDelay
+}
+
+func (p RetryPolicy) budget() time.Duration {
+	if p.Budget == 0 {
+		return 3 * time.Second
+	}
+	if p.Budget < 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	return p.Budget
+}
+
+// backoff computes the sleep before attempt (1-based retry index): full
+// jitter over min(BaseDelay<<(attempt-1), MaxDelay).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.baseDelay()
+	for i := 1; i < attempt && d < p.maxDelay(); i++ {
+		d *= 2
+	}
+	if d > p.maxDelay() {
+		d = p.maxDelay()
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
 }
 
 func (o Options) poolSize() int {
@@ -123,6 +229,11 @@ type Client struct {
 	addr string
 	o    Options
 
+	// id is the client-unique prefix of idempotency keys; seq the
+	// per-client write counter completing them.
+	id  [8]byte
+	seq atomic.Uint64
+
 	mu     sync.Mutex
 	pool   []*conn // fixed slots, lazily (re)dialed
 	closed bool
@@ -136,11 +247,27 @@ func Dial(addr string, opts *Options) (*Client, error) {
 		o = *opts
 	}
 	c := &Client{addr: addr, o: o, pool: make([]*conn, o.poolSize())}
+	if _, err := crand.Read(c.id[:]); err != nil {
+		// A broken system entropy source: keys stay unique per process,
+		// which is what the dedup window actually relies on.
+		binary.BigEndian.PutUint64(c.id[:], uint64(time.Now().UnixNano()))
+	}
 	if err := c.Ping(); err != nil {
 		c.Close()
 		return nil, err
 	}
 	return c, nil
+}
+
+// nextKey stamps one write with a client-unique idempotency key: the
+// 8-byte client id plus a monotone counter. The server remembers applied
+// keys, so resending the same frame after a lost acknowledgement applies
+// exactly once.
+func (c *Client) nextKey() []byte {
+	key := make([]byte, 16)
+	copy(key, c.id[:])
+	binary.BigEndian.PutUint64(key[8:], c.seq.Add(1))
+	return key
 }
 
 // Close closes every pooled connection. Sessions hold their own
@@ -200,20 +327,88 @@ func (c *Client) roundTrip(op byte, fields ...[]byte) (byte, [][]byte, error) {
 	return cn.roundTrip(c.o.requestTimeout(), op, fields...)
 }
 
+// call is roundTrip under the retry policy. OpError responses are decoded
+// here (rather than in expect) so the loop can classify them; the request
+// must be idempotent or carry an idempotency key.
+func (c *Client) call(op byte, fields ...[]byte) (byte, [][]byte, error) {
+	pol := c.o.RetryPolicy
+	budget := pol.budget()
+	var slept time.Duration
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		respOp, respFields, err := c.roundTrip(op, fields...)
+		if err == nil && respOp == wire.OpError {
+			err = wire.DecodeError(respFields)
+		}
+		if err == nil {
+			return respOp, respFields, nil
+		}
+		if !retryable(err) || attempt >= pol.maxAttempts() {
+			return 0, nil, err
+		}
+		lastErr = err
+		d := pol.backoff(attempt)
+		if hint := retryAfterOf(lastErr); hint > d {
+			d = hint
+		}
+		if slept+d > budget {
+			return 0, nil, lastErr
+		}
+		time.Sleep(d)
+		slept += d
+	}
+}
+
+// retryable classifies failures that are safe to repeat: the request
+// never executed (dial failure, overload shed), or executed at most once
+// with the outcome unknown (deadline, lost connection) — which idempotent
+// and key-stamped requests tolerate. Application errors (no-root, txn,
+// I/O, degraded, ...) report a definite outcome and are never retried.
+func retryable(err error) bool {
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrDone) {
+		return false
+	}
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDeadline) || errors.Is(err, ErrConnLost) {
+		return true
+	}
+	var ne net.Error // dial timeouts, refused connections, resets
+	return errors.As(err, &ne)
+}
+
+// retryAfterOf extracts the server's backoff hint, 0 when absent.
+func retryAfterOf(err error) time.Duration {
+	var we *wire.WireError
+	if errors.As(err, &we) {
+		return we.RetryAfter
+	}
+	return 0
+}
+
 // ---------------------------------------------------------------------------
 // Stateless operations
 // ---------------------------------------------------------------------------
 
 // Ping checks server liveness.
 func (c *Client) Ping() error {
-	_, _, err := expect(wire.OpOK)(c.roundTrip(wire.OpPing))
+	_, _, err := expect(wire.OpOK)(c.call(wire.OpPing))
 	return err
+}
+
+// Health asks the server for its self-report: degraded (poisoned) flag,
+// in-flight requests, sessions, committed roots, uptime. It is answered
+// even by an overloaded or poisoned server.
+func (c *Client) Health() (Health, error) {
+	_, fields, err := expect(wire.OpOK)(c.call(wire.OpHealth))
+	if err != nil {
+		return Health{}, err
+	}
+	return wire.DecodeHealth(fields)
 }
 
 // Get is the paper's generic extraction, remotely: every root whose
 // declared type is a subtype of t, packaged with its witness.
 func (c *Client) Get(t types.Type) ([]Packed, error) {
-	return decodeGet(c.roundTrip(wire.OpGet, mustTypeField(t)))
+	return decodeGet(c.call(wire.OpGet, mustTypeField(t)))
 }
 
 // GetExpr is Get over the concrete type syntax, e.g. "{Name: String}".
@@ -226,25 +421,29 @@ func (c *Client) GetExpr(src string) ([]Packed, error) {
 }
 
 // Put binds name to v at the declared type (nil means v's most specific
-// type) and commits it as one group.
+// type) and commits it as one group. The frame carries an idempotency
+// key, so a retry after a lost acknowledgement applies exactly once.
 func (c *Client) Put(name string, v value.Value, declared types.Type) error {
 	f, err := putFields(name, v, declared)
 	if err != nil {
 		return err
 	}
-	_, _, err = expect(wire.OpOK)(c.roundTrip(wire.OpPut, f...))
+	f = append(f, c.nextKey())
+	_, _, err = expect(wire.OpOK)(c.call(wire.OpPut, f...))
 	return err
 }
 
-// Delete unbinds name, reporting whether it existed.
+// Delete unbinds name, reporting whether it existed. Like Put it is
+// key-stamped: a retried DELETE reports the existed bit of its first
+// application, not of the retry.
 func (c *Client) Delete(name string) (bool, error) {
-	return decodeDelete(c.roundTrip(wire.OpDelete, []byte(name)))
+	return decodeDelete(c.call(wire.OpDelete, []byte(name), c.nextKey()))
 }
 
 // Join computes the generalized natural join (the paper's Figure 1) of
 // the extents at t1 and t2, remotely.
 func (c *Client) Join(t1, t2 types.Type) ([]value.Value, error) {
-	ps, err := decodeGet(c.roundTrip(wire.OpJoin, mustTypeField(t1), mustTypeField(t2)))
+	ps, err := decodeGet(c.call(wire.OpJoin, mustTypeField(t1), mustTypeField(t2)))
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +456,7 @@ func (c *Client) Join(t1, t2 types.Type) ([]value.Value, error) {
 
 // Names lists the root names.
 func (c *Client) Names() ([]string, error) {
-	_, fields, err := expect(wire.OpOK)(c.roundTrip(wire.OpNames))
+	_, fields, err := expect(wire.OpOK)(c.call(wire.OpNames))
 	if err != nil {
 		return nil, err
 	}
@@ -280,13 +479,46 @@ type Session struct {
 	done bool
 }
 
-// Begin opens a transaction on a dedicated connection.
+// Begin opens a transaction on a dedicated connection. Nothing has been
+// buffered yet, so the whole dial+BEGIN is retried under the policy.
 func (c *Client) Begin() (*Session, error) {
+	pol := c.o.RetryPolicy
+	budget := pol.budget()
+	var slept time.Duration
+	for attempt := 1; ; attempt++ {
+		s, err := c.begin()
+		if err == nil {
+			return s, nil
+		}
+		if !retryable(err) || attempt >= pol.maxAttempts() {
+			return nil, err
+		}
+		d := pol.backoff(attempt)
+		if hint := retryAfterOf(err); hint > d {
+			d = hint
+		}
+		if slept+d > budget {
+			return nil, err
+		}
+		time.Sleep(d)
+		slept += d
+	}
+}
+
+func (c *Client) begin() (*Session, error) {
 	cn, err := dialConn(c.addr, c.o)
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := expect(wire.OpOK)(cn.roundTrip(c.o.requestTimeout(), wire.OpBegin)); err != nil {
+	op, fields, err := cn.roundTrip(c.o.requestTimeout(), wire.OpBegin)
+	if err == nil && op == wire.OpError {
+		err = wire.DecodeError(fields)
+	}
+	if err == nil && op != wire.OpOK {
+		err = &wire.WireError{Code: wire.CodeBadFrame,
+			Msg: fmt.Sprintf("unexpected response opcode %#x", op)}
+	}
+	if err != nil {
 		cn.fail(ErrClosed)
 		return nil, err
 	}
@@ -349,9 +581,34 @@ func (s *Session) Names() ([]string, error) {
 }
 
 // Commit makes the buffered writes one durable commit group and ends the
-// session.
+// session. The COMMIT frame is key-stamped and retried on overload sheds
+// (the session connection is still alive then, so the buffered writes
+// are too); a lost connection is not retryable — the server discards the
+// transaction with the session, so there is nothing left to commit.
 func (s *Session) Commit() error {
-	_, _, err := expect(wire.OpOK)(s.roundTrip(wire.OpCommit))
+	if s.done {
+		return ErrDone
+	}
+	key := s.c.nextKey()
+	pol := s.c.o.RetryPolicy
+	budget := pol.budget()
+	var slept time.Duration
+	var err error
+	for attempt := 1; ; attempt++ {
+		_, _, err = expect(wire.OpOK)(s.roundTrip(wire.OpCommit, key))
+		if err == nil || !errors.Is(err, ErrOverloaded) || attempt >= pol.maxAttempts() {
+			break
+		}
+		d := pol.backoff(attempt)
+		if hint := retryAfterOf(err); hint > d {
+			d = hint
+		}
+		if slept+d > budget {
+			break
+		}
+		time.Sleep(d)
+		slept += d
+	}
 	s.finish()
 	return err
 }
@@ -507,7 +764,7 @@ func (c *conn) readLoop() {
 	for {
 		op, fields, err := wire.ReadFrame(r, c.maxFrame)
 		if err != nil {
-			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			c.fail(fmt.Errorf("%w: %w", ErrConnLost, err))
 			return
 		}
 		c.mu.Lock()
@@ -548,7 +805,7 @@ func (c *conn) roundTrip(timeout time.Duration, op byte, fields ...[]byte) (byte
 	err := wire.WriteFrame(c.nc, c.maxFrame, op, fields...)
 	c.wmu.Unlock()
 	if err != nil {
-		c.fail(fmt.Errorf("client: write failed: %w", err))
+		c.fail(fmt.Errorf("%w: write failed: %w", ErrConnLost, err))
 		r := <-ch // fail delivered to every pending slot, including ours
 		if r.err == nil {
 			// The response won the race with fail's delivery: the frame

@@ -1,8 +1,9 @@
 // The serve verb: a concurrent database server over an intrinsic store.
 //
-//	dbpl serve [-addr :7070] [-drain 5s] store.log
+//	dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] store.log
 //
-// See docs/SERVER.md for the wire protocol and transaction semantics.
+// See docs/SERVER.md for the wire protocol and transaction semantics,
+// docs/RESILIENCE.md for admission control and degraded mode.
 package main
 
 import (
@@ -23,11 +24,34 @@ func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":7070", "TCP listen address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+	fsck := fs.Bool("fsck", false, "verify the log before serving; refuse to start on corruption")
+	maxInflight := fs.Int("max-inflight", 0, "admission-control cap on concurrently executing requests (0 = default 1024, negative = uncapped)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("usage: dbpl serve [-addr :7070] [-drain 5s] store.log")
+		return errors.New("usage: dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] store.log")
+	}
+	if *fsck {
+		// Catch a damaged log at startup, before binding the listener —
+		// not at the first commit hours later. A missing log is fine (Open
+		// creates it); a torn tail is fine too (recovery truncates it and
+		// fsck would report the same after a crash).
+		if _, err := os.Stat(fs.Arg(0)); err == nil {
+			rep, err := intrinsic.Fsck(fs.Arg(0))
+			if err != nil {
+				return fmt.Errorf("serve -fsck: %w", err)
+			}
+			if rep.Corrupt != nil {
+				return fmt.Errorf("serve -fsck: refusing to serve a corrupt log (%d commits recoverable):\n%s\nrun `dbpl fsck -salvage fresh.log %s` to recover the valid prefix",
+					rep.Commits, rep.Corrupt, fs.Arg(0))
+			}
+			note := "clean"
+			if rep.TornTail {
+				note = "torn tail, recovery will truncate it"
+			}
+			fmt.Fprintf(out, "dbpl: fsck %s: %s (%d commits, %d roots)\n", fs.Arg(0), note, rep.Commits, rep.Roots)
+		}
 	}
 	st, err := intrinsic.Open(fs.Arg(0))
 	if err != nil {
@@ -36,7 +60,8 @@ func runServe(args []string, out io.Writer) error {
 	defer st.Close()
 
 	srv, err := server.New(st, server.Config{
-		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		Logf:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		MaxInFlight: *maxInflight,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeFsckRefusesCorruptLog: -fsck catches a damaged log before the
+// listener binds and points the operator at the salvage path. (The clean
+// path is exercised by the script tour; it would serve forever here.)
+func TestServeFsckRefusesCorruptLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	buildStore(t, path)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)-1] ^= 0x01 // damage the last group's checksum
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = runServe([]string{"-fsck", "-addr", "127.0.0.1:0", path}, &out)
+	if err == nil {
+		t.Fatalf("serve -fsck on a corrupt log started:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "refusing to serve") {
+		t.Errorf("error %v does not refuse to serve", err)
+	}
+	if !strings.Contains(err.Error(), "-salvage") {
+		t.Errorf("error %v does not point at dbpl fsck -salvage", err)
+	}
+}

@@ -108,3 +108,49 @@ func BenchmarkServeGet(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServePut measures the autocommitting remote PUT round trip —
+// the write path the resilience layer touches twice per request: the
+// admission gate (one atomic add/sub) and the idempotency-key lookup +
+// record inside the commit (E14 in EXPERIMENTS.md). The dedup-off
+// variant isolates the key machinery's cost by disabling the cache.
+func BenchmarkServePut(b *testing.B) {
+	rec := value.Rec("Name", value.String("bench"), "Empno", value.Int(1))
+	recT := types.MustParse("{Name: String, Empno: Int}")
+
+	for _, tc := range []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"dedup-on", server.Config{}},
+		{"dedup-off", server.Config{IdemCacheSize: -1}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			st, err := intrinsic.Open(filepath.Join(b.TempDir(), "bench-put.log"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			srv, err := server.New(st, tc.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			c, err := client.Dial(ln.Addr().String(), &client.Options{PoolSize: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Put("k", rec, recT); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import "container/list"
+
+// idemCache is the bounded LRU of *applied* write ids: idempotency key →
+// the per-op existed results the commit group produced. A write is
+// recorded only after its commit group is durable, so a dedup hit means
+// "this exact group is already on disk" and the retried frame must be
+// acknowledged with the original result rather than applied again — the
+// exactly-once half of the client's retry contract. Failed commits are
+// deliberately not recorded: their retry must re-execute.
+//
+// The cache is guarded by Server.commitMu (lookups and inserts happen
+// only inside the commit path), so it needs no lock of its own. The bound
+// is a window, not a ledger: a retry arriving after the key has been
+// evicted (capacity × intervening writes later) re-applies. The client's
+// retry budget (seconds) is many orders of magnitude shorter than the
+// time it takes realistic traffic to push a key through a 4096-entry
+// window, and PUT/DELETE re-application is idempotent at the state level
+// anyway — the window exists so DELETE's existed bit and the log's
+// group count stay exact across the retries that can actually happen.
+type idemCache struct {
+	cap int
+	ll  *list.List               // front = most recently applied
+	m   map[string]*list.Element // key → element holding *idemEntry
+}
+
+type idemEntry struct {
+	key     string
+	existed []bool
+}
+
+func newIdemCache(capacity int) *idemCache {
+	return &idemCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// get reports whether key was already applied, promoting it on a hit.
+func (c *idemCache) get(key string) ([]bool, bool) {
+	if c == nil {
+		return nil, false
+	}
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*idemEntry).existed, true
+}
+
+// put records an applied write, evicting the least recently used entry
+// past capacity.
+func (c *idemCache) put(key string, existed []bool) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*idemEntry).existed = existed
+		return
+	}
+	c.m[key] = c.ll.PushFront(&idemEntry{key: key, existed: existed})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*idemEntry).key)
+	}
+}
+
+// len reports the number of recorded write ids (tests).
+func (c *idemCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.ll.Len()
+}

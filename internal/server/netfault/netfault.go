@@ -1,0 +1,282 @@
+// Package netfault is the scriptable TCP proxy behind the chaos battery,
+// the network twin of persist/iofault: iofault makes the disk's failure
+// modes injectable, netfault does the same for the wire. A Proxy sits
+// between a client and a dbpl server and can, on command, add latency,
+// reset a connection after forwarding exactly N bytes, black-hole a
+// direction (data vanishes but the connection stays up — a silent drop,
+// not an error), partition the network entirely, or flip a byte in
+// flight. The e2e chaos tests drive these to prove the acknowledgement
+// contract: no acknowledged commit is lost, retried writes apply exactly
+// once, and every fault surfaces as a typed error rather than a hang.
+//
+// Faults are scripted per direction. Byte offsets are measured in bytes
+// observed so far in that direction across all connections (black-holed
+// bytes count: they were observed, just not delivered), so a test can
+// say "reset the server's very next response byte" with
+// ResetAfter(ServerToClient, 0) regardless of earlier traffic.
+package netfault
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dir is a traffic direction through the proxy.
+type Dir int
+
+const (
+	// ClientToServer is traffic from the dialing side toward the target.
+	ClientToServer Dir = iota
+	// ServerToClient is traffic from the target back to the dialer.
+	ServerToClient
+)
+
+func (d Dir) String() string {
+	if d == ClientToServer {
+		return "client→server"
+	}
+	return "server→client"
+}
+
+// rules is the fault script for one direction.
+type rules struct {
+	forwarded int64 // bytes observed so far (including black-holed)
+	resetAt   int64 // absolute observed-byte offset to reset at; -1 = off
+	flipAt    int64 // absolute observed-byte offset to corrupt; -1 = off
+	blackhole bool
+}
+
+// Proxy is one scriptable TCP relay in front of a fixed target address.
+// All methods are safe for concurrent use; faults apply to every current
+// and future connection until cleared.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu          sync.Mutex
+	dirs        [2]rules
+	latency     time.Duration
+	partitioned bool
+	links       map[net.Conn]struct{} // live upstream+downstream conns
+	closed      bool
+}
+
+// New starts a proxy on an ephemeral localhost port relaying to target.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, links: make(map[net.Conn]struct{})}
+	p.dirs[ClientToServer] = rules{resetAt: -1, flipAt: -1}
+	p.dirs[ServerToClient] = rules{resetAt: -1, flipAt: -1}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting and severs every live link.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.dropLinks()
+	return err
+}
+
+// SetLatency delays every forwarded chunk by d (both directions).
+// Zero clears it.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency = d
+}
+
+// ResetAfter arms a one-shot reset: after n more bytes are observed in
+// dir, both sides of that link are torn down with an RST (not a clean
+// FIN), so the peer sees a connection error mid-stream. n = 0 means the
+// very next byte triggers it.
+func (p *Proxy) ResetAfter(dir Dir, n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dirs[dir].resetAt = p.dirs[dir].forwarded + n
+}
+
+// FlipByte arms a one-shot corruption: the byte at offset off (relative
+// to bytes observed so far in dir) is XORed with 0xFF before forwarding.
+func (p *Proxy) FlipByte(dir Dir, off int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dirs[dir].flipAt = p.dirs[dir].forwarded + off
+}
+
+// Blackhole silently discards traffic in dir while on: bytes are
+// observed (counters advance) but never delivered, and the connection
+// stays up — the peer just waits. The slow-reader / lost-datagram
+// simulation, as opposed to ResetAfter's loud failure.
+func (p *Proxy) Blackhole(dir Dir, on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dirs[dir].blackhole = on
+}
+
+// Partition severs every live link with an RST and makes new connections
+// die immediately after accept, until Heal.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	p.mu.Unlock()
+	p.dropLinks()
+}
+
+// Heal ends a Partition; new connections relay normally again.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partitioned = false
+}
+
+// Forwarded reports the bytes observed so far in dir (black-holed bytes
+// included).
+func (p *Proxy) Forwarded(dir Dir) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dirs[dir].forwarded
+}
+
+// dropLinks RSTs every live connection pair.
+func (p *Proxy) dropLinks() {
+	p.mu.Lock()
+	links := make([]net.Conn, 0, len(p.links))
+	for c := range p.links {
+		links = append(links, c)
+	}
+	p.links = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	for _, c := range links {
+		abort(c)
+	}
+}
+
+// abort closes c with an RST rather than a clean FIN, so the peer's next
+// read fails loudly instead of looking like an orderly shutdown.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return // Close
+		}
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			p.mu.Unlock()
+			abort(down)
+			continue
+		}
+		p.mu.Unlock()
+		go p.relay(down)
+	}
+}
+
+// relay dials the target and pumps both directions until either side
+// dies or a scripted reset fires.
+func (p *Proxy) relay(down net.Conn) {
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		abort(down)
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.partitioned {
+		p.mu.Unlock()
+		abort(down)
+		abort(up)
+		return
+	}
+	p.links[down] = struct{}{}
+	p.links[up] = struct{}{}
+	p.mu.Unlock()
+
+	done := func() {
+		p.mu.Lock()
+		delete(p.links, down)
+		delete(p.links, up)
+		p.mu.Unlock()
+		abort(down)
+		abort(up)
+	}
+	var once sync.Once
+	go func() {
+		p.pump(ClientToServer, down, up)
+		once.Do(done)
+	}()
+	p.pump(ServerToClient, up, down)
+	once.Do(done)
+}
+
+// pump forwards src→dst chunk by chunk, applying the direction's script
+// to each chunk. It returns when the stream ends, a write fails, or a
+// scripted reset consumes the link.
+func (p *Proxy) pump(dir Dir, src, dst net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+
+			p.mu.Lock()
+			r := &p.dirs[dir]
+			start := r.forwarded
+			r.forwarded += int64(n)
+			latency := p.latency
+			drop := r.blackhole
+			if r.flipAt >= start && r.flipAt < start+int64(n) {
+				chunk[r.flipAt-start] ^= 0xFF
+				r.flipAt = -1
+			}
+			reset := r.resetAt >= 0 && r.resetAt < start+int64(n)
+			if reset {
+				// Deliver only the bytes before the reset point, so
+				// "reset after N" means exactly N bytes arrived.
+				chunk = chunk[:r.resetAt-start]
+				r.resetAt = -1
+			}
+			p.mu.Unlock()
+
+			if latency > 0 {
+				time.Sleep(latency)
+			}
+			if !drop && len(chunk) > 0 {
+				if _, werr := dst.Write(chunk); werr != nil {
+					return
+				}
+			}
+			if reset {
+				abort(src)
+				abort(dst)
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Propagate a clean EOF as a half-close when possible.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back, returning
+// its address.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func proxyTo(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := New(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// echo sends msg and reads back the same number of bytes.
+func echo(c net.Conn, msg []byte) ([]byte, error) {
+	if _, err := c.Write(msg); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, err := io.ReadFull(c, got)
+	return got, err
+}
+
+func TestForwardsTransparently(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	c := dial(t, p.Addr())
+	msg := []byte("hello through the proxy")
+	got, err := echo(c, msg)
+	if err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	if f := p.Forwarded(ClientToServer); f != int64(len(msg)) {
+		t.Errorf("Forwarded(ClientToServer) = %d, want %d", f, len(msg))
+	}
+	if f := p.Forwarded(ServerToClient); f != int64(len(msg)) {
+		t.Errorf("Forwarded(ServerToClient) = %d, want %d", f, len(msg))
+	}
+}
+
+func TestLatencyDelaysChunks(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	p.SetLatency(50 * time.Millisecond)
+	c := dial(t, p.Addr())
+	start := time.Now()
+	if _, err := echo(c, []byte("slow")); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	// Two traversals (request + response), each delayed once.
+	if el := time.Since(start); el < 100*time.Millisecond {
+		t.Errorf("round trip took %v, want >= 100ms under 2x50ms latency", el)
+	}
+}
+
+func TestResetAfterSurfacesAsError(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	c := dial(t, p.Addr())
+	if _, err := echo(c, []byte("warm")); err != nil {
+		t.Fatalf("warm echo: %v", err)
+	}
+	// Kill the response path before its next byte.
+	p.ResetAfter(ServerToClient, 0)
+	if _, err := echo(c, []byte("doomed")); err == nil {
+		t.Fatal("echo after reset succeeded, want connection error")
+	}
+}
+
+func TestResetAfterDeliversExactPrefix(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	c := dial(t, p.Addr())
+	p.ResetAfter(ServerToClient, 3)
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, err := io.ReadAll(c)
+	if err == nil {
+		t.Fatalf("read all = %q with clean EOF, want reset error", got)
+	}
+	if string(got) != "abc" {
+		t.Errorf("delivered %q before reset, want %q", got, "abc")
+	}
+}
+
+func TestFlipByteCorruptsExactOffset(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	c := dial(t, p.Addr())
+	p.FlipByte(ServerToClient, 2)
+	got, err := echo(c, []byte("abcdef"))
+	if err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	want := []byte("abcdef")
+	want[2] ^= 0xFF
+	if string(got) != string(want) {
+		t.Errorf("got %q, want %q (byte 2 flipped)", got, want)
+	}
+	// One-shot: the next exchange is clean.
+	got, err = echo(c, []byte("ghijkl"))
+	if err != nil {
+		t.Fatalf("second echo: %v", err)
+	}
+	if string(got) != "ghijkl" {
+		t.Errorf("second echo got %q, want %q", got, "ghijkl")
+	}
+}
+
+func TestBlackholeKeepsConnUp(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	c := dial(t, p.Addr())
+	p.Blackhole(ServerToClient, true)
+	if _, err := c.Write([]byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 4)
+	_, err := c.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read during blackhole: %v, want timeout (silent drop, not reset)", err)
+	}
+	if f := p.Forwarded(ServerToClient); f != 4 {
+		t.Errorf("Forwarded(ServerToClient) = %d, want 4 (observed though dropped)", f)
+	}
+	// Healing the blackhole lets new traffic flow again.
+	p.Blackhole(ServerToClient, false)
+	got, err := echo(c, []byte("back"))
+	if err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+	if string(got) != "back" {
+		t.Errorf("got %q, want %q", got, "back")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	addr := echoServer(t)
+	p := proxyTo(t, addr)
+	c := dial(t, p.Addr())
+	if _, err := echo(c, []byte("pre")); err != nil {
+		t.Fatalf("echo before partition: %v", err)
+	}
+
+	p.Partition()
+	// The live link died.
+	if _, err := echo(c, []byte("gone")); err == nil {
+		t.Fatal("echo over partitioned link succeeded")
+	}
+	// New connections die immediately: either dial fails or first use does.
+	if c2, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second); err == nil {
+		if _, err := echo(c2, []byte("x")); err == nil {
+			t.Fatal("echo through partition succeeded")
+		}
+		c2.Close()
+	}
+
+	p.Heal()
+	c3 := dial(t, p.Addr())
+	got, err := echo(c3, []byte("post"))
+	if err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+	if string(got) != "post" {
+		t.Errorf("got %q, want %q", got, "post")
+	}
+}

@@ -78,6 +78,21 @@ type Config struct {
 	// WriteTimeout bounds writing one response frame; 0 means 30s,
 	// negative disables.
 	WriteTimeout time.Duration
+	// MaxInFlight is the admission-control cap: the number of requests
+	// allowed to execute concurrently across all connections. A request
+	// past the cap is shed immediately with CodeOverloaded and a
+	// retry-after hint — it is never queued, so load cannot pile up
+	// behind a slow disk. HEALTH is exempt, so a monitor can always ask
+	// an overloaded server how overloaded it is. 0 means 1024; negative
+	// disables the cap.
+	MaxInFlight int
+	// RetryAfterHint is the backoff hint attached to CodeOverloaded
+	// refusals; 0 means 50ms.
+	RetryAfterHint time.Duration
+	// IdemCacheSize bounds the LRU of applied write ids that deduplicates
+	// retried PUT/DELETE/COMMIT frames carrying idempotency keys; 0 means
+	// 4096, negative disables deduplication.
+	IdemCacheSize int
 	// Logf, when set, receives one line per accepted connection error and
 	// per protocol violation. nil discards.
 	Logf func(format string, args ...any)
@@ -88,6 +103,33 @@ func (c Config) maxFrame() int {
 		return wire.MaxFrame
 	}
 	return c.MaxFrame
+}
+
+func (c Config) maxInFlight() int64 {
+	if c.MaxInFlight == 0 {
+		return 1024
+	}
+	if c.MaxInFlight < 0 {
+		return 0 // uncapped
+	}
+	return int64(c.MaxInFlight)
+}
+
+func (c Config) retryAfterHint() time.Duration {
+	if c.RetryAfterHint <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.RetryAfterHint
+}
+
+func (c Config) idemCacheSize() int {
+	if c.IdemCacheSize == 0 {
+		return 4096
+	}
+	if c.IdemCacheSize < 0 {
+		return 0 // disabled
+	}
+	return c.IdemCacheSize
 }
 
 func timeoutOr(d, def time.Duration) time.Duration {
@@ -154,6 +196,17 @@ type Server struct {
 	// published committed state, and any further commit group would durably
 	// encode that divergence. Every subsequent write is refused with it.
 	poisoned error
+	// degraded mirrors poisoned != nil for readers that must not touch
+	// commitMu: the HEALTH handler has to report a poisoned write path
+	// even while a wedged commit is holding the lock.
+	degraded atomic.Bool
+	// idem (guarded by commitMu) deduplicates retried writes; see idem.go.
+	idem *idemCache
+
+	// inflight is the admission-control gauge: requests currently
+	// executing (admitted, response not yet produced).
+	inflight atomic.Int64
+	start    time.Time
 
 	draining atomic.Bool
 	mu       sync.Mutex // guards ln, conns
@@ -178,7 +231,10 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		st.roots[name] = d
 		st.db.Insert(d)
 	}
-	srv := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}}
+	srv := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}, start: time.Now()}
+	if n := cfg.idemCacheSize(); n > 0 {
+		srv.idem = newIdemCache(n)
+	}
 	srv.state.Store(st)
 	return srv, nil
 }
@@ -328,7 +384,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		respOp, respFields := s.handle(sess, op, fields)
+		var respOp byte
+		var respFields [][]byte
+		// Admission control: a request past the in-flight cap is shed here
+		// — typed refusal with a backoff hint, nothing executed, nothing
+		// queued — so overload cannot grow the server's memory or wedge
+		// its handlers. HEALTH bypasses the gate (and is not counted): a
+		// monitor must get an answer from exactly the server that is
+		// refusing everyone else.
+		if op == wire.OpHealth {
+			respOp, respFields = s.handle(sess, op, fields)
+		} else if s.admit() {
+			respOp, respFields = s.handle(sess, op, fields)
+			s.inflight.Add(-1)
+		} else {
+			respOp, respFields = errResp(&wire.WireError{
+				Code:       wire.CodeOverloaded,
+				Msg:        "server overloaded: in-flight request cap reached",
+				RetryAfter: s.cfg.retryAfterHint(),
+			})
+		}
 		if writeTO > 0 {
 			conn.SetWriteDeadline(time.Now().Add(writeTO))
 		}
@@ -339,6 +414,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.SetWriteDeadline(time.Time{})
 		}
 	}
+}
+
+// admit claims an in-flight slot, reporting false (shed) when the cap is
+// reached. The caller must release the slot with inflight.Add(-1) once
+// the response is produced.
+func (s *Server) admit() bool {
+	n := s.inflight.Add(1)
+	if cap := s.cfg.maxInFlight(); cap > 0 && n > cap {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
 }
 
 // readRequest reads one request frame. The wait for the header may block
@@ -386,6 +473,11 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 			respFields = wire.ErrorFields(&wire.WireError{Code: wire.CodeInternal, Msg: fmt.Sprint(r)})
 		}
 	}()
+	// HEALTH answers before the drain check: a server that is shutting
+	// down (or poisoned) reports its state instead of only refusing work.
+	if op == wire.OpHealth {
+		return s.handleHealth()
+	}
 	if s.draining.Load() {
 		return errResp(&wire.WireError{Code: wire.CodeShutdown, Msg: "server is draining"})
 	}
@@ -410,12 +502,19 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 		sess.overlay = map[string]int{}
 		return wire.OpOK, nil
 	case wire.OpCommit:
+		if len(fields) > 1 {
+			return badReq("COMMIT wants 0 or 1 fields, got %d", len(fields))
+		}
 		if !sess.inTxn {
 			return errResp(&wire.WireError{Code: wire.CodeTxn, Msg: "COMMIT outside a transaction"})
 		}
+		var key string
+		if len(fields) == 1 {
+			key = string(fields[0])
+		}
 		ops := sess.ops
 		sess.endTxn()
-		if _, err := s.commit(ops); err != nil {
+		if _, err := s.commit(ops, key); err != nil {
 			return errResp(toWireError(err))
 		}
 		return wire.OpOK, nil
@@ -621,8 +720,8 @@ func (s *Server) handleJoin(sess *session, fields [][]byte) (byte, [][]byte) {
 // ---------------------------------------------------------------------------
 
 func (s *Server) handlePut(sess *session, fields [][]byte) (byte, [][]byte) {
-	if len(fields) != 2 {
-		return badReq("PUT wants 2 fields, got %d", len(fields))
+	if len(fields) != 2 && len(fields) != 3 {
+		return badReq("PUT wants 2 or 3 fields, got %d", len(fields))
 	}
 	name := string(fields[0])
 	if name == "" {
@@ -641,15 +740,19 @@ func (s *Server) handlePut(sess *session, fields [][]byte) (byte, [][]byte) {
 		sess.buffer(op)
 		return wire.OpOK, nil
 	}
-	if _, err := s.commit([]txnOp{op}); err != nil {
+	var key string
+	if len(fields) == 3 {
+		key = string(fields[2])
+	}
+	if _, err := s.commit([]txnOp{op}, key); err != nil {
 		return errResp(toWireError(err))
 	}
 	return wire.OpOK, nil
 }
 
 func (s *Server) handleDelete(sess *session, fields [][]byte) (byte, [][]byte) {
-	if len(fields) != 1 {
-		return badReq("DELETE wants 1 field, got %d", len(fields))
+	if len(fields) != 1 && len(fields) != 2 {
+		return badReq("DELETE wants 1 or 2 fields, got %d", len(fields))
 	}
 	name := string(fields[0])
 	op := txnOp{name: name, del: true}
@@ -663,7 +766,11 @@ func (s *Server) handleDelete(sess *session, fields [][]byte) (byte, [][]byte) {
 		sess.buffer(op)
 		return wire.OpOK, [][]byte{boolField(existed)}
 	}
-	existed, err := s.commit([]txnOp{op})
+	var key string
+	if len(fields) == 2 {
+		key = string(fields[1])
+	}
+	existed, err := s.commit([]txnOp{op}, key)
 	if err != nil {
 		return errResp(toWireError(err))
 	}
@@ -690,14 +797,25 @@ func (sess *session) buffer(op txnOp) {
 // replayed back to the last durable group and the published state is
 // untouched, so a GET during or after a failed commit still observes only
 // committed roots.
-func (s *Server) commit(ops []txnOp) ([]bool, error) {
+//
+// key, when non-empty, is the client's idempotency key: if the group was
+// already applied (the acknowledgement was lost and the client retried),
+// the recorded result is returned without touching the store, so a retry
+// applies exactly once. Only durable applications are recorded — a failed
+// commit's retry re-executes.
+func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	if s.poisoned != nil {
-		return nil, s.poisoned
+		return nil, &wire.WireError{Code: wire.CodeDegraded, Msg: s.poisoned.Error()}
+	}
+	if key != "" {
+		if existed, ok := s.idem.get(key); ok {
+			return existed, nil
+		}
 	}
 	cur := s.state.Load()
 	existed := make([]bool, len(ops))
@@ -717,6 +835,9 @@ func (s *Server) commit(ops []txnOp) ([]bool, error) {
 		return nil, err
 	}
 	s.state.Store(cur.apply(ops))
+	if key != "" {
+		s.idem.put(key, existed)
+	}
 	return existed, nil
 }
 
@@ -730,8 +851,26 @@ func (s *Server) commit(ops []txnOp) ([]bool, error) {
 func (s *Server) rollback(cause error) {
 	if aerr := s.store.Abort(); aerr != nil {
 		s.poisoned = fmt.Errorf("server: write path poisoned (rollback after %v failed): %w", cause, aerr)
+		s.degraded.Store(true)
 		s.logf("%v", s.poisoned)
 	}
+}
+
+// handleHealth is the HEALTH opcode: the degraded-mode self-report. It
+// touches no locks a wedged writer could hold — the poisoned flag is an
+// atomic mirror, the root count an atomic state load — so health stays
+// answerable while a commit is stuck on a dying disk.
+func (s *Server) handleHealth() (byte, [][]byte) {
+	s.mu.Lock()
+	sessions := len(s.conns)
+	s.mu.Unlock()
+	return wire.OpOK, wire.HealthFields(wire.Health{
+		Poisoned: s.degraded.Load(),
+		InFlight: int(s.inflight.Load()),
+		Sessions: sessions,
+		Roots:    len(s.state.Load().roots),
+		Uptime:   time.Since(s.start),
+	})
 }
 
 // Stats reports the server's current committed view, for tests and the

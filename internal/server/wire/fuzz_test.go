@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	"dbpl/internal/persist/codec"
 	"dbpl/internal/types"
@@ -36,12 +37,21 @@ func FuzzReadFrame(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// A client-stamped idempotency key, as Put/Delete/Commit carry it.
+	idemKey := []byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 9}
 	f.Add(mustFrame(OpPing))
+	f.Add(mustFrame(OpHealth))
 	f.Add(mustFrame(OpGet, typeImg))
 	f.Add(mustFrame(OpPut, []byte("root"), tagged))
+	f.Add(mustFrame(OpPut, []byte("root"), tagged, idemKey))
 	f.Add(mustFrame(OpDelete, []byte("root")))
-	f.Add(mustFrame(OpJoin, typeImg, typeImg))
+	f.Add(mustFrame(OpDelete, []byte("root"), idemKey))
+	f.Add(mustFrame(OpCommit, idemKey))
 	f.Add(mustFrame(OpError, []byte{byte(CodeIO)}, []byte("write failed")))
+	f.Add(mustFrame(OpError, ErrorFields(&WireError{Code: CodeOverloaded,
+		Msg: "shed", RetryAfter: 50 * time.Millisecond})...))
+	f.Add(mustFrame(OpOK, HealthFields(Health{Poisoned: true, InFlight: 7,
+		Sessions: 2, Roots: 100, Uptime: time.Hour})...))
 	f.Add(append(mustFrame(OpBegin), mustFrame(OpCommit)...)) // pipelined
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})

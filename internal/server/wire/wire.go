@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"dbpl/internal/persist/codec"
 	"dbpl/internal/persist/iofault"
@@ -41,17 +42,22 @@ const MaxFrame = 16 << 20
 
 const headerLen = 4
 
-// Request opcodes.
+// Request opcodes. The write opcodes (PUT, DELETE, COMMIT) accept one
+// optional trailing field: a client-stamped *idempotency key*, opaque
+// bytes the server remembers in a bounded LRU of applied write ids so a
+// retried frame — sent again because the acknowledgement was lost, not
+// because the write failed — applies exactly once.
 const (
-	OpPing   byte = 0x01 // []                      -> OK []
-	OpGet    byte = 0x02 // [type-image]            -> Values [tagged...]
-	OpPut    byte = 0x03 // [name, tagged-image]    -> OK []
-	OpDelete byte = 0x04 // [name]                  -> OK [existed(1)]
-	OpJoin   byte = 0x05 // [type-image, type-image]-> Values [tagged...]
-	OpBegin  byte = 0x06 // []                      -> OK []
-	OpCommit byte = 0x07 // []                      -> OK []
-	OpAbort  byte = 0x08 // []                      -> OK []
-	OpNames  byte = 0x09 // []                      -> OK [name...]
+	OpPing   byte = 0x01 // []                        -> OK []
+	OpGet    byte = 0x02 // [type-image]              -> Values [tagged...]
+	OpPut    byte = 0x03 // [name, tagged-image, id?] -> OK []
+	OpDelete byte = 0x04 // [name, id?]               -> OK [existed(1)]
+	OpJoin   byte = 0x05 // [type-image, type-image]  -> Values [tagged...]
+	OpBegin  byte = 0x06 // []                        -> OK []
+	OpCommit byte = 0x07 // [id?]                     -> OK []
+	OpAbort  byte = 0x08 // []                        -> OK []
+	OpNames  byte = 0x09 // []                        -> OK [name...]
+	OpHealth byte = 0x0A // []                        -> OK [health fields]
 )
 
 // Response opcodes.
@@ -96,7 +102,19 @@ const (
 	CodeShutdown
 	// CodeInternal: an unclassified server-side failure.
 	CodeInternal
+	// CodeOverloaded: admission control shed the request — the in-flight
+	// cap was reached. The error carries a retry-after hint; the request
+	// was not executed and is safe to retry.
+	CodeOverloaded
+	// CodeDegraded: the server's write path is poisoned (a failed commit
+	// could not be rolled back) and it is running in degraded read-only
+	// mode; reads and HEALTH keep working until the process restarts.
+	CodeDegraded
 )
+
+// lastCode is the highest assigned code. The exhaustiveness test walks
+// [CodeBadFrame, lastCode]; update it when appending a code.
+const lastCode = CodeDegraded
 
 // Per-code sentinels; a *WireError unwraps to the sentinel of its code so
 // clients dispatch with errors.Is.
@@ -113,6 +131,8 @@ var (
 	ErrRemoteCorrupt = errors.New("wire: remote store corrupt")
 	ErrShutdown      = errors.New("wire: server shutting down")
 	ErrInternal      = errors.New("wire: internal server error")
+	ErrOverloaded    = errors.New("wire: server overloaded")
+	ErrDegraded      = errors.New("wire: server degraded to read-only")
 )
 
 // String names the code.
@@ -142,6 +162,10 @@ func (c Code) String() string {
 		return "shutdown"
 	case CodeInternal:
 		return "internal"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("code(%d)", byte(c))
 	}
@@ -172,16 +196,23 @@ func (c Code) Sentinel() error {
 		return ErrRemoteCorrupt
 	case CodeShutdown:
 		return ErrShutdown
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeDegraded:
+		return ErrDegraded
 	default:
 		return ErrInternal
 	}
 }
 
 // WireError is a protocol-level failure: which class, and the peer's (or
-// decoder's) diagnostic message.
+// decoder's) diagnostic message. RetryAfter, when positive, is the
+// server's backoff hint — how long the peer should wait before retrying
+// (carried on CodeOverloaded refusals).
 type WireError struct {
-	Code Code
-	Msg  string
+	Code       Code
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *WireError) Error() string {
@@ -321,16 +352,97 @@ func UnmarshalType(b []byte) (types.Type, error) {
 	return d.Type()
 }
 
-// ErrorFields encodes an OpError payload.
+// ErrorFields encodes an OpError payload: [code, message] plus a
+// retry-after hint field (uvarint nanoseconds) when the error carries
+// one.
 func ErrorFields(e *WireError) [][]byte {
-	return [][]byte{{byte(e.Code)}, []byte(e.Msg)}
+	fields := [][]byte{{byte(e.Code)}, []byte(e.Msg)}
+	if e.RetryAfter > 0 {
+		fields = append(fields, uvarintField(uint64(e.RetryAfter)))
+	}
+	return fields
 }
 
 // DecodeError reconstructs the *WireError from an OpError payload. A
-// malformed error payload is itself a protocol error.
+// malformed error payload is itself a protocol error; a malformed
+// retry-after hint is dropped rather than trusted.
 func DecodeError(fields [][]byte) error {
 	if len(fields) < 2 || len(fields[0]) != 1 {
 		return errf(CodeBadFrame, "malformed error response")
 	}
-	return &WireError{Code: Code(fields[0][0]), Msg: string(fields[1])}
+	we := &WireError{Code: Code(fields[0][0]), Msg: string(fields[1])}
+	if len(fields) >= 3 {
+		if v, ok := uvarintOf(fields[2]); ok {
+			we.RetryAfter = time.Duration(v)
+		}
+	}
+	return we
+}
+
+// ---------------------------------------------------------------------------
+// Health (the HEALTH opcode)
+// ---------------------------------------------------------------------------
+
+// Health is the server's self-report: whether the write path is poisoned
+// (degraded read-only mode), how much work is in flight, how many
+// sessions are connected, the committed root count, and the uptime. It is
+// the payload of the HEALTH opcode's OK response, and the one request a
+// server answers even while shedding load — a monitor must be able to ask
+// "are you overloaded?" of an overloaded server.
+type Health struct {
+	Poisoned bool
+	InFlight int
+	Sessions int
+	Roots    int
+	Uptime   time.Duration
+}
+
+// HealthFields encodes the HEALTH response payload.
+func HealthFields(h Health) [][]byte {
+	var flags byte
+	if h.Poisoned {
+		flags |= 1
+	}
+	return [][]byte{
+		{flags},
+		uvarintField(uint64(h.InFlight)),
+		uvarintField(uint64(h.Sessions)),
+		uvarintField(uint64(h.Roots)),
+		uvarintField(uint64(h.Uptime)),
+	}
+}
+
+// DecodeHealth reconstructs the Health from a HEALTH response payload.
+func DecodeHealth(fields [][]byte) (Health, error) {
+	if len(fields) != 5 || len(fields[0]) != 1 {
+		return Health{}, errf(CodeBadFrame, "malformed HEALTH response")
+	}
+	var u [4]uint64
+	for i, f := range fields[1:] {
+		v, ok := uvarintOf(f)
+		if !ok {
+			return Health{}, errf(CodeBadFrame, "malformed HEALTH field %d", i+1)
+		}
+		u[i] = v
+	}
+	return Health{
+		Poisoned: fields[0][0]&1 != 0,
+		InFlight: int(u[0]),
+		Sessions: int(u[1]),
+		Roots:    int(u[2]),
+		Uptime:   time.Duration(u[3]),
+	}, nil
+}
+
+// uvarintField encodes v as a standalone uvarint field.
+func uvarintField(v uint64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	return b[:n]
+}
+
+// uvarintOf decodes a field that must be exactly one uvarint.
+func uvarintOf(f []byte) (uint64, bool) {
+	v, k := binary.Uvarint(f)
+	return v, k > 0 && k == len(f)
 }

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"dbpl/internal/persist/iofault"
 	"dbpl/internal/types"
@@ -147,6 +148,96 @@ func TestWireErrorTaxonomy(t *testing.T) {
 	// A malformed error payload is itself diagnosed, not trusted.
 	if err := DecodeError([][]byte{{1, 2, 3}}); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("malformed error payload: %v", err)
+	}
+}
+
+// TestCodeExhaustiveness walks every assigned code and enforces the
+// taxonomy's three invariants: a real String() (no code(N) fallback), a
+// distinct sentinel, and a lossless encode→decode round trip. Appending
+// a Code without extending String/Sentinel fails here, not in a
+// production error path.
+func TestCodeExhaustiveness(t *testing.T) {
+	seenStr := make(map[string]Code)
+	seenSent := make(map[error]Code)
+	for code := CodeBadFrame; code <= lastCode; code++ {
+		s := code.String()
+		if s == "" || strings.HasPrefix(s, "code(") {
+			t.Errorf("Code %d has no real String(): %q", code, s)
+		}
+		if prev, dup := seenStr[s]; dup {
+			t.Errorf("Code %d and %d share the String %q", prev, code, s)
+		}
+		seenStr[s] = code
+
+		sent := code.Sentinel()
+		if sent == nil {
+			t.Errorf("Code %d (%s) has no Sentinel", code, s)
+			continue
+		}
+		if prev, dup := seenSent[sent]; dup {
+			t.Errorf("Code %d and %d share a sentinel", prev, code)
+		}
+		seenSent[sent] = code
+
+		we := &WireError{Code: code, Msg: "detail", RetryAfter: 1500 * time.Millisecond}
+		err := DecodeError(ErrorFields(we))
+		if !errors.Is(err, sent) {
+			t.Errorf("%s does not survive the round trip to its sentinel", s)
+		}
+		var got *WireError
+		if !errors.As(err, &got) {
+			t.Fatalf("%s decoded to %T", s, err)
+		}
+		if got.Code != code || got.Msg != "detail" || got.RetryAfter != we.RetryAfter {
+			t.Errorf("%s round trip = {%v %q %v}, want {%v %q %v}",
+				s, got.Code, got.Msg, got.RetryAfter, code, "detail", we.RetryAfter)
+		}
+	}
+	// Past the end: the fallback form is the give-away that lastCode and
+	// the assigned codes are in sync.
+	if s := Code(lastCode + 1).String(); !strings.HasPrefix(s, "code(") {
+		t.Errorf("Code past lastCode has a real String %q; lastCode is stale", s)
+	}
+}
+
+// TestErrorFieldsRetryAfterOptional: the third error field is only
+// present when a hint is set, and old two-field errors still decode.
+func TestErrorFieldsRetryAfterOptional(t *testing.T) {
+	if n := len(ErrorFields(&WireError{Code: CodeNoRoot, Msg: "m"})); n != 2 {
+		t.Errorf("hintless error encoded %d fields, want 2", n)
+	}
+	if n := len(ErrorFields(&WireError{Code: CodeOverloaded, Msg: "m", RetryAfter: time.Millisecond})); n != 3 {
+		t.Errorf("hinted error encoded %d fields, want 3", n)
+	}
+	err := DecodeError([][]byte{{byte(CodeNoRoot)}, []byte("old peer")})
+	var we *WireError
+	if !errors.As(err, &we) || we.RetryAfter != 0 {
+		t.Errorf("two-field decode = %v, want RetryAfter 0", err)
+	}
+}
+
+func TestHealthFieldsRoundTrip(t *testing.T) {
+	for _, h := range []Health{
+		{},
+		{Poisoned: true, InFlight: 3, Sessions: 2, Roots: 41, Uptime: 90 * time.Second},
+	} {
+		got, err := DecodeHealth(HealthFields(h))
+		if err != nil {
+			t.Fatalf("DecodeHealth(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Errorf("round trip = %+v, want %+v", got, h)
+		}
+	}
+	// Malformed health payloads are diagnosed, not trusted.
+	for name, fields := range map[string][][]byte{
+		"too few fields":  HealthFields(Health{})[:4],
+		"oversized flags": {{1, 2}, {0}, {0}, {0}, {0}},
+		"bad uvarint":     {{0}, {0x80}, {0}, {0}, {0}},
+	} {
+		if _, err := DecodeHealth(fields); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
 	}
 }
 
