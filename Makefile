@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests clean
 
-all: build vet fmt-check test faults race serve-tests chaos-tests fuzz-wire
+all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,16 @@ serve-tests:
 chaos-tests:
 	$(GO) test -race -run 'Chaos|Idem|Retry|Overload|Health|Forward|Latency|Reset|Flip|Blackhole|Partition' \
 		./internal/server/... ./client/
+
+# The observability battery (docs/OBSERVABILITY.md): the telemetry
+# package unit tests (histogram edges, snapshot immutability, codec,
+# Prometheus exposition, instrumented FS), the server STATS/slow-log/ops
+# e2e tests, the client trace and metrics tests, and the stats-verb
+# subprocess test — all under the race detector.
+telemetry-tests:
+	$(GO) test -race ./internal/telemetry/
+	$(GO) test -race -run 'Telemetry|Stats|Trace|SlowLog|SlowOps|OpsHandler|OpsEndpoint|Health|Prom|Snapshot|Histogram' \
+		./internal/server/... ./client/ ./cmd/dbpl/
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

@@ -48,6 +48,7 @@ import (
 	"dbpl/internal/persist/codec"
 	"dbpl/internal/persist/iofault"
 	"dbpl/internal/server/wire"
+	"dbpl/internal/telemetry"
 	"dbpl/internal/types"
 	"dbpl/internal/value"
 )
@@ -116,6 +117,15 @@ type Options struct {
 	// 25ms–1s exponential backoff with full jitter, 3s sleep budget);
 	// set MaxAttempts to 1 (or negative) to disable retries.
 	RetryPolicy RetryPolicy
+	// Registry receives the client's metrics (attempts per opcode, retries
+	// by cause, backoff sleep); nil means a fresh private registry,
+	// readable via Telemetry().
+	Registry *telemetry.Registry
+	// DisableTrace turns off the trace-ID wire extension: requests are
+	// sent untraced, byte-identical to a pre-trace client. Tracing is on
+	// by default — it costs one uvarint field per frame and lets the
+	// server's slow-op log name the exact client call that suffered.
+	DisableTrace bool
 }
 
 // RetryPolicy is exponential backoff with full jitter, capped by a total
@@ -234,6 +244,9 @@ type Client struct {
 	id  [8]byte
 	seq atomic.Uint64
 
+	// m counts attempts, retries and backoff; see telemetry.go.
+	m *clientMetrics
+
 	mu     sync.Mutex
 	pool   []*conn // fixed slots, lazily (re)dialed
 	closed bool
@@ -247,6 +260,11 @@ func Dial(addr string, opts *Options) (*Client, error) {
 		o = *opts
 	}
 	c := &Client{addr: addr, o: o, pool: make([]*conn, o.poolSize())}
+	reg := o.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c.m = newClientMetrics(reg)
 	if _, err := crand.Read(c.id[:]); err != nil {
 		// A broken system entropy source: keys stay unique per process,
 		// which is what the dedup window actually relies on.
@@ -336,6 +354,7 @@ func (c *Client) call(op byte, fields ...[]byte) (byte, [][]byte, error) {
 	var slept time.Duration
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		c.m.attempt(op)
 		respOp, respFields, err := c.roundTrip(op, fields...)
 		if err == nil && respOp == wire.OpError {
 			err = wire.DecodeError(respFields)
@@ -354,6 +373,8 @@ func (c *Client) call(op byte, fields ...[]byte) (byte, [][]byte, error) {
 		if slept+d > budget {
 			return 0, nil, lastErr
 		}
+		c.m.retry(lastErr)
+		c.m.backoff(d)
 		time.Sleep(d)
 		slept += d
 	}
@@ -486,6 +507,7 @@ func (c *Client) Begin() (*Session, error) {
 	budget := pol.budget()
 	var slept time.Duration
 	for attempt := 1; ; attempt++ {
+		c.m.attempt(wire.OpBegin)
 		s, err := c.begin()
 		if err == nil {
 			return s, nil
@@ -500,6 +522,8 @@ func (c *Client) Begin() (*Session, error) {
 		if slept+d > budget {
 			return nil, err
 		}
+		c.m.retry(err)
+		c.m.backoff(d)
 		time.Sleep(d)
 		slept += d
 	}
@@ -595,6 +619,7 @@ func (s *Session) Commit() error {
 	var slept time.Duration
 	var err error
 	for attempt := 1; ; attempt++ {
+		s.c.m.attempt(wire.OpCommit)
 		_, _, err = expect(wire.OpOK)(s.roundTrip(wire.OpCommit, key))
 		if err == nil || !errors.Is(err, ErrOverloaded) || attempt >= pol.maxAttempts() {
 			break
@@ -606,6 +631,8 @@ func (s *Session) Commit() error {
 		if slept+d > budget {
 			break
 		}
+		s.c.m.retry(err)
+		s.c.m.backoff(d)
 		time.Sleep(d)
 		slept += d
 	}
@@ -710,6 +737,15 @@ type result struct {
 	err    error
 }
 
+// pendingSlot is one in-flight request awaiting its FIFO-matched
+// response, and the trace ID it was stamped with so the reader can verify
+// the server's echo.
+type pendingSlot struct {
+	ch     chan result
+	trace  uint64
+	traced bool
+}
+
 // conn is a single connection with FIFO request pipelining: writers append
 // a response slot and write their frame under wmu (so slot order equals
 // frame order), and the reader goroutine delivers responses to slots in
@@ -717,11 +753,12 @@ type result struct {
 type conn struct {
 	nc       net.Conn
 	maxFrame int
+	noTrace  bool
 
 	wmu sync.Mutex // serializes {enqueue, write}
 
 	mu      sync.Mutex
-	pending []chan result
+	pending []pendingSlot
 	dead    error // sticky; set once by fail
 }
 
@@ -730,7 +767,7 @@ func dialConn(addr string, o Options) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &conn{nc: nc, maxFrame: o.maxFrame()}
+	c := &conn{nc: nc, maxFrame: o.maxFrame(), noTrace: o.DisableTrace}
 	go c.readLoop()
 	return c, nil
 }
@@ -754,15 +791,15 @@ func (c *conn) fail(err error) {
 	c.pending = nil
 	c.mu.Unlock()
 	c.nc.Close()
-	for _, ch := range ps {
-		ch <- result{err: err}
+	for _, slot := range ps {
+		slot.ch <- result{err: err}
 	}
 }
 
 func (c *conn) readLoop() {
 	r := bufio.NewReader(c.nc)
 	for {
-		op, fields, err := wire.ReadFrame(r, c.maxFrame)
+		rawOp, rawFields, err := wire.ReadFrame(r, c.maxFrame)
 		if err != nil {
 			c.fail(fmt.Errorf("%w: %w", ErrConnLost, err))
 			return
@@ -773,10 +810,30 @@ func (c *conn) readLoop() {
 			c.fail(&wire.WireError{Code: wire.CodeBadFrame, Msg: "unsolicited response"})
 			return
 		}
-		ch := c.pending[0]
+		slot := c.pending[0]
 		c.pending = c.pending[1:]
 		c.mu.Unlock()
-		ch <- result{op: op, fields: fields}
+		// Strip the server's trace echo. An untraced response to a traced
+		// request is tolerated (a pre-trace server answers old-style); a
+		// response carrying a different trace than the head-of-line request
+		// means FIFO matching has desynchronized, and every answer on this
+		// connection is suspect — kill it. Both failure modes wrap
+		// ErrConnLost, so idempotent and key-stamped requests retry.
+		op, trace, fields, traced, terr := wire.SplitTrace(rawOp, rawFields)
+		if terr != nil {
+			werr := fmt.Errorf("%w: %w", ErrConnLost, terr)
+			c.fail(werr)
+			slot.ch <- result{err: werr}
+			return
+		}
+		if slot.traced && traced && trace != slot.trace {
+			werr := fmt.Errorf("%w: trace mismatch: response carries %#x, request sent %#x",
+				ErrConnLost, trace, slot.trace)
+			c.fail(werr)
+			slot.ch <- result{err: werr}
+			return
+		}
+		slot.ch <- result{op: op, fields: fields}
 	}
 }
 
@@ -787,6 +844,13 @@ func (c *conn) readLoop() {
 // next use.
 func (c *conn) roundTrip(timeout time.Duration, op byte, fields ...[]byte) (byte, [][]byte, error) {
 	ch := make(chan result, 1)
+	slot := pendingSlot{ch: ch}
+	wireOp, wireFields := op, fields
+	if !c.noTrace {
+		slot.trace = nextTrace()
+		slot.traced = true
+		wireOp, wireFields = wire.AppendTrace(op, slot.trace, fields)
+	}
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -799,10 +863,10 @@ func (c *conn) roundTrip(timeout time.Duration, op byte, fields ...[]byte) (byte
 		c.wmu.Unlock()
 		return 0, nil, err
 	}
-	c.pending = append(c.pending, ch)
+	c.pending = append(c.pending, slot)
 	c.mu.Unlock()
 	c.nc.SetWriteDeadline(deadline)
-	err := wire.WriteFrame(c.nc, c.maxFrame, op, fields...)
+	err := wire.WriteFrame(c.nc, c.maxFrame, wireOp, wireFields...)
 	c.wmu.Unlock()
 	if err != nil {
 		c.fail(fmt.Errorf("%w: write failed: %w", ErrConnLost, err))

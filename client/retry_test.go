@@ -30,7 +30,14 @@ type recordedFrame struct {
 func (s *shedServer) serve(conn net.Conn) {
 	defer conn.Close()
 	for {
-		op, fields, err := wire.ReadFrame(conn, 0)
+		rawOp, rawFields, err := wire.ReadFrame(conn, 0)
+		if err != nil {
+			return
+		}
+		// Strip the trace extension like a real server would; the frames
+		// the test asserts on are the base frames. Responses go back
+		// untraced — the client must tolerate that (old-server compat).
+		op, _, fields, _, err := wire.SplitTrace(rawOp, rawFields)
 		if err != nil {
 			return
 		}

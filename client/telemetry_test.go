@@ -1,0 +1,119 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dbpl/internal/server/wire"
+	"dbpl/internal/value"
+)
+
+// TestClientMetricsCountAttemptsAndRetries: the client's own registry
+// reflects what the retry machinery did — one attempt per wire frame
+// (retries included), retries classified by cause, and the backoff sleep
+// accumulated.
+func TestClientMetricsCountAttemptsAndRetries(t *testing.T) {
+	srv := &shedServer{sheds: 2, hint: 5 * time.Millisecond}
+	addr := fakeServer(t, srv.serve)
+	c, err := Dial(addr, &Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Put("k", value.Int(1), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.Telemetry().Snapshot()
+	if got, _ := snap.Counter(`dbpl_client_attempts_total{op="PUT"}`); got != 3 {
+		t.Errorf("PUT attempts = %d, want 3 (2 sheds + success)", got)
+	}
+	if got, _ := snap.Counter(`dbpl_client_attempts_total{op="PING"}`); got != 1 {
+		t.Errorf("PING attempts = %d, want 1 (Dial's liveness check)", got)
+	}
+	if got, _ := snap.Counter(`dbpl_client_retries_total{cause="overloaded"}`); got != 2 {
+		t.Errorf("overloaded retries = %d, want 2", got)
+	}
+	if got, _ := snap.Counter("dbpl_client_backoff_ns_total"); got < uint64(2*srv.hint) {
+		t.Errorf("backoff total = %dns, want >= %v (the hint twice)", got, 2*srv.hint)
+	}
+}
+
+// TestTraceMismatchCondemnsConn: a response echoing the WRONG trace ID
+// means the FIFO pipeline has desynchronized — the only safe move is to
+// fail the connection. The failure must classify as ErrConnLost so the
+// retry wrapper redials rather than surfacing a confusing frame error.
+func TestTraceMismatchCondemnsConn(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		for {
+			rawOp, rawFields, err := wire.ReadFrame(conn, 0)
+			if err != nil {
+				return
+			}
+			op, trace, _, traced, err := wire.SplitTrace(rawOp, rawFields)
+			if err != nil {
+				return
+			}
+			if op == wire.OpPing || !traced {
+				// Dial must succeed; untraced echoes are tolerated anyway.
+				err = wire.WriteFrame(conn, 0, wire.OpOK)
+			} else {
+				respOp, respFields := wire.AppendTrace(wire.OpOK, trace+1, nil)
+				err = wire.WriteFrame(conn, 0, respOp, respFields...)
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, &Options{PoolSize: 1, RetryPolicy: RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Put("k", value.Int(1), nil)
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("Put against a trace-corrupting server = %v, want ErrConnLost", err)
+	}
+	if got, _ := c.Telemetry().Snapshot().Counter(`dbpl_client_retries_total{cause="conn_lost"}`); got != 2 {
+		t.Errorf("conn_lost retries = %d, want 2 (MaxAttempts-1)", got)
+	}
+}
+
+// TestDisableTraceSendsBareFrames: Options.DisableTrace turns the wire
+// extension off entirely — no flag bit, no trace field — for talking to
+// pre-extension servers that reject unknown opcodes.
+func TestDisableTraceSendsBareFrames(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		for {
+			rawOp, _, err := wire.ReadFrame(conn, 0)
+			if err != nil {
+				return
+			}
+			if rawOp&wire.TraceFlag != 0 {
+				// A strict old server: unknown opcode is a protocol error.
+				wire.WriteFrame(conn, 0, wire.OpError,
+					wire.ErrorFields(&wire.WireError{Code: wire.CodeBadFrame, Msg: "unknown op"})...)
+				return
+			}
+			if err := wire.WriteFrame(conn, 0, wire.OpOK); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, &Options{PoolSize: 1, DisableTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", value.Int(1), nil); err != nil {
+		t.Fatalf("Put with DisableTrace against a strict old server: %v", err)
+	}
+}

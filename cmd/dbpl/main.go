@@ -19,6 +19,11 @@
 //
 //	dbpl serve [-addr :7070] store.log
 //
+// The stats verb renders a running server's telemetry snapshot (see
+// docs/OBSERVABILITY.md):
+//
+//	dbpl stats [-watch] addr
+//
 // Every verb handles SIGINT/SIGTERM gracefully: open stores are closed
 // (the server additionally drains in-flight requests) before exiting.
 package main
@@ -46,6 +51,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dbpl: serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		if err := runStats(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpl: stats:", err)
 			os.Exit(1)
 		}
 		return

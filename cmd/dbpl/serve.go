@@ -1,9 +1,10 @@
 // The serve verb: a concurrent database server over an intrinsic store.
 //
-//	dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] store.log
+//	dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] [-ops 127.0.0.1:7071] store.log
 //
 // See docs/SERVER.md for the wire protocol and transaction semantics,
-// docs/RESILIENCE.md for admission control and degraded mode.
+// docs/RESILIENCE.md for admission control and degraded mode,
+// docs/OBSERVABILITY.md for the metrics the -ops endpoint exposes.
 package main
 
 import (
@@ -13,11 +14,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"dbpl/internal/persist/intrinsic"
+	"dbpl/internal/persist/iofault"
 	"dbpl/internal/server"
+	"dbpl/internal/telemetry"
 )
 
 func runServe(args []string, out io.Writer) error {
@@ -26,11 +30,12 @@ func runServe(args []string, out io.Writer) error {
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	fsck := fs.Bool("fsck", false, "verify the log before serving; refuse to start on corruption")
 	maxInflight := fs.Int("max-inflight", 0, "admission-control cap on concurrently executing requests (0 = default 1024, negative = uncapped)")
+	opsAddr := fs.String("ops", "", "HTTP ops endpoint exposing /metrics, /slowops and /debug/pprof; unauthenticated — bind loopback (e.g. 127.0.0.1:7071)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("usage: dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] store.log")
+		return errors.New("usage: dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] [-ops 127.0.0.1:7071] store.log")
 	}
 	if *fsck {
 		// Catch a damaged log at startup, before binding the listener —
@@ -53,7 +58,12 @@ func runServe(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "dbpl: fsck %s: %s (%d commits, %d roots)\n", fs.Arg(0), note, rep.Commits, rep.Roots)
 		}
 	}
-	st, err := intrinsic.Open(fs.Arg(0))
+	// One registry spans both layers: the store's file I/O is counted by
+	// the instrumented FS it is opened through, the server registers its
+	// request metrics into the same registry, and one STATS frame (or one
+	// /metrics scrape) reports fsync latency next to request latency.
+	reg := telemetry.NewRegistry()
+	st, err := intrinsic.OpenFS(telemetry.InstrumentFS(iofault.OS{}, reg), fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -62,9 +72,19 @@ func runServe(args []string, out io.Writer) error {
 	srv, err := server.New(st, server.Config{
 		Logf:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 		MaxInFlight: *maxInflight,
+		Registry:    reg,
 	})
 	if err != nil {
 		return err
+	}
+	if *opsAddr != "" {
+		oln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			return fmt.Errorf("serve -ops: %w", err)
+		}
+		defer oln.Close()
+		go http.Serve(oln, srv.OpsHandler())
+		fmt.Fprintf(out, "dbpl: ops endpoint on http://%s/metrics\n", oln.Addr())
 	}
 	// SIGINT/SIGTERM drain the server, append the final commit group, and
 	// close the store — the same graceful path every verb now shares. The

@@ -1,0 +1,83 @@
+// The stats verb: fetch and render a running server's telemetry snapshot
+// over the wire (the STATS opcode).
+//
+//	dbpl stats [-watch] [-every 2s] addr
+//
+// One shot prints the full metric catalogue — counters, gauges, and
+// histograms with count/mean/p50/p99 — grouped and sorted by name;
+// -watch reprints every -every interval until interrupted. STATS bypasses
+// admission control, so the snapshot is readable from exactly the server
+// that is shedding everyone else.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"dbpl/client"
+	"dbpl/internal/telemetry"
+)
+
+func runStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	watch := fs.Bool("watch", false, "refresh continuously until interrupted")
+	every := fs.Duration("every", 2*time.Second, "refresh interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: dbpl stats [-watch] [-every 2s] addr")
+	}
+	c, err := client.Dial(fs.Arg(0), nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for {
+		snap, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		renderSnapshot(out, fs.Arg(0), snap)
+		if !*watch {
+			return nil
+		}
+		time.Sleep(*every)
+	}
+}
+
+func renderSnapshot(out io.Writer, addr string, s *telemetry.Snapshot) {
+	fmt.Fprintf(out, "dbpl stats %s — taken %s\n", addr, s.TakenAt.Format(time.RFC3339))
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(out, "counters:")
+		for _, c := range s.Counters {
+			fmt.Fprintf(out, "  %-56s %d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(out, "gauges:")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(out, "  %-56s %d\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(out, "histograms (count · mean · p50 · p99):")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(out, "  %-56s %d · %s · %s · %s\n", h.Name, h.Count,
+				histVal(h, h.Mean()), histVal(h, float64(h.Quantile(0.5))), histVal(h, float64(h.Quantile(0.99))))
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+// histVal renders one histogram-scaled value: durations humanly
+// (1.5ms-style), counts as plain numbers.
+func histVal(h telemetry.HistogramSnapshot, v float64) string {
+	if h.Unit == telemetry.UnitDuration {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.1f", v)
+}

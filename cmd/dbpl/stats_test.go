@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"dbpl/client"
+	"dbpl/internal/telemetry"
+	"dbpl/internal/value"
+)
+
+// addrFromBanner extracts the "on ADDR" token from a serve banner line.
+func addrFromBanner(t *testing.T, banner string) string {
+	t.Helper()
+	fields := strings.Fields(banner)
+	for i, f := range fields {
+		if f == "on" && i+1 < len(fields) {
+			return fields[i+1]
+		}
+	}
+	t.Fatalf("no address in banner %q", banner)
+	return ""
+}
+
+// TestStatsVerbAndOpsEndpoint boots `serve -ops` as a subprocess and
+// exercises both observability surfaces end to end: the stats verb
+// renders the wire snapshot, and the ops endpoint serves Prometheus text
+// that covers BOTH layers (server and instrumented persistence) from the
+// one shared registry.
+func TestStatsVerbAndOpsEndpoint(t *testing.T) {
+	bin := buildDbpl(t)
+	storePath := filepath.Join(t.TempDir(), "obs.log")
+
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-ops", "127.0.0.1:0", storePath)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The ops banner precedes the serving banner; the URL is its protocol.
+	sc := bufio.NewScanner(stdout)
+	opsURL := addrFromBanner(t, waitFor(t, sc, "ops endpoint"))
+	addr := addrFromBanner(t, waitFor(t, sc, "dbpl: serving"))
+
+	c, err := client.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("n", value.Int(7), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stats verb, in-process, against the live server.
+	var out bytes.Buffer
+	if err := runStats([]string{addr}, &out); err != nil {
+		t.Fatalf("runStats: %v", err)
+	}
+	for _, want := range []string{
+		"dbpl stats " + addr,
+		"counters:",
+		`dbpl_server_requests_total{op="PUT"}`,
+		"histograms",
+		"dbpl_server_commit_seconds",
+		// The serve verb instruments the store's FS into the same registry.
+		"dbpl_persist_fsync_total",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q\n%s", want, out.String())
+		}
+	}
+
+	// The ops endpoint speaks Prometheus text for the same registry.
+	resp, err := http.Get(opsURL)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", opsURL, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Errorf("scrape content type %q, want %q", ct, telemetry.PromContentType)
+	}
+	for _, want := range []string{
+		"# TYPE dbpl_server_requests_total counter",
+		`dbpl_server_requests_total{op="PUT"} 1`,
+		"dbpl_persist_fsync_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, sc, "server stopped")
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exit after SIGTERM: %v (stderr: %s)", err, stderr.String())
+	}
+}
+
+// TestStatsVerbUsage: no address is a usage error, not a hang.
+func TestStatsVerbUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := runStats(nil, &out); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("runStats() = %v, want usage error", err)
+	}
+}

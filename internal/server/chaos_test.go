@@ -261,8 +261,10 @@ func TestChaosOverloadStormShedsTyped(t *testing.T) {
 		}(i, c)
 	}
 
-	// HEALTH is exempt from admission: it must answer during the storm.
+	// HEALTH and STATS are exempt from admission: both must answer
+	// during the storm — the observer keeps observing mid-overload.
 	hrep, herr := health.Health()
+	midSnap, midErr := health.Stats()
 	wg.Wait()
 
 	if herr != nil {
@@ -275,11 +277,29 @@ func TestChaosOverloadStormShedsTyped(t *testing.T) {
 			t.Errorf("Health.InFlight = %d during the held commit, want 1", hrep.InFlight)
 		}
 	}
+	if midErr != nil {
+		t.Errorf("Stats during storm: %v", midErr)
+	} else if got, _ := midSnap.Gauge("dbpl_server_inflight"); got < 1 {
+		t.Errorf("mid-storm inflight gauge = %d, want >= 1 (the held commit)", got)
+	}
 	for _, err := range badErrs {
 		t.Errorf("storm produced an untyped failure: %v", err)
 	}
 	if want := clients * 5; sheds != want {
 		t.Errorf("sheds = %d, want all %d storm writes refused", sheds, want)
+	}
+
+	// The storm is fully accounted for in the registry: every refusal in
+	// the shed counter AND under its error code.
+	snap, err := health.Stats()
+	if err != nil {
+		t.Fatalf("Stats after storm: %v", err)
+	}
+	if got, _ := snap.Counter("dbpl_server_shed_total"); got != uint64(sheds) {
+		t.Errorf("shed_total = %d, want %d", got, sheds)
+	}
+	if got, _ := snap.Counter(`dbpl_server_errors_total{code="overloaded"}`); got != uint64(sheds) {
+		t.Errorf(`errors_total{code="overloaded"} = %d, want %d`, got, sheds)
 	}
 
 	// Goroutines must be bounded by the connection count, not the request

@@ -1,0 +1,91 @@
+// Server-side telemetry: the metric set `dbpl serve` maintains on every
+// request, and how the hot path updates it. All metrics live in one
+// telemetry.Registry (shared with the persistence layer's dbpl_persist_*
+// set when the store was opened through telemetry.InstrumentFS), are
+// always on, and cost one or two uncontended atomics per update —
+// EXPERIMENTS.md E15 measures the total against the uninstrumented seed.
+package server
+
+import (
+	"time"
+
+	"dbpl/internal/server/wire"
+	"dbpl/internal/telemetry"
+)
+
+// serverMetrics is the per-server instrument set, pre-resolved into
+// arrays indexed by opcode and error code so the request loop never
+// touches the registry's maps. Unknown opcodes share one "unknown"
+// series — a hostile peer must not be able to mint unbounded label
+// cardinality.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	requests [lastKnownOp + 1]*telemetry.Counter   // per-opcode request count
+	latency  [lastKnownOp + 1]*telemetry.Histogram // per-opcode request latency
+	unknown  *telemetry.Counter
+
+	errors [int(lastWireCode) + 1]*telemetry.Counter // per-code error responses
+
+	shed     *telemetry.Counter // admission-control refusals
+	degraded *telemetry.Counter // writes refused by the poisoned write path
+	idemHits *telemetry.Counter // retried writes answered from the dedup cache
+
+	commits       *telemetry.Counter   // durable commit groups published
+	commitSeconds *telemetry.Histogram // store.Commit latency (fsync-dominated)
+	commitOps     *telemetry.Histogram // operations per commit group
+
+	inflight *telemetry.Gauge // requests admitted and not yet answered
+	sessions *telemetry.Gauge // open connections
+}
+
+const lastKnownOp = int(wire.OpStats)
+const lastWireCode = wire.CodeDegraded
+
+// trackedOps are the request opcodes that get per-opcode series.
+var trackedOps = []byte{
+	wire.OpPing, wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpJoin,
+	wire.OpBegin, wire.OpCommit, wire.OpAbort, wire.OpNames,
+	wire.OpHealth, wire.OpStats,
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	m := &serverMetrics{reg: reg}
+	for _, op := range trackedOps {
+		label := `{op="` + wire.OpName(op) + `"}`
+		m.requests[op] = reg.Counter("dbpl_server_requests_total" + label)
+		m.latency[op] = reg.Histogram("dbpl_server_request_seconds"+label,
+			telemetry.UnitDuration, telemetry.DurationBuckets)
+	}
+	m.unknown = reg.Counter(`dbpl_server_requests_total{op="unknown"}`)
+	for code := wire.CodeBadFrame; code <= lastWireCode; code++ {
+		m.errors[code] = reg.Counter(`dbpl_server_errors_total{code="` + code.String() + `"}`)
+	}
+	m.shed = reg.Counter("dbpl_server_shed_total")
+	m.degraded = reg.Counter("dbpl_server_degraded_refusals_total")
+	m.idemHits = reg.Counter("dbpl_server_idem_hits_total")
+	m.commits = reg.Counter("dbpl_server_commits_total")
+	m.commitSeconds = reg.Histogram("dbpl_server_commit_seconds",
+		telemetry.UnitDuration, telemetry.DurationBuckets)
+	m.commitOps = reg.Histogram("dbpl_server_commit_group_ops",
+		telemetry.UnitCount, telemetry.SizeBuckets)
+	m.inflight = reg.Gauge("dbpl_server_inflight")
+	m.sessions = reg.Gauge("dbpl_server_sessions")
+	return m
+}
+
+// observe records one answered request: the per-opcode count and
+// latency, and the error code when the response is an error frame.
+func (m *serverMetrics) observe(op byte, d time.Duration, respOp byte, respFields [][]byte) {
+	if int(op) <= lastKnownOp && m.requests[op] != nil {
+		m.requests[op].Inc()
+		m.latency[op].ObserveDuration(d)
+	} else {
+		m.unknown.Inc()
+	}
+	if respOp == wire.OpError && len(respFields) > 0 && len(respFields[0]) == 1 {
+		if code := wire.Code(respFields[0][0]); code >= wire.CodeBadFrame && code <= lastWireCode {
+			m.errors[code].Inc()
+		}
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"dbpl/internal/persist/iofault"
 	"dbpl/internal/relation"
 	"dbpl/internal/server/wire"
+	"dbpl/internal/telemetry"
 	"dbpl/internal/types"
 	"dbpl/internal/value"
 )
@@ -93,6 +94,18 @@ type Config struct {
 	// retried PUT/DELETE/COMMIT frames carrying idempotency keys; 0 means
 	// 4096, negative disables deduplication.
 	IdemCacheSize int
+	// Registry receives the server's metrics (and is served by STATS and
+	// the ops endpoint). Pass the registry the store's instrumented FS
+	// writes to and one snapshot covers both layers; nil means a fresh
+	// private registry. Telemetry is always on — E15 measures its cost.
+	Registry *telemetry.Registry
+	// SlowOpThreshold is the duration at or above which a request is
+	// stamped into the slow-op ring log; 0 means 10ms, negative records
+	// every request (useful for tracing under test).
+	SlowOpThreshold time.Duration
+	// SlowLogSize bounds the slow-op ring; 0 means 256, negative disables
+	// the log entirely.
+	SlowLogSize int
 	// Logf, when set, receives one line per accepted connection error and
 	// per protocol violation. nil discards.
 	Logf func(format string, args ...any)
@@ -130,6 +143,26 @@ func (c Config) idemCacheSize() int {
 		return 0 // disabled
 	}
 	return c.IdemCacheSize
+}
+
+func (c Config) slowOpThreshold() time.Duration {
+	if c.SlowOpThreshold == 0 {
+		return 10 * time.Millisecond
+	}
+	if c.SlowOpThreshold < 0 {
+		return 0 // record everything
+	}
+	return c.SlowOpThreshold
+}
+
+func (c Config) slowLogSize() int {
+	if c.SlowLogSize == 0 {
+		return 256
+	}
+	if c.SlowLogSize < 0 {
+		return 0 // disabled
+	}
+	return c.SlowLogSize
 }
 
 func timeoutOr(d, def time.Duration) time.Duration {
@@ -203,10 +236,12 @@ type Server struct {
 	// idem (guarded by commitMu) deduplicates retried writes; see idem.go.
 	idem *idemCache
 
-	// inflight is the admission-control gauge: requests currently
-	// executing (admitted, response not yet produced).
-	inflight atomic.Int64
-	start    time.Time
+	// m is the always-on metric set; m.inflight is the admission-control
+	// gauge (requests admitted, response not yet produced). slow is the
+	// bounded slow-op ring, nil when disabled.
+	m     *serverMetrics
+	slow  *telemetry.SlowLog
+	start time.Time
 
 	draining atomic.Bool
 	mu       sync.Mutex // guards ln, conns
@@ -236,7 +271,39 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		srv.idem = newIdemCache(n)
 	}
 	srv.state.Store(st)
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	srv.m = newServerMetrics(reg)
+	// Derived gauges: values that already live elsewhere, captured at
+	// snapshot time so HEALTH, STATS and /metrics all read one consistent
+	// Snapshot instead of re-loading atomics field by field.
+	reg.GaugeFunc("dbpl_server_uptime_ns", func() int64 { return int64(time.Since(srv.start)) })
+	reg.GaugeFunc("dbpl_server_roots", func() int64 { return int64(len(srv.state.Load().roots)) })
+	reg.GaugeFunc("dbpl_server_degraded", func() int64 {
+		if srv.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
+	if n := cfg.slowLogSize(); n > 0 {
+		srv.slow = telemetry.NewSlowLog(n, cfg.slowOpThreshold())
+	}
 	return srv, nil
+}
+
+// Telemetry returns the server's metrics registry (the one STATS and the
+// ops endpoint serve).
+func (s *Server) Telemetry() *telemetry.Registry { return s.m.reg }
+
+// SlowOps returns the retained slow-op log entries, newest first; nil
+// when the log is disabled.
+func (s *Server) SlowOps() []telemetry.SlowOp {
+	if s.slow == nil {
+		return nil
+	}
+	return s.slow.Snapshot()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -363,6 +430,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	s.m.sessions.Add(1)
+	defer s.m.sessions.Add(-1)
 	sess := &session{srv: s}
 	readTO := timeoutOr(s.cfg.ReadTimeout, 30*time.Second)
 	writeTO := timeoutOr(s.cfg.WriteTimeout, 30*time.Second)
@@ -370,7 +439,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.draining.Load() {
 			return // an implicit abort of any open transaction
 		}
-		op, fields, err := readRequest(s, conn, s.cfg.maxFrame(), readTO)
+		rawOp, rawFields, err := readRequest(s, conn, s.cfg.maxFrame(), readTO)
 		if err != nil {
 			var we *wire.WireError
 			if errors.As(err, &we) {
@@ -384,25 +453,67 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		// Trace extraction happens before dispatch so every handler sees
+		// the base opcode. A traced frame with a malformed trace field is a
+		// protocol violation like any other framing error.
+		op, trace, fields, traced, terr := wire.SplitTrace(rawOp, rawFields)
+		if terr != nil {
+			var we *wire.WireError
+			errors.As(terr, &we)
+			s.logf("server: %v: %v", conn.RemoteAddr(), we)
+			if writeTO > 0 {
+				conn.SetWriteDeadline(time.Now().Add(writeTO))
+			}
+			wire.WriteFrame(conn, s.cfg.maxFrame(), wire.OpError, wire.ErrorFields(we)...)
+			return
+		}
+		began := time.Now()
 		var respOp byte
 		var respFields [][]byte
 		// Admission control: a request past the in-flight cap is shed here
 		// — typed refusal with a backoff hint, nothing executed, nothing
 		// queued — so overload cannot grow the server's memory or wedge
-		// its handlers. HEALTH bypasses the gate (and is not counted): a
-		// monitor must get an answer from exactly the server that is
-		// refusing everyone else.
-		if op == wire.OpHealth {
+		// its handlers. HEALTH and STATS bypass the gate (and are not
+		// counted): a monitor must get an answer from exactly the server
+		// that is refusing everyone else.
+		if op == wire.OpHealth || op == wire.OpStats {
 			respOp, respFields = s.handle(sess, op, fields)
 		} else if s.admit() {
 			respOp, respFields = s.handle(sess, op, fields)
-			s.inflight.Add(-1)
+			s.m.inflight.Add(-1)
 		} else {
+			s.m.shed.Inc()
 			respOp, respFields = errResp(&wire.WireError{
 				Code:       wire.CodeOverloaded,
 				Msg:        "server overloaded: in-flight request cap reached",
 				RetryAfter: s.cfg.retryAfterHint(),
 			})
+		}
+		dur := time.Since(began)
+		s.m.observe(op, dur, respOp, respFields)
+		if s.slow != nil && dur >= s.slow.Threshold() {
+			respBytes := 0
+			for _, f := range respFields {
+				respBytes += len(f)
+			}
+			var errCode string
+			if respOp == wire.OpError && len(respFields) > 0 && len(respFields[0]) == 1 {
+				errCode = wire.Code(respFields[0][0]).String()
+			}
+			s.slow.Record(telemetry.SlowOp{
+				Time:     began,
+				Op:       wire.OpName(op),
+				Duration: dur,
+				Session:  conn.RemoteAddr().String(),
+				Trace:    trace,
+				Bytes:    respBytes,
+				Err:      errCode,
+			})
+		}
+		if traced {
+			// Echo the trace so the client can tie this response to its
+			// call; see docs/OBSERVABILITY.md.
+			respOp, respFields = wire.AppendTrace(respOp, trace, respFields)
 		}
 		if writeTO > 0 {
 			conn.SetWriteDeadline(time.Now().Add(writeTO))
@@ -417,12 +528,14 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // admit claims an in-flight slot, reporting false (shed) when the cap is
-// reached. The caller must release the slot with inflight.Add(-1) once
-// the response is produced.
+// reached. The caller must release the slot with m.inflight.Add(-1) once
+// the response is produced. The in-flight gauge doubles as the admission
+// counter — Gauge.Add returns the post-increment value, exactly like the
+// bare atomic it replaced.
 func (s *Server) admit() bool {
-	n := s.inflight.Add(1)
+	n := s.m.inflight.Add(1)
 	if cap := s.cfg.maxInFlight(); cap > 0 && n > cap {
-		s.inflight.Add(-1)
+		s.m.inflight.Add(-1)
 		return false
 	}
 	return true
@@ -473,10 +586,14 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 			respFields = wire.ErrorFields(&wire.WireError{Code: wire.CodeInternal, Msg: fmt.Sprint(r)})
 		}
 	}()
-	// HEALTH answers before the drain check: a server that is shutting
-	// down (or poisoned) reports its state instead of only refusing work.
+	// HEALTH and STATS answer before the drain check: a server that is
+	// shutting down (or poisoned) reports its state instead of only
+	// refusing work.
 	if op == wire.OpHealth {
 		return s.handleHealth()
+	}
+	if op == wire.OpStats {
+		return s.handleStats(fields)
 	}
 	if s.draining.Load() {
 		return errResp(&wire.WireError{Code: wire.CodeShutdown, Msg: "server is draining"})
@@ -807,13 +924,16 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	began := time.Now()
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	if s.poisoned != nil {
+		s.m.degraded.Inc()
 		return nil, &wire.WireError{Code: wire.CodeDegraded, Msg: s.poisoned.Error()}
 	}
 	if key != "" {
 		if existed, ok := s.idem.get(key); ok {
+			s.m.idemHits.Inc()
 			return existed, nil
 		}
 	}
@@ -838,6 +958,13 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 	if key != "" {
 		s.idem.put(key, existed)
 	}
+	// Commit-group instrumentation covers only durable publications; a
+	// refused or failed group shows up in the error counters instead. The
+	// latency includes the wait for commitMu — queueing behind a slow disk
+	// is exactly what the histogram should expose.
+	s.m.commits.Inc()
+	s.m.commitSeconds.ObserveDuration(time.Since(began))
+	s.m.commitOps.Observe(int64(len(ops)))
 	return existed, nil
 }
 
@@ -857,20 +984,39 @@ func (s *Server) rollback(cause error) {
 }
 
 // handleHealth is the HEALTH opcode: the degraded-mode self-report. It
-// touches no locks a wedged writer could hold — the poisoned flag is an
-// atomic mirror, the root count an atomic state load — so health stays
-// answerable while a commit is stuck on a dying disk.
+// touches no locks a wedged writer could hold — every field is an atomic
+// or a derived gauge — so health stays answerable while a commit is stuck
+// on a dying disk. All five fields come from one registry Snapshot, so
+// the report is internally consistent: in-flight, session and root counts
+// were captured at the same instant and cannot tear against each other
+// the way per-field atomic loads could.
 func (s *Server) handleHealth() (byte, [][]byte) {
-	s.mu.Lock()
-	sessions := len(s.conns)
-	s.mu.Unlock()
+	snap := s.m.reg.Snapshot()
+	inflight, _ := snap.Gauge("dbpl_server_inflight")
+	sessions, _ := snap.Gauge("dbpl_server_sessions")
+	roots, _ := snap.Gauge("dbpl_server_roots")
+	uptimeNS, _ := snap.Gauge("dbpl_server_uptime_ns")
+	degraded, _ := snap.Gauge("dbpl_server_degraded")
 	return wire.OpOK, wire.HealthFields(wire.Health{
-		Poisoned: s.degraded.Load(),
-		InFlight: int(s.inflight.Load()),
-		Sessions: sessions,
-		Roots:    len(s.state.Load().roots),
-		Uptime:   time.Since(s.start),
+		Poisoned: degraded != 0,
+		InFlight: int(inflight),
+		Sessions: int(sessions),
+		Roots:    int(roots),
+		Uptime:   time.Duration(uptimeNS),
 	})
+}
+
+// handleStats is the STATS opcode: the full registry snapshot — server,
+// persistence and any co-registered layer — as one binary-encoded field.
+// Like HEALTH it takes no handler locks, bypasses admission control, and
+// answers during a drain, so the observer keeps observing exactly when
+// the server is at its most interesting.
+func (s *Server) handleStats(fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 0 {
+		return badReq("STATS wants 0 fields, got %d", len(fields))
+	}
+	snap := s.m.reg.Snapshot()
+	return wire.OpOK, [][]byte{snap.AppendBinary(nil)}
 }
 
 // Stats reports the server's current committed view, for tests and the

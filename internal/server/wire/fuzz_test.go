@@ -47,6 +47,14 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(mustFrame(OpDelete, []byte("root")))
 	f.Add(mustFrame(OpDelete, []byte("root"), idemKey))
 	f.Add(mustFrame(OpCommit, idemKey))
+	f.Add(mustFrame(OpStats))
+	// Traced frames: flag set, leading uvarint trace-ID field.
+	tracedOp, tracedFields := AppendTrace(OpGet, 0xDEADBEEF, [][]byte{typeImg})
+	f.Add(mustFrame(tracedOp, tracedFields...))
+	echoOp, echoFields := AppendTrace(OpOK, 0xDEADBEEF, nil)
+	f.Add(mustFrame(echoOp, echoFields...))
+	f.Add(mustFrame(OpGet | TraceFlag))                               // traced without a trace field
+	f.Add(mustFrame(OpGet|TraceFlag, []byte{0xFF, 0xFF, 0xFF, 0xFF})) // unterminated trace uvarint
 	f.Add(mustFrame(OpError, []byte{byte(CodeIO)}, []byte("write failed")))
 	f.Add(mustFrame(OpError, ErrorFields(&WireError{Code: CodeOverloaded,
 		Msg: "shed", RetryAfter: 50 * time.Millisecond})...))

@@ -58,7 +58,13 @@ const (
 	OpAbort  byte = 0x08 // []                        -> OK []
 	OpNames  byte = 0x09 // []                        -> OK [name...]
 	OpHealth byte = 0x0A // []                        -> OK [health fields]
+	OpStats  byte = 0x0B // []                        -> OK [snapshot]
 )
+
+// lastRequestOp is the highest assigned request opcode. The opcode
+// exhaustiveness test walks [OpPing, lastRequestOp]; update it when
+// appending an opcode. Request opcodes must stay below TraceFlag.
+const lastRequestOp = OpStats
 
 // Response opcodes.
 const (
@@ -66,6 +72,80 @@ const (
 	OpValues byte = 0x81
 	OpError  byte = 0x82 // [code(1), message]
 )
+
+// TraceFlag marks a *traced* frame in either direction: the opcode byte
+// has this bit set and the first field is a uvarint trace ID. A client
+// stamps requests with trace IDs so the server can attribute slow-op log
+// entries to the exact client call that suffered them; the server echoes
+// the ID (and the flag) on the response. The extension is optional and
+// backward compatible — an untraced frame is byte-identical to the
+// pre-trace protocol, and request opcodes (< 0x40) and response opcodes
+// (0x80–0xBF) never collide with the flag.
+const TraceFlag byte = 0x40
+
+// OpName names a request or response opcode for logs, metrics and the
+// slow-op ring; a traced opcode names the same as its base. Unknown
+// opcodes render as "op(0xNN)" — callers using names as metric labels
+// must not feed them unvalidated peer opcodes, or a hostile peer could
+// mint unbounded label cardinality.
+func OpName(op byte) string {
+	switch op &^ TraceFlag {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpJoin:
+		return "JOIN"
+	case OpBegin:
+		return "BEGIN"
+	case OpCommit:
+		return "COMMIT"
+	case OpAbort:
+		return "ABORT"
+	case OpNames:
+		return "NAMES"
+	case OpHealth:
+		return "HEALTH"
+	case OpStats:
+		return "STATS"
+	case OpOK:
+		return "OK"
+	case OpValues:
+		return "VALUES"
+	case OpError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("op(%#x)", op)
+	}
+}
+
+// AppendTrace turns an untraced frame into a traced one: sets the flag
+// on op and prepends the trace-ID field.
+func AppendTrace(op byte, trace uint64, fields [][]byte) (byte, [][]byte) {
+	return op | TraceFlag, append([][]byte{UvarintField(trace)}, fields...)
+}
+
+// SplitTrace undoes AppendTrace: for a traced frame it strips the flag
+// and consumes the leading trace-ID field; an untraced frame passes
+// through. A traced frame without a well-formed trace field is a
+// protocol violation.
+func SplitTrace(op byte, fields [][]byte) (base byte, trace uint64, rest [][]byte, traced bool, err error) {
+	if op&TraceFlag == 0 {
+		return op, 0, fields, false, nil
+	}
+	if len(fields) == 0 {
+		return 0, 0, nil, false, errf(CodeBadFrame, "traced frame without a trace-ID field")
+	}
+	v, ok := uvarintOf(fields[0])
+	if !ok {
+		return 0, 0, nil, false, errf(CodeBadFrame, "malformed trace-ID field")
+	}
+	return op &^ TraceFlag, v, fields[1:], true, nil
+}
 
 // Code classifies a remote failure, mirroring the local error taxonomy of
 // the stores (iofault.IOError, intrinsic.CorruptError, the intrinsic
@@ -434,12 +514,16 @@ func DecodeHealth(fields [][]byte) (Health, error) {
 	}, nil
 }
 
-// uvarintField encodes v as a standalone uvarint field.
-func uvarintField(v uint64) []byte {
+// UvarintField encodes v as a standalone uvarint field (trace IDs,
+// hints, gauge values).
+func UvarintField(v uint64) []byte {
 	var b [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(b[:], v)
 	return b[:n]
 }
+
+// uvarintField is the historical private spelling.
+func uvarintField(v uint64) []byte { return UvarintField(v) }
 
 // uvarintOf decodes a field that must be exactly one uvarint.
 func uvarintOf(f []byte) (uint64, bool) {

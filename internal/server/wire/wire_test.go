@@ -252,3 +252,105 @@ func TestSplitFieldsAliasesInput(t *testing.T) {
 		t.Fatalf("fields = %q", fields)
 	}
 }
+
+// TestOpcodeExhaustiveness walks every assigned request opcode the same
+// way TestCodeExhaustiveness walks the codes: each must have a real
+// OpName (no op(0xNN) fallback), names must be distinct, the traced
+// variant must name identically, and a frame round-trips. Appending an
+// opcode (STATS was the last) without extending OpName fails here.
+func TestOpcodeExhaustiveness(t *testing.T) {
+	seen := map[string]byte{}
+	for op := OpPing; op <= lastRequestOp; op++ {
+		name := OpName(op)
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Errorf("opcode %#x has no real OpName: %q", op, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes %#x and %#x share the name %q", prev, op, name)
+		}
+		seen[name] = op
+		if got := OpName(op | TraceFlag); got != name {
+			t.Errorf("traced opcode %#x names %q, want %q", op|TraceFlag, got, name)
+		}
+		if op >= TraceFlag {
+			t.Errorf("request opcode %#x collides with TraceFlag", op)
+		}
+
+		// Encode → decode round trip for the opcode byte itself.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 0, op, []byte("f")); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", name, err)
+		}
+		got, _, err := ReadFrame(&buf, 0)
+		if err != nil || got != op {
+			t.Errorf("%s round trip = %#x, %v", name, got, err)
+		}
+	}
+	// Past the end: the fallback form is the give-away that lastRequestOp
+	// and OpName are in sync.
+	if s := OpName(lastRequestOp + 1); !strings.HasPrefix(s, "op(") {
+		t.Errorf("opcode past lastRequestOp has a real OpName %q; lastRequestOp is stale", s)
+	}
+	for _, op := range []byte{OpOK, OpValues, OpError} {
+		if s := OpName(op); strings.HasPrefix(s, "op(") {
+			t.Errorf("response opcode %#x has no real OpName", op)
+		}
+	}
+}
+
+// TestTraceRoundTrip: AppendTrace and SplitTrace are inverses, untraced
+// frames pass through unchanged, and malformed traced frames are typed
+// protocol violations.
+func TestTraceRoundTrip(t *testing.T) {
+	fields := [][]byte{[]byte("name"), {1, 2, 3}}
+	for _, trace := range []uint64{0, 1, 1 << 20, 1<<64 - 1} {
+		op, traced := AppendTrace(OpPut, trace, fields)
+		if op != OpPut|TraceFlag {
+			t.Fatalf("AppendTrace op = %#x", op)
+		}
+		if len(traced) != len(fields)+1 {
+			t.Fatalf("AppendTrace fields = %d, want %d", len(traced), len(fields)+1)
+		}
+		base, gotTrace, rest, wasTraced, err := SplitTrace(op, traced)
+		if err != nil || !wasTraced || base != OpPut || gotTrace != trace {
+			t.Fatalf("SplitTrace = (%#x, %d, traced=%v, %v), want (%#x, %d, true, nil)",
+				base, gotTrace, wasTraced, err, OpPut, trace)
+		}
+		if !reflect.DeepEqual(rest, fields) {
+			t.Errorf("SplitTrace rest = %q, want %q", rest, fields)
+		}
+	}
+
+	// Untraced: identity, zero trace, traced=false.
+	base, trace, rest, wasTraced, err := SplitTrace(OpGet, fields)
+	if err != nil || wasTraced || base != OpGet || trace != 0 || !reflect.DeepEqual(rest, fields) {
+		t.Errorf("untraced SplitTrace = (%#x, %d, traced=%v, %v)", base, trace, wasTraced, err)
+	}
+
+	// The traced frame survives the wire.
+	op, traced := AppendTrace(OpGet, 777, [][]byte{[]byte("x")})
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, op, traced...); err != nil {
+		t.Fatal(err)
+	}
+	rop, rfields, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base, tr, rest, ok, err := SplitTrace(rop, rfields); err != nil || !ok || base != OpGet || tr != 777 || string(rest[0]) != "x" {
+		t.Errorf("wire round trip = (%#x, %d, %q, %v, %v)", base, tr, rest, ok, err)
+	}
+
+	// Malformed traced frames: no fields at all, or a trace field that is
+	// not exactly one uvarint.
+	for name, bad := range map[string][][]byte{
+		"no fields":      nil,
+		"empty trace":    {{}},
+		"trailing bytes": {{0x01, 0xFF}},
+		"unterminated":   {bytes.Repeat([]byte{0x80}, 10)},
+	} {
+		if _, _, _, _, err := SplitTrace(OpGet|TraceFlag, bad); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}

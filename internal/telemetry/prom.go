@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled: one # TYPE line per metric base
+// name, counters and gauges as bare samples, histograms as cumulative
+// _bucket series with an "le" label plus _sum and _count. Registered
+// names may carry a label set ("name{op=\"GET\"}"); the writer splices
+// the "le" label into it for bucket lines. Duration histograms are
+// exposed in seconds, per Prometheus convention.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	var lastType string
+	typeLine := func(base, kind string) string {
+		if base == lastType {
+			return ""
+		}
+		lastType = base
+		return "# TYPE " + base + " " + kind + "\n"
+	}
+	for _, c := range s.Counters {
+		base, labels := splitSeries(c.Name)
+		if _, err := fmt.Fprintf(w, "%s%s%s %d\n", typeLine(base, "counter"), base, braced(labels), c.Value); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, g := range s.Gauges {
+		base, labels := splitSeries(g.Name)
+		if _, err := fmt.Fprintf(w, "%s%s%s %d\n", typeLine(base, "gauge"), base, braced(labels), g.Value); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, h := range s.Histograms {
+		base, labels := splitSeries(h.Name)
+		if _, err := io.WriteString(w, typeLine(base, "histogram")); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = h.formatValue(float64(h.Bounds[i]))
+			}
+			withLE := mergeLabels(labels, `le="`+le+`"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, braced(withLE), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, braced(labels), h.formatValue(float64(h.Sum))); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, braced(labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders an observation magnitude for exposition:
+// durations (stored as nanoseconds) become seconds.
+func (h HistogramSnapshot) formatValue(v float64) string {
+	if h.Unit == UnitDuration {
+		return strconv.FormatFloat(v/1e9, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitSeries splits a registered series name into its base metric name
+// and the label pairs baked into it (without braces, "" when unlabeled).
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	j := strings.LastIndexByte(name, '}')
+	if j < i {
+		return name, ""
+	}
+	return name[:i], name[i+1 : j]
+}
+
+// braced re-wraps a label set, yielding "" for an empty one.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// mergeLabels joins two label fragments with a comma.
+func mergeLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowOp is one logged operation: what ran, how long it took, for whom,
+// and how it ended. Trace is the client-stamped trace ID echoed on the
+// wire (0 when the request was untraced), so one slow server-side entry
+// can be tied to the client call that suffered it.
+type SlowOp struct {
+	Time     time.Time     `json:"time"`
+	Op       string        `json:"op"`
+	Duration time.Duration `json:"duration_ns"`
+	Session  string        `json:"session"`
+	Trace    uint64        `json:"trace,omitempty"`
+	Bytes    int           `json:"bytes"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// SlowLog is a bounded in-memory ring of the most recent operations at
+// or above a duration threshold. Recording below the threshold is one
+// comparison and no lock; recording above it takes a mutex for the ring
+// slot — slow operations are, by definition, not the hot path.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	ring  []SlowOp
+	next  int    // ring index of the next write
+	total uint64 // operations recorded since start (not bounded by the ring)
+}
+
+// NewSlowLog builds a ring of the given capacity keeping operations with
+// Duration >= threshold. A threshold of 0 keeps everything.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowOp, 0, capacity)}
+}
+
+// Threshold reports the configured cut-off.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Record keeps op if it is at or above the threshold, reporting whether
+// it was kept. The oldest entry is evicted when the ring is full.
+func (l *SlowLog) Record(op SlowOp) bool {
+	if op.Duration < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, op)
+	} else {
+		l.ring[l.next] = op
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+	return true
+}
+
+// Total reports how many operations have ever been recorded (eviction
+// does not decrement it).
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, newest first. The result is a
+// copy; the ring keeps filling underneath it.
+func (l *SlowLog) Snapshot() []SlowOp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowOp, 0, len(l.ring))
+	for i := 1; i <= len(l.ring); i++ {
+		// Walk backwards from the slot before next, wrapping.
+		idx := (l.next - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
