@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests clean
 
-all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests fuzz-wire
+all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every experiment (E1–E11) as paper-style tables.
+# Regenerate every experiment (E1–E16) as paper-style tables.
 report:
 	$(GO) run ./cmd/benchreport
 
@@ -74,6 +74,17 @@ telemetry-tests:
 	$(GO) test -race ./internal/telemetry/
 	$(GO) test -race -run 'Telemetry|Stats|Trace|SlowLog|SlowOps|OpsHandler|OpsEndpoint|Health|Prom|Snapshot|Histogram' \
 		./internal/server/... ./client/ ./cmd/dbpl/
+
+# The index battery (docs/INDEXES.md): the extent/field-index unit,
+# quick-check and concurrent-maintenance tests, the cost-model and
+# join-planning tests, the server index e2e (DDL lifecycle, txn refusal,
+# restart durability, STATS counters), and the persist-layer 'X'-record
+# durability + crash tests proving an index definition is never ahead of
+# the durable offset — all under the race detector.
+index-tests:
+	$(GO) test -race ./internal/index/ ./internal/plan/
+	$(GO) test -race -run 'Index|Plan|Explain|Extent' \
+		./internal/server/... ./internal/relation/ ./internal/persist/intrinsic/ ./client/
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

@@ -475,6 +475,34 @@ func (c *Client) Join(t1, t2 types.Type) ([]value.Value, error) {
 	return out, nil
 }
 
+// CreateIndex declares a field-value index on a record label, reporting
+// whether it was newly created (false: it already existed). The
+// definition is durable; the index itself is maintained in memory and
+// rebuilt from the committed roots on every server start. Key-stamped
+// like every write, so a retry applies exactly once.
+func (c *Client) CreateIndex(field string) (bool, error) {
+	return decodeBool(c.call(wire.OpCreateIndex, []byte(field), c.nextKey()))
+}
+
+// DropIndex removes a field-value index declaration, reporting whether it
+// existed. Key-stamped.
+func (c *Client) DropIndex(field string) (bool, error) {
+	return decodeBool(c.call(wire.OpDropIndex, []byte(field), c.nextKey()))
+}
+
+// ExplainGet renders the access-path plan the server would choose right
+// now for a GET at t — the cost breakdown over scan, extent and index —
+// without executing anything.
+func (c *Client) ExplainGet(t types.Type) (string, error) {
+	return decodeText(c.call(wire.OpExplain, mustTypeField(t)))
+}
+
+// ExplainJoin renders the join plan (nested-loop or build/probe
+// partition) for joining the extents at t1 and t2.
+func (c *Client) ExplainJoin(t1, t2 types.Type) (string, error) {
+	return decodeText(c.call(wire.OpExplain, mustTypeField(t1), mustTypeField(t2)))
+}
+
 // Names lists the root names.
 func (c *Client) Names() ([]string, error) {
 	_, fields, err := expect(wire.OpOK)(c.call(wire.OpNames))
@@ -725,6 +753,29 @@ func decodeDelete(op byte, fields [][]byte, err error) (bool, error) {
 		return false, &wire.WireError{Code: wire.CodeBadFrame, Msg: "malformed DELETE response"}
 	}
 	return fields[0][0] == 1, nil
+}
+
+// decodeBool decodes an OK response carrying one boolean field (the
+// created/existed bit of the index opcodes).
+func decodeBool(op byte, fields [][]byte, err error) (bool, error) {
+	if _, fields, err = expect(wire.OpOK)(op, fields, err); err != nil {
+		return false, err
+	}
+	if len(fields) != 1 || len(fields[0]) != 1 {
+		return false, &wire.WireError{Code: wire.CodeBadFrame, Msg: "malformed boolean response"}
+	}
+	return fields[0][0] == 1, nil
+}
+
+// decodeText decodes an OK response carrying one text field (EXPLAIN).
+func decodeText(op byte, fields [][]byte, err error) (string, error) {
+	if _, fields, err = expect(wire.OpOK)(op, fields, err); err != nil {
+		return "", err
+	}
+	if len(fields) != 1 {
+		return "", &wire.WireError{Code: wire.CodeBadFrame, Msg: "malformed EXPLAIN response"}
+	}
+	return string(fields[0]), nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,140 @@
+// Benchmarks for the E16 grid: the maintained flat extent and the field
+// index against the same mixed population the root package's
+// BenchmarkGetScan (full scan) and BenchmarkGetExtent (the E11 sharded
+// re-merge) measure. The packing into core.Packed is included so the
+// numbers are directly comparable with db.Get, which returns Packed.
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbpl/internal/core"
+	"dbpl/internal/dynamic"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// benchSet builds the root bench_test.go fillMixed population (seed 42,
+// member 0 always an employee) as an index.Set.
+func benchSet(n int, sel float64, defs ...Def) *Set {
+	rng := rand.New(rand.NewSource(42))
+	ops := make([]Op, n)
+	for i := 0; i < n; i++ {
+		if i == 0 || rng.Float64() < sel {
+			ops[i] = Op{Add: dynamic.Make(employee(fmt.Sprintf("P%06d", i), "Austin", i, "Sales"))}
+		} else {
+			ops[i] = Op{Add: dynamic.Make(person(fmt.Sprintf("P%06d", i), "Austin"))}
+		}
+	}
+	s, _ := NewSet(defs...).Apply(ops)
+	return s
+}
+
+func pack(entries []Entry) []core.Packed {
+	out := make([]core.Packed, len(entries))
+	for i, e := range entries {
+		out[i] = core.Packed{Value: e.Dyn.Value(), Witness: e.Dyn.Type()}
+	}
+	return out
+}
+
+// BenchmarkGetFlatExtent is the repaired E11 row: one flat seq-ascending
+// slice per type, no per-read re-merge. Compare with the root package's
+// BenchmarkGetExtent (sharded) at the same (n, sel) cells.
+func BenchmarkGetFlatExtent(b *testing.B) {
+	want := types.Intern(employeeT)
+	for _, n := range []int{100, 1000, 10000} {
+		for _, sel := range []float64{0.01, 0.10, 0.50} {
+			b.Run(fmt.Sprintf("n=%d/sel=%.2f", n, sel), func(b *testing.B) {
+				s := benchSet(n, sel)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					entries, _ := s.GetEntries(want)
+					if got := pack(entries); len(got) == 0 {
+						b.Fatal("empty result")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGetFieldIndex reads through a field-value index over a
+// population where every member has its own record type, so the extent
+// union degenerates and the candidate prefilter is what saves the read.
+// ~1% of members carry the indexed Empno field.
+func BenchmarkGetFieldIndex(b *testing.B) {
+	want := types.Intern(types.MustParse("{Empno: Int}"))
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ops := make([]Op, n)
+			for i := 0; i < n; i++ {
+				if i%100 == 0 {
+					ops[i] = Op{Add: dynamic.Make(employee(fmt.Sprintf("E%06d", i), "Austin", i, "Sales"))}
+				} else {
+					ops[i] = Op{Add: dynamic.Make(value.Rec(
+						"Name", value.String(fmt.Sprintf("P%06d", i)),
+						fmt.Sprintf("X%05d", i), value.Int(int64(i))))}
+				}
+			}
+			s, _ := NewSet(Def{Field: "Empno"}).Apply(ops)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cands, ok := s.Candidates("Empno")
+				if !ok {
+					b.Fatal("index missing")
+				}
+				var out []core.Packed
+				for _, e := range cands {
+					if types.SubtypeInterned(e.Dyn.Interned(), want) {
+						out = append(out, core.Packed{Value: e.Dyn.Value(), Witness: e.Dyn.Type()})
+					}
+				}
+				if len(out) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApply is the maintenance cost a commit pays: COW-extend the
+// published Set with one replaced root (remove + add), with and without a
+// field index defined.
+func BenchmarkApply(b *testing.B) {
+	for _, defs := range []struct {
+		name string
+		defs []Def
+	}{
+		{"extents-only", nil},
+		{"with-field-index", []Def{{Field: "Empno"}}},
+	} {
+		for _, n := range []int{1000, 10000} {
+			b.Run(fmt.Sprintf("%s/n=%d", defs.name, n), func(b *testing.B) {
+				s := benchSet(n, 0.10, defs.defs...)
+				// Swap the same pair back and forth, chaining successors so
+				// each iteration honors the single-successor rule exactly
+				// like a real commit sequence does.
+				a := s.All()[0].Dyn
+				r := dynamic.Make(employee("R", "Austin", 1, "Sales"))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op := Op{Remove: a, Add: r}
+					if i%2 == 1 {
+						op = Op{Remove: r, Add: a}
+					}
+					next, _ := s.Apply([]Op{op})
+					if next.Len() != n {
+						b.Fatal("length drifted")
+					}
+					s = next
+				}
+			})
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 //	repeated groups of records, each group terminated by a commit marker:
 //	  'N' oid len imageBytes     -- a node (re)definition
 //	  'R' count {name typeLen typeBytes valueInline}  -- the root table
+//	  'X' count {name}           -- the index-definition table (v2 only)
 //	  'C' [crc32c]               -- commit marker
 //
 // Version 2 (current) follows the 'C' with the little-endian CRC-32C of
@@ -57,6 +58,14 @@ const (
 	recNode   byte = 'N'
 	recRoots  byte = 'R'
 	recCommit byte = 'C'
+	// recIndex is the index-definition table: the declared field indexes,
+	// written whenever the set changes (a delta in time, a full table in
+	// content, like the root table). Layout: 'X' count {len fieldName}.
+	// Written only to v2 logs — the v1 grammar is frozen — but tolerated by
+	// the reader in either version. Extent and index *contents* are never
+	// logged: they rebuild from the committed roots on open, which is what
+	// keeps an index from ever running ahead of the durable state.
+	recIndex byte = 'X'
 
 	// checksumSize is the CRC-32C trailer length after a v2 commit marker.
 	checksumSize = 4

@@ -19,6 +19,9 @@ type FsckReport struct {
 	Commits int   // valid commit groups
 	Nodes   int   // node records inside valid groups
 	Roots   int   // root-table entries in the last valid root table
+	// IndexDefs counts the entries of the last valid index-definition
+	// table ('X' record) — the field indexes a reopen will rebuild.
+	IndexDefs int
 	// TornTail reports bytes past GoodEnd that a crash explains (an
 	// interrupted commit); they are ignored by Open and dropped by Salvage.
 	TornTail bool
@@ -34,8 +37,8 @@ func (r *FsckReport) Clean() bool { return !r.TornTail && r.Corrupt == nil }
 
 // String renders the report in the format the fsck CLI verb prints.
 func (r *FsckReport) String() string {
-	s := fmt.Sprintf("%s: log v%d, %d bytes, %d commits, %d nodes, %d roots\n",
-		r.Path, r.Version, r.Size, r.Commits, r.Nodes, r.Roots)
+	s := fmt.Sprintf("%s: log v%d, %d bytes, %d commits, %d nodes, %d roots, %d index defs\n",
+		r.Path, r.Version, r.Size, r.Commits, r.Nodes, r.Roots, r.IndexDefs)
 	s += fmt.Sprintf("last valid commit ends at offset %d", r.GoodEnd)
 	switch {
 	case r.Corrupt != nil:
@@ -70,18 +73,23 @@ func FsckFS(fsys iofault.FS, path string) (*FsckReport, error) {
 
 	rep := &FsckReport{Path: path, Size: fi.Size()}
 	nodes := 0
-	var lastRoots int
+	var lastRoots, lastDefs int
 	pendingNodes := 0
-	pendingRoots := -1
+	pendingRoots, pendingDefs := -1, -1
 	sum, err := scanLog(f, scanSink{
-		node:  func(uint64, []byte) { pendingNodes++ },
-		roots: func(entries []rootEntry) { pendingRoots = len(entries) },
+		node:      func(uint64, []byte) { pendingNodes++ },
+		roots:     func(entries []rootEntry) { pendingRoots = len(entries) },
+		indexDefs: func(fields []string) { pendingDefs = len(fields) },
 		commit: func(int64) {
 			nodes += pendingNodes
 			pendingNodes = 0
 			if pendingRoots >= 0 {
 				lastRoots = pendingRoots
 				pendingRoots = -1
+			}
+			if pendingDefs >= 0 {
+				lastDefs = pendingDefs
+				pendingDefs = -1
 			}
 		},
 	})
@@ -98,6 +106,7 @@ func FsckFS(fsys iofault.FS, path string) (*FsckReport, error) {
 	rep.Commits = sum.commits
 	rep.Nodes = nodes
 	rep.Roots = lastRoots
+	rep.IndexDefs = lastDefs
 	rep.TornTail = sum.torn
 	rep.Corrupt = sum.corrupt
 	return rep, nil

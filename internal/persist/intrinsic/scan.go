@@ -45,9 +45,10 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 // their group is validated: callers must buffer per group and apply only
 // on commit (which fires only for valid groups).
 type scanSink struct {
-	node   func(oid uint64, img []byte)
-	roots  func(entries []rootEntry)
-	commit func(end int64)
+	node      func(oid uint64, img []byte)
+	roots     func(entries []rootEntry)
+	indexDefs func(fields []string)
+	commit    func(end int64)
 }
 
 // scanSummary is the structural verdict over a whole log.
@@ -165,6 +166,33 @@ func scanRootTable(s *logScanner) ([]rootEntry, error) {
 	return entries, nil
 }
 
+// scanIndexDefs parses an index-definition table record.
+func scanIndexDefs(s *logScanner) ([]string, error) {
+	count, err := s.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxRecordSize {
+		return nil, fmt.Errorf("%w: oversized index-definition table", ErrCorrupt)
+	}
+	fields := make([]string, 0, capCount(int(count)))
+	for i := uint64(0); i < count; i++ {
+		n, err := s.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxRecordSize {
+			return nil, fmt.Errorf("%w: bad index field length", ErrCorrupt)
+		}
+		name, err := s.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, string(name))
+	}
+	return fields, nil
+}
+
 // scanLog reads the whole log from r, firing sink callbacks, and returns
 // the structural summary. The returned error is reserved for real I/O
 // failures of the underlying reader; corruption and torn tails are
@@ -264,6 +292,15 @@ func scanLog(r io.Reader, sink scanSink) (scanSummary, error) {
 			}
 			if sink.roots != nil {
 				sink.roots(entries)
+			}
+		case recIndex:
+			fields, err := scanIndexDefs(s)
+			if err != nil {
+				anomaly(s.off, fmt.Sprintf("bad index-definition table: %v", err), err)
+				return sum, nil
+			}
+			if sink.indexDefs != nil {
+				sink.indexDefs(fields)
 			}
 		case recCommit:
 			if v == logVersion2 {

@@ -110,6 +110,16 @@ type Store struct {
 	oids    map[value.Value]uint64
 	nodes   map[uint64][]byte
 	nextOID uint64
+
+	// indexDefs is the declared field-index set (see DeclareIndex). Durable
+	// on v2 logs as an 'X' record in the next commit group after a change;
+	// on v1 logs it is memory-only until Compact upgrades the file. Only
+	// the *definitions* persist — index contents always rebuild from the
+	// committed roots, so they can never run ahead of the durable state.
+	indexDefs map[string]bool
+	// defsDirty records that indexDefs changed since the last commit that
+	// persisted them.
+	defsDirty bool
 }
 
 // Open opens (or creates) a store at path, replaying the log to the last
@@ -126,12 +136,13 @@ func OpenFS(fsys iofault.FS, path string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		fs:    fsys,
-		path:  path,
-		f:     f,
-		roots: map[string]*Root{},
-		oids:  map[value.Value]uint64{},
-		nodes: map[uint64][]byte{},
+		fs:        fsys,
+		path:      path,
+		f:         f,
+		roots:     map[string]*Root{},
+		oids:      map[value.Value]uint64{},
+		nodes:     map[uint64][]byte{},
+		indexDefs: map[string]bool{},
 	}
 	if err := s.load(); err != nil {
 		f.Close()
@@ -169,17 +180,22 @@ func (s *Store) load() error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	s.indexDefs = map[string]bool{}
+	s.defsDirty = false
 	committed := struct {
 		nodes map[uint64][]byte
 		roots []rootEntry
+		defs  []string
 	}{nodes: map[uint64][]byte{}}
 	pending := map[uint64][]byte{}
 	var pendingRoots []rootEntry
-	sawRoots := false
+	var pendingDefs []string
+	sawRoots, sawDefs := false, false
 
 	sum, err := scanLog(s.f, scanSink{
-		node:  func(oid uint64, img []byte) { pending[oid] = img },
-		roots: func(entries []rootEntry) { pendingRoots = entries; sawRoots = true },
+		node:      func(oid uint64, img []byte) { pending[oid] = img },
+		roots:     func(entries []rootEntry) { pendingRoots = entries; sawRoots = true },
+		indexDefs: func(fields []string) { pendingDefs = fields; sawDefs = true },
 		commit: func(int64) {
 			for oid, img := range pending {
 				committed.nodes[oid] = img
@@ -188,6 +204,10 @@ func (s *Store) load() error {
 			if sawRoots {
 				committed.roots = pendingRoots
 				sawRoots = false
+			}
+			if sawDefs {
+				committed.defs = pendingDefs
+				sawDefs = false
 			}
 		},
 	})
@@ -224,6 +244,9 @@ func (s *Store) load() error {
 	s.end = sum.goodEnd
 	s.tailDirty = sum.torn
 
+	for _, f := range committed.defs {
+		s.indexDefs[f] = true
+	}
 	s.nodes = committed.nodes
 	for oid := range s.nodes {
 		if oid >= s.nextOID {
@@ -413,6 +436,50 @@ func (s *Store) Names() []string {
 	return out
 }
 
+// DeclareIndex adds a field-value index definition, durable from the next
+// Commit (v2 logs; on a v1 log the definition persists only after Compact
+// upgrades the file). It reports whether the field was newly declared.
+// Like Bind, the declaration is in-memory until Commit.
+func (s *Store) DeclareIndex(field string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.indexDefs[field] {
+		return false
+	}
+	s.indexDefs[field] = true
+	s.defsDirty = true
+	return true
+}
+
+// DropIndexDef removes a field-value index definition, reporting whether
+// it was declared.
+func (s *Store) DropIndexDef(field string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.indexDefs[field] {
+		return false
+	}
+	delete(s.indexDefs, field)
+	s.defsDirty = true
+	return true
+}
+
+// IndexDefs returns the declared index fields in sorted order.
+func (s *Store) IndexDefs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.indexDefsLocked()
+}
+
+func (s *Store) indexDefsLocked() []string {
+	out := make([]string, 0, len(s.indexDefs))
+	for f := range s.indexDefs {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // OpenAs opens a handle at the type a (re)compiled program declares for it,
 // implementing the paper's schema-evolution rules:
 //
@@ -529,6 +596,16 @@ func (s *Store) encodeRootTable(b *nodeBuf) error {
 	return nil
 }
 
+// encodeIndexDefs writes the index-definition table record into b.
+func (s *Store) encodeIndexDefs(b *nodeBuf) {
+	b.WriteByte(recIndex)
+	defs := s.indexDefsLocked()
+	b.uvarint(uint64(len(defs)))
+	for _, f := range defs {
+		b.str(f)
+	}
+}
+
 // wrapIO wraps cause in the shared I/O taxonomy.
 func wrapIO(op iofault.Op, path string, cause error) error {
 	return iofault.Wrap(op, path, cause)
@@ -626,6 +703,11 @@ func (s *Store) Commit() (CommitStats, error) {
 	if err := s.encodeRootTable(&out); err != nil {
 		return stats, err
 	}
+	wroteDefs := false
+	if s.defsDirty && s.version == logVersion2 {
+		s.encodeIndexDefs(&out)
+		wroteDefs = true
+	}
 	out.WriteByte(recCommit)
 	if err := s.appendGroup(&out); err != nil {
 		return stats, err
@@ -633,6 +715,9 @@ func (s *Store) Commit() (CommitStats, error) {
 	stats.BytesWritten = out.Len()
 	for oid, img := range newImages {
 		s.nodes[oid] = img
+	}
+	if wroteDefs {
+		s.defsDirty = false
 	}
 	return stats, nil
 }
@@ -698,6 +783,9 @@ func (s *Store) Compact() (CompactStats, error) {
 		tmp.Close()
 		return CompactStats{}, err
 	}
+	if len(s.indexDefs) > 0 {
+		s.encodeIndexDefs(&out) // the v1→v2 upgrade path for definitions
+	}
 	out.WriteByte(recCommit)
 	// The group checksum covers everything after the header.
 	var tr [checksumSize]byte
@@ -733,6 +821,7 @@ func (s *Store) Compact() (CompactStats, error) {
 	s.version = logVersion
 	s.end = int64(out.Len())
 	s.tailDirty = false
+	s.defsDirty = false // the rewrite persisted the definitions
 	freed := len(s.nodes) - len(kept)
 	s.nodes = kept
 	// fsync the containing directory: without it the rename itself — the

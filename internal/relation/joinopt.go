@@ -1,6 +1,9 @@
 package relation
 
 import (
+	"fmt"
+	"time"
+
 	"dbpl/internal/value"
 )
 
@@ -72,67 +75,185 @@ func pickJoinAttr(r, s *Relation) (string, bool) {
 	return best, true
 }
 
-// JoinFast computes the same generalized natural join as Join, using a
-// hash partition on a shared atomic attribute when one exists. Members
-// silent (or non-atomic) on the chosen attribute are wildcards paired with
+// JoinCosts are the cost-model coefficients for the join planner, in
+// nanoseconds. DefaultJoinCosts holds measured priors; the server
+// substitutes learned values from its telemetry histograms.
+type JoinCosts struct {
+	PairNs  float64 // one value.Join attempt
+	HashNs  float64 // hashing one member into a bucket
+	SetupNs float64 // fixed partition overhead (map allocation)
+}
+
+// DefaultJoinCosts are the cold-start priors, measured on the E1/E16
+// microbenchmarks. Only their ordering needs to be roughly right: the
+// server's feedback loop replaces PairNs and HashNs with observed means.
+var DefaultJoinCosts = JoinCosts{PairNs: 150, HashNs: 120, SetupNs: 2000}
+
+// JoinPlan is the planner's verdict for one join: whether to hash-
+// partition at all, on which attribute, and which side to build the hash
+// table from (the probe side streams). The zero value means nested-loop.
+type JoinPlan struct {
+	Attr       string // partition attribute; "" for nested-loop
+	Partition  bool
+	BuildRight bool // build from s (the smaller side), probe with r
+
+	// Cost estimates behind the choice, for EXPLAIN.
+	CostNested    float64
+	CostPartition float64
+}
+
+// String renders the plan in the EXPLAIN format.
+func (p JoinPlan) String() string {
+	if !p.Partition {
+		return fmt.Sprintf("join path=nested cost{nested=%s partition=%s}",
+			ns(p.CostNested), ns(p.CostPartition))
+	}
+	side := "left"
+	if p.BuildRight {
+		side = "right"
+	}
+	return fmt.Sprintf("join path=partition attr=%s build=%s cost{nested=%s partition=%s}",
+		p.Attr, side, ns(p.CostNested), ns(p.CostPartition))
+}
+
+func ns(c float64) string {
+	if c <= 0 {
+		return "-"
+	}
+	return time.Duration(c).String()
+}
+
+// PlanJoin chooses the join strategy with the default cost priors —
+// replacing the old fixed "both sides ≥ 16 rows" threshold.
+func PlanJoin(r, s *Relation) JoinPlan {
+	return PlanJoinWith(r, s, DefaultJoinCosts)
+}
+
+// PlanJoinWith chooses the join strategy under explicit cost
+// coefficients. The nested-loop cost is |R|·|S| pair attempts; the
+// partition cost is hashing both sides plus the pairs that survive the
+// partition — same-bucket pairs (estimated through the attribute's
+// distinct-count) and wildcard cross-pairs, which the partition cannot
+// avoid.
+func PlanJoinWith(r, s *Relation, c JoinCosts) JoinPlan {
+	nr, nsz := r.Len(), s.Len()
+	p := JoinPlan{CostNested: float64(nr) * float64(nsz) * c.PairNs}
+	attr, ok := pickJoinAttr(r, s)
+	if !ok {
+		return p // no shared atomic attribute: partitioning cannot help
+	}
+	ra, rw := attrCounts(r, attr)
+	sa, sw := attrCounts(s, attr)
+	distinct := distinctAtoms(r, s, attr)
+	if distinct < 1 {
+		distinct = 1
+	}
+	survivors := float64(ra)*float64(sa)/float64(distinct) +
+		float64(rw)*float64(nsz) + float64(sw)*float64(ra)
+	p.CostPartition = c.SetupNs + float64(nr+nsz)*c.HashNs + survivors*c.PairNs
+	if p.CostPartition < p.CostNested {
+		p.Attr = attr
+		p.Partition = true
+		p.BuildRight = nsz <= nr // build the hash table over the smaller side
+	}
+	return p
+}
+
+// attrCounts returns how many members of rel define attr atomically, and
+// how many are wildcards on it (silent, non-atomic, or non-records).
+func attrCounts(rel *Relation, attr string) (atoms, wild int) {
+	for _, m := range rel.elems {
+		if _, ok := atomOn(m, attr); ok {
+			atoms++
+		} else {
+			wild++
+		}
+	}
+	return atoms, wild
+}
+
+// distinctAtoms counts the distinct atom values attr takes across both
+// relations — the denominator of the same-bucket pair estimate.
+func distinctAtoms(r, s *Relation, attr string) int {
+	seen := map[string]bool{}
+	for _, rel := range []*Relation{r, s} {
+		for _, m := range rel.elems {
+			if k, ok := atomOn(m, attr); ok {
+				seen[k] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// atomOn returns the canonical key of m's attr field when m is a record
+// defining it atomically.
+func atomOn(m value.Value, attr string) (string, bool) {
+	rec, ok := m.(*value.Record)
+	if !ok {
+		return "", false
+	}
+	v, ok := rec.Get(attr)
+	if !ok || !isAtom(v) {
+		return "", false
+	}
+	return value.Key(v), true
+}
+
+// JoinFast computes the same generalized natural join as Join, planning
+// the strategy with the default cost model. Members silent (or
+// non-atomic) on the chosen attribute are wildcards paired with
 // everything, exactly preserving the partial-tuple semantics.
 func JoinFast(r, s *Relation) *Relation {
-	attr, ok := pickJoinAttr(r, s)
-	if !ok || r.Len() < 16 || s.Len() < 16 {
-		return Join(r, s) // not worth partitioning
+	return JoinPlanned(r, s, PlanJoin(r, s))
+}
+
+// JoinPlanned executes a join under an explicit plan: nested-loop, or a
+// build/probe hash join — the build side is partitioned into buckets once,
+// the probe side streams through them. The result is identical under
+// every plan (TestQuickJoinPlannedEquals).
+func JoinPlanned(r, s *Relation, p JoinPlan) *Relation {
+	if !p.Partition {
+		return Join(r, s)
 	}
-	partition := func(rel *Relation) (map[string][]value.Value, []value.Value) {
-		buckets := map[string][]value.Value{}
-		var wild []value.Value
-		for _, m := range rel.elems {
-			rec, ok := m.(*value.Record)
-			if !ok {
-				wild = append(wild, m)
-				continue
-			}
-			v, ok := rec.Get(attr)
-			if !ok || !isAtom(v) {
-				wild = append(wild, m)
-				continue
-			}
-			k := value.Key(v)
+	build, probe := r, s
+	if p.BuildRight {
+		build, probe = s, r
+	}
+	buckets := map[string][]value.Value{}
+	var buildWild []value.Value
+	for _, m := range build.elems {
+		if k, ok := atomOn(m, p.Attr); ok {
 			buckets[k] = append(buckets[k], m)
+		} else {
+			buildWild = append(buildWild, m)
 		}
-		return buckets, wild
 	}
-	rb, rw := partition(r)
-	sb, sw := partition(s)
 
 	var joined []value.Value
-	tryJoin := func(a, b value.Value) {
+	// tryJoin keeps the (r, s) orientation regardless of build side.
+	tryJoin := func(pm, bm value.Value) {
+		a, b := bm, pm
+		if p.BuildRight {
+			a, b = pm, bm
+		}
 		if j, err := value.Join(a, b); err == nil {
 			joined = append(joined, j)
 		}
 	}
-	// Same-bucket pairs: equal atoms on the partition attribute.
-	for k, as := range rb {
-		for _, a := range as {
-			for _, b := range sb[k] {
-				tryJoin(a, b)
+	for _, m := range probe.elems {
+		if k, ok := atomOn(m, p.Attr); ok {
+			// Equal atoms join; the build side's wildcards join everything.
+			for _, bm := range buckets[k] {
+				tryJoin(m, bm)
 			}
-		}
-	}
-	// Wildcards pair with everything on the other side.
-	for _, a := range rw {
-		for _, b := range s.elems {
-			tryJoin(a, b)
-		}
-	}
-	for _, b := range sw {
-		for _, a := range r.elems {
-			// Pair only with r's non-wildcards: r's wildcards already met
-			// every member of s above.
-			ar, ok := a.(*value.Record)
-			if !ok {
-				continue
+			for _, bm := range buildWild {
+				tryJoin(m, bm)
 			}
-			if v, ok := ar.Get(attr); ok && isAtom(v) {
-				tryJoin(a, b)
+		} else {
+			// A probe wildcard pairs with the whole build side.
+			for _, bm := range build.elems {
+				tryJoin(m, bm)
 			}
 		}
 	}

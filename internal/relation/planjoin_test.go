@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dbpl/internal/value"
+)
+
+// genPartial builds a random partial relation: members sometimes silent on
+// Dept, sometimes carrying it non-atomically — the wildcard cases the
+// partition must preserve.
+func genPartial(rng *rand.Rand, n int) *Relation {
+	r := New()
+	for i := 0; i < n; i++ {
+		rec := value.NewRecord()
+		rec.Set("ID", value.Int(int64(i)))
+		if rng.Intn(4) != 0 {
+			if rng.Intn(5) == 0 {
+				rec.Set("Dept", value.Rec("Nested", value.Int(int64(rng.Intn(3)))))
+			} else {
+				rec.Set("Dept", value.String(fmt.Sprintf("D%d", rng.Intn(4))))
+			}
+		}
+		r.Insert(rec)
+	}
+	return r
+}
+
+// TestQuickJoinPlannedEquals: under EVERY plan — nested, partition
+// building left, partition building right — JoinPlanned equals the
+// reference Join. The planner can therefore only affect speed, never the
+// result.
+func TestQuickJoinPlannedEquals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genPartial(rng, 4+rng.Intn(24))
+		b := genPartial(rng, 4+rng.Intn(24))
+		want := Join(a, b)
+		plans := []JoinPlan{
+			{},
+			{Attr: "Dept", Partition: true, BuildRight: false},
+			{Attr: "Dept", Partition: true, BuildRight: true},
+			PlanJoin(a, b),
+		}
+		for _, p := range plans {
+			if !Equal(want, JoinPlanned(a, b, p)) {
+				t.Logf("seed %d: plan %+v diverges", seed, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanJoinBuildSideAndThreshold(t *testing.T) {
+	big, small := New(), New()
+	for i := 0; i < 60; i++ {
+		big.Insert(value.Rec("Name", value.String(fmt.Sprintf("E%d", i)),
+			"Dept", value.String(fmt.Sprintf("D%d", i%6))))
+	}
+	for i := 0; i < 8; i++ {
+		small.Insert(value.Rec("Dept", value.String(fmt.Sprintf("D%d", i%6)),
+			"Floor", value.Int(int64(i))))
+	}
+	p := PlanJoin(big, small)
+	if !p.Partition {
+		t.Fatalf("60×8 with a shared selective attribute should partition: %+v", p)
+	}
+	if !p.BuildRight {
+		t.Errorf("build side should be the smaller (right) relation: %+v", p)
+	}
+	if q := PlanJoin(small, big); q.BuildRight {
+		t.Errorf("swapped inputs: build side should be the smaller (left) relation: %+v", q)
+	}
+
+	// Tiny inputs: partitioning cannot pay for its setup.
+	tiny := New()
+	tiny.Insert(value.Rec("Dept", value.String("D1")))
+	if p := PlanJoin(tiny, tiny); p.Partition {
+		t.Errorf("1×1 join should be nested-loop: %+v", p)
+	}
+
+	// No shared atomic attribute: partitioning is impossible.
+	left, right := New(), New()
+	for i := 0; i < 40; i++ {
+		left.Insert(value.Rec("A", value.Int(int64(i))))
+		right.Insert(value.Rec("B", value.Int(int64(i))))
+	}
+	if p := PlanJoin(left, right); p.Partition {
+		t.Errorf("disjoint attributes should plan nested-loop: %+v", p)
+	}
+}
+
+func TestJoinPlanExplainRendering(t *testing.T) {
+	r, s := New(), New()
+	for i := 0; i < 40; i++ {
+		r.Insert(value.Rec("Dept", value.String(fmt.Sprintf("D%d", i%4)), "N", value.Int(int64(i))))
+		s.Insert(value.Rec("Dept", value.String(fmt.Sprintf("D%d", i%4)), "M", value.Int(int64(i))))
+	}
+	p := PlanJoin(r, s)
+	out := p.String()
+	if !strings.Contains(out, "path=partition") || !strings.Contains(out, "attr=Dept") ||
+		!strings.Contains(out, "cost{") {
+		t.Errorf("EXPLAIN rendering missing pieces: %q", out)
+	}
+	var zero JoinPlan
+	if !strings.Contains(zero.String(), "path=nested") {
+		t.Errorf("zero plan rendering: %q", zero.String())
+	}
+}

@@ -9,9 +9,13 @@ package server
 import (
 	"time"
 
+	"dbpl/internal/plan"
 	"dbpl/internal/server/wire"
 	"dbpl/internal/telemetry"
 )
+
+// numPlanPaths sizes the planner-decision counter array.
+const numPlanPaths = int(plan.PathIndex) + 1
 
 // serverMetrics is the per-server instrument set, pre-resolved into
 // arrays indexed by opcode and error code so the request loop never
@@ -37,9 +41,16 @@ type serverMetrics struct {
 
 	inflight *telemetry.Gauge // requests admitted and not yet answered
 	sessions *telemetry.Gauge // open connections
+
+	// Planner decisions, pre-resolved per path (a closed set — no
+	// cardinality hazard), and index-maintenance work done at commit.
+	planChosen    [numPlanPaths]*telemetry.Counter // GET access-path picks
+	joinNested    *telemetry.Counter               // JOIN planned nested-loop
+	joinPartition *telemetry.Counter               // JOIN planned build/probe
+	indexTouched  *telemetry.Counter               // index entries touched at commit
 }
 
-const lastKnownOp = int(wire.OpStats)
+const lastKnownOp = int(wire.OpExplain)
 const lastWireCode = wire.CodeDegraded
 
 // trackedOps are the request opcodes that get per-opcode series.
@@ -47,6 +58,7 @@ var trackedOps = []byte{
 	wire.OpPing, wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpJoin,
 	wire.OpBegin, wire.OpCommit, wire.OpAbort, wire.OpNames,
 	wire.OpHealth, wire.OpStats,
+	wire.OpCreateIndex, wire.OpDropIndex, wire.OpExplain,
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -71,6 +83,12 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		telemetry.UnitCount, telemetry.SizeBuckets)
 	m.inflight = reg.Gauge("dbpl_server_inflight")
 	m.sessions = reg.Gauge("dbpl_server_sessions")
+	for p := plan.PathScan; int(p) < numPlanPaths; p++ {
+		m.planChosen[p] = reg.Counter(`dbpl_plan_chosen_total{path="` + p.String() + `"}`)
+	}
+	m.joinNested = reg.Counter(`dbpl_plan_join_total{path="nested"}`)
+	m.joinPartition = reg.Counter(`dbpl_plan_join_total{path="partition"}`)
+	m.indexTouched = reg.Counter("dbpl_index_entries_touched_total")
 	return m
 }
 

@@ -54,9 +54,11 @@ import (
 
 	"dbpl/internal/core"
 	"dbpl/internal/dynamic"
+	"dbpl/internal/index"
 	"dbpl/internal/persist/codec"
 	"dbpl/internal/persist/intrinsic"
 	"dbpl/internal/persist/iofault"
+	"dbpl/internal/plan"
 	"dbpl/internal/relation"
 	"dbpl/internal/server/wire"
 	"dbpl/internal/telemetry"
@@ -175,18 +177,21 @@ func timeoutOr(d, def time.Duration) time.Duration {
 	return d
 }
 
-// state is one immutable committed view: the root bindings and the
-// database derived from them. Published through Server.state; never
-// mutated after publication.
+// state is one immutable committed view: the root bindings, the database
+// derived from them, and the maintained extents + field indexes over the
+// same membership. Published through Server.state; never mutated after
+// publication.
 type state struct {
 	roots map[string]*dynamic.Dynamic
 	db    *core.Database
+	idx   *index.Set
 }
 
 // apply returns the successor state with ops applied, forking the
-// database (O(shards)) so the previous state stays valid for readers
-// holding it.
-func (st *state) apply(ops []txnOp) *state {
+// database (O(shards)) and advancing the index set (COW, single
+// successor) so the previous state stays valid for readers holding it.
+// The returned stats report the index-maintenance work done.
+func (st *state) apply(ops []txnOp) (*state, index.ApplyStats) {
 	next := &state{
 		roots: make(map[string]*dynamic.Dynamic, len(st.roots)+len(ops)),
 		db:    st.db.Fork(),
@@ -194,17 +199,26 @@ func (st *state) apply(ops []txnOp) *state {
 	for k, v := range st.roots {
 		next.roots[k] = v
 	}
+	iops := make([]index.Op, 0, len(ops))
 	for _, o := range ops {
+		var iop index.Op
 		if old, ok := next.roots[o.name]; ok {
 			next.db.Remove(old)
 			delete(next.roots, o.name)
+			iop.Remove = old
 		}
 		if !o.del {
 			next.roots[o.name] = o.dyn
 			next.db.Insert(o.dyn)
+			iop.Add = o.dyn
+		}
+		if iop.Remove != nil || iop.Add != nil {
+			iops = append(iops, iop)
 		}
 	}
-	return next
+	var stats index.ApplyStats
+	next.idx, stats = st.idx.Apply(iops)
+	return next, stats
 }
 
 // txnOp is one buffered session write: bind name to dyn, or delete it.
@@ -243,6 +257,10 @@ type Server struct {
 	slow  *telemetry.SlowLog
 	start time.Time
 
+	// planModel is the feedback-fed cost model choosing the GET access
+	// path; every executed GET observes its latency back into it.
+	planModel *plan.Model
+
 	draining atomic.Bool
 	mu       sync.Mutex // guards ln, conns
 	ln       net.Listener
@@ -254,6 +272,7 @@ type Server struct {
 // published state from the store's committed roots.
 func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 	st := &state{roots: map[string]*dynamic.Dynamic{}, db: core.New(core.StrategyIndexed)}
+	var members []*dynamic.Dynamic
 	for _, name := range store.Names() {
 		r, ok := store.Root(name)
 		if !ok {
@@ -265,7 +284,16 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		}
 		st.roots[name] = d
 		st.db.Insert(d)
+		members = append(members, d)
 	}
+	// The index set rebuilds from the committed roots on every open (only
+	// the *definitions* are durable), so it can never be ahead of the
+	// durable state — the crash-matrix invariant.
+	defs := make([]index.Def, 0, 4)
+	for _, f := range store.IndexDefs() {
+		defs = append(defs, index.Def{Field: f})
+	}
+	st.idx = index.Rebuild(members, defs...)
 	srv := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}, start: time.Now()}
 	if n := cfg.idemCacheSize(); n > 0 {
 		srv.idem = newIdemCache(n)
@@ -276,11 +304,14 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		reg = telemetry.NewRegistry()
 	}
 	srv.m = newServerMetrics(reg)
+	srv.planModel = plan.NewModel(reg)
 	// Derived gauges: values that already live elsewhere, captured at
 	// snapshot time so HEALTH, STATS and /metrics all read one consistent
 	// Snapshot instead of re-loading atomics field by field.
 	reg.GaugeFunc("dbpl_server_uptime_ns", func() int64 { return int64(time.Since(srv.start)) })
 	reg.GaugeFunc("dbpl_server_roots", func() int64 { return int64(len(srv.state.Load().roots)) })
+	reg.GaugeFunc("dbpl_index_defs", func() int64 { return int64(len(srv.state.Load().idx.Defs())) })
+	reg.GaugeFunc("dbpl_index_extents", func() int64 { return int64(srv.state.Load().idx.Types()) })
 	reg.GaugeFunc("dbpl_server_degraded", func() int64 {
 		if srv.degraded.Load() {
 			return 1
@@ -648,6 +679,12 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 			out[i] = []byte(n)
 		}
 		return wire.OpOK, out
+	case wire.OpCreateIndex:
+		return s.handleCreateIndex(sess, fields)
+	case wire.OpDropIndex:
+		return s.handleDropIndex(sess, fields)
+	case wire.OpExplain:
+		return s.handleExplain(fields)
 	default:
 		return errResp(&wire.WireError{Code: wire.CodeUnknownOp, Msg: fmt.Sprintf("opcode %#x", op)})
 	}
@@ -714,9 +751,9 @@ func (s *Server) handleGet(sess *session, fields [][]byte) (byte, [][]byte) {
 	if sess.inTxn {
 		packed = sess.getOverlay(t)
 	} else {
-		// The lock-free hot path: one atomic load, then the sharded COW
-		// engine.
-		packed = s.state.Load().db.Get(t)
+		// The lock-free hot path: one atomic load, then the planner-chosen
+		// physical path against that snapshot.
+		packed = s.plannedGet(s.state.Load(), t)
 	}
 	out := make([][]byte, len(packed))
 	for i, p := range packed {
@@ -727,6 +764,59 @@ func (s *Server) handleGet(sess *session, fields [][]byte) (byte, [][]byte) {
 		out[i] = img
 	}
 	return wire.OpValues, out
+}
+
+// planInput sizes one GET for the planner: the snapshot's member and
+// extent counts, plus — when the requested type is a record — the
+// declared index on one of its fields with the fewest candidates. All
+// O(fields) map lookups, no data touched.
+func planInput(st *state, want *types.Interned) plan.GetInput {
+	in := plan.GetInput{N: st.idx.Len(), Types: st.idx.Types()}
+	if rt, ok := want.Type().(*types.Record); ok {
+		for _, fld := range rt.Fields() {
+			if c, ok := st.idx.CandidateCount(fld.Label); ok {
+				if in.Field == "" || c < in.Candidates {
+					in.Field, in.Candidates = fld.Label, c
+				}
+			}
+		}
+	}
+	return in
+}
+
+// plannedGet executes one non-transactional GET through the cost-chosen
+// physical path. All three paths return the same members in insertion
+// order (the plan/index property tests); the choice only affects time,
+// and the observed time feeds back into the model.
+func (s *Server) plannedGet(st *state, t types.Type) []core.Packed {
+	want := types.Intern(t)
+	p := s.planModel.PlanGet(planInput(st, want))
+	s.m.planChosen[p.Path].Inc()
+	began := time.Now()
+	var packed []core.Packed
+	items := 0
+	switch p.Path {
+	case plan.PathExtent:
+		entries, _ := st.idx.GetEntries(want)
+		items = len(entries)
+		packed = make([]core.Packed, len(entries))
+		for i, e := range entries {
+			packed[i] = core.Packed{Value: e.Dyn.Value(), Witness: e.Dyn.Type()}
+		}
+	case plan.PathIndex:
+		cands, _ := st.idx.Candidates(p.Field)
+		items = len(cands)
+		for _, e := range cands {
+			if types.SubtypeInterned(e.Dyn.Interned(), want) {
+				packed = append(packed, core.Packed{Value: e.Dyn.Value(), Witness: e.Dyn.Type()})
+			}
+		}
+	default: // PathScan: the sharded COW engine
+		packed = st.db.Get(t)
+		items = p.N
+	}
+	s.planModel.Observe(p.Path, time.Since(began), items, len(packed), p.N)
+	return packed
 }
 
 // getOverlay is GET inside a transaction: the pinned snapshot with the
@@ -819,7 +909,14 @@ func (s *Server) handleJoin(sess *session, fields [][]byte) (byte, [][]byte) {
 		vals1 = st.db.GetValues(t1)
 		vals2 = st.db.GetValues(t2)
 	}
-	joined := relation.JoinFast(relation.New(vals1...), relation.New(vals2...))
+	r1, r2 := relation.New(vals1...), relation.New(vals2...)
+	jp := relation.PlanJoin(r1, r2)
+	if jp.Partition {
+		s.m.joinPartition.Inc()
+	} else {
+		s.m.joinNested.Inc()
+	}
+	joined := relation.JoinPlanned(r1, r2, jp)
 	members := joined.Members()
 	out := make([][]byte, len(members))
 	for i, m := range members {
@@ -894,6 +991,141 @@ func (s *Server) handleDelete(sess *session, fields [][]byte) (byte, [][]byte) {
 	return wire.OpOK, [][]byte{boolField(existed[0])}
 }
 
+// ---------------------------------------------------------------------------
+// Index administration: CREATEINDEX, DROPINDEX, EXPLAIN
+// ---------------------------------------------------------------------------
+
+// handleCreateIndex declares a field-value index and backfills it from
+// the committed membership. The *definition* is durable (an 'X' record in
+// the commit group); the contents rebuild from the roots on every open.
+// Refused inside a transaction — index DDL is not transactional.
+func (s *Server) handleCreateIndex(sess *session, fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 1 && len(fields) != 2 {
+		return badReq("CREATEINDEX wants 1 or 2 fields, got %d", len(fields))
+	}
+	field := string(fields[0])
+	if field == "" {
+		return badReq("CREATEINDEX with empty field name")
+	}
+	if sess.inTxn {
+		return errResp(&wire.WireError{Code: wire.CodeTxn, Msg: "CREATEINDEX inside a transaction"})
+	}
+	var key string
+	if len(fields) == 2 {
+		key = string(fields[1])
+	}
+	created, err := s.alterIndex(field, true, key)
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	return wire.OpOK, [][]byte{boolField(created)}
+}
+
+// handleDropIndex removes a field-value index declaration; the response
+// reports whether it existed.
+func (s *Server) handleDropIndex(sess *session, fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 1 && len(fields) != 2 {
+		return badReq("DROPINDEX wants 1 or 2 fields, got %d", len(fields))
+	}
+	field := string(fields[0])
+	if field == "" {
+		return badReq("DROPINDEX with empty field name")
+	}
+	if sess.inTxn {
+		return errResp(&wire.WireError{Code: wire.CodeTxn, Msg: "DROPINDEX inside a transaction"})
+	}
+	var key string
+	if len(fields) == 2 {
+		key = string(fields[1])
+	}
+	existed, err := s.alterIndex(field, false, key)
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	return wire.OpOK, [][]byte{boolField(existed)}
+}
+
+// alterIndex is the index-DDL commit path: like commit(), it serializes
+// under commitMu, refuses on a poisoned write path, deduplicates retries
+// through the idempotency cache, makes the definition change durable in
+// its own commit group, and only then publishes the successor state (same
+// roots and database, the index set advanced). On store failure the log
+// replay in rollback() also reverts the definition — defs reload from the
+// log — so memory and disk cannot diverge. Reports whether anything
+// changed (created / existed).
+func (s *Server) alterIndex(field string, create bool, key string) (bool, error) {
+	began := time.Now()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if s.poisoned != nil {
+		s.m.degraded.Inc()
+		return false, &wire.WireError{Code: wire.CodeDegraded, Msg: s.poisoned.Error()}
+	}
+	if key != "" {
+		if res, ok := s.idem.get(key); ok {
+			s.m.idemHits.Inc()
+			return len(res) == 1 && res[0], nil
+		}
+	}
+	var changed bool
+	if create {
+		changed = s.store.DeclareIndex(field)
+	} else {
+		changed = s.store.DropIndexDef(field)
+	}
+	if changed {
+		if _, err := s.store.Commit(); err != nil {
+			s.rollback(err)
+			return false, err
+		}
+		cur := s.state.Load()
+		next := &state{roots: cur.roots, db: cur.db}
+		if create {
+			next.idx = cur.idx.WithField(index.Def{Field: field})
+		} else {
+			next.idx, _ = cur.idx.DropField(field)
+		}
+		s.state.Store(next)
+		s.m.commits.Inc()
+		s.m.commitSeconds.ObserveDuration(time.Since(began))
+		s.m.commitOps.Observe(1)
+	}
+	if key != "" {
+		s.idem.put(key, []bool{changed})
+	}
+	return changed, nil
+}
+
+// handleExplain is the EXPLAIN opcode: one type field renders the GET
+// plan the server would choose right now, two render the JOIN plan. Pure
+// read — nothing executes, nothing is counted as a planner decision.
+func (s *Server) handleExplain(fields [][]byte) (byte, [][]byte) {
+	st := s.state.Load()
+	switch len(fields) {
+	case 1:
+		t, err := wire.UnmarshalType(fields[0])
+		if err != nil {
+			return errResp(toWireError(err))
+		}
+		p := s.planModel.PlanGet(planInput(st, types.Intern(t)))
+		return wire.OpOK, [][]byte{[]byte(p.String())}
+	case 2:
+		t1, err := wire.UnmarshalType(fields[0])
+		if err != nil {
+			return errResp(toWireError(err))
+		}
+		t2, err := wire.UnmarshalType(fields[1])
+		if err != nil {
+			return errResp(toWireError(err))
+		}
+		r1 := relation.New(st.db.GetValues(t1)...)
+		r2 := relation.New(st.db.GetValues(t2)...)
+		return wire.OpOK, [][]byte{[]byte(relation.PlanJoin(r1, r2).String())}
+	default:
+		return badReq("EXPLAIN wants 1 or 2 fields, got %d", len(fields))
+	}
+}
+
 func boolField(b bool) []byte {
 	if b {
 		return []byte{1}
@@ -954,10 +1186,12 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 		s.rollback(err)
 		return nil, err
 	}
-	s.state.Store(cur.apply(ops))
+	next, istats := cur.apply(ops)
+	s.state.Store(next)
 	if key != "" {
 		s.idem.put(key, existed)
 	}
+	s.m.indexTouched.Add(uint64(istats.EntriesTouched))
 	// Commit-group instrumentation covers only durable publications; a
 	// refused or failed group shows up in the error counters instead. The
 	// latency includes the wait for commitMu — queueing behind a slow disk

@@ -48,6 +48,12 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(mustFrame(OpDelete, []byte("root"), idemKey))
 	f.Add(mustFrame(OpCommit, idemKey))
 	f.Add(mustFrame(OpStats))
+	// Index administration and plan inspection.
+	f.Add(mustFrame(OpCreateIndex, []byte("Empno")))
+	f.Add(mustFrame(OpCreateIndex, []byte("Empno"), idemKey))
+	f.Add(mustFrame(OpDropIndex, []byte("Empno"), idemKey))
+	f.Add(mustFrame(OpExplain, typeImg))
+	f.Add(mustFrame(OpExplain, typeImg, typeImg))
 	// Traced frames: flag set, leading uvarint trace-ID field.
 	tracedOp, tracedFields := AppendTrace(OpGet, 0xDEADBEEF, [][]byte{typeImg})
 	f.Add(mustFrame(tracedOp, tracedFields...))

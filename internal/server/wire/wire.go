@@ -59,12 +59,17 @@ const (
 	OpNames  byte = 0x09 // []                        -> OK [name...]
 	OpHealth byte = 0x0A // []                        -> OK [health fields]
 	OpStats  byte = 0x0B // []                        -> OK [snapshot]
+	// Index administration (write opcodes: the id? field is the
+	// idempotency key) and plan inspection.
+	OpCreateIndex byte = 0x0C // [field, id?]              -> OK [created(1)]
+	OpDropIndex   byte = 0x0D // [field, id?]              -> OK [existed(1)]
+	OpExplain     byte = 0x0E // [type-image(, type-image)] -> OK [plan-text]
 )
 
 // lastRequestOp is the highest assigned request opcode. The opcode
 // exhaustiveness test walks [OpPing, lastRequestOp]; update it when
 // appending an opcode. Request opcodes must stay below TraceFlag.
-const lastRequestOp = OpStats
+const lastRequestOp = OpExplain
 
 // Response opcodes.
 const (
@@ -112,6 +117,12 @@ func OpName(op byte) string {
 		return "HEALTH"
 	case OpStats:
 		return "STATS"
+	case OpCreateIndex:
+		return "CREATEINDEX"
+	case OpDropIndex:
+		return "DROPINDEX"
+	case OpExplain:
+		return "EXPLAIN"
 	case OpOK:
 		return "OK"
 	case OpValues:

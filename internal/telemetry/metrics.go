@@ -118,6 +118,18 @@ func (h *Histogram) Observe(v int64) {
 // histograms: the duration in nanoseconds).
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// Stat returns the observation count and exact sum without the deep copy
+// a Snapshot performs — cheap enough to call on every request. The two
+// loads are not mutually atomic; under concurrent Observes the pair is
+// approximate, which is fine for its consumer (the cost model's
+// mean-per-item feedback loop).
+func (h *Histogram) Stat() (count uint64, sum int64) {
+	for i := range h.counts {
+		count += h.counts[i].Load()
+	}
+	return count, h.sum.Load()
+}
+
 // DurationBuckets is the default latency bucket layout: 1µs to 10s in a
 // 1–2.5–5 progression, wide enough for a cache hit and an fsync alike.
 var DurationBuckets = []int64{
