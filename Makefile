@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests repl-tests clean
 
-all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests fuzz-wire
+all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests repl-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every experiment (E1–E16) as paper-style tables.
+# Regenerate every experiment (E1–E17) as paper-style tables.
 report:
 	$(GO) run ./cmd/benchreport
 
@@ -85,6 +85,17 @@ index-tests:
 	$(GO) test -race ./internal/index/ ./internal/plan/
 	$(GO) test -race -run 'Index|Plan|Explain|Extent' \
 		./internal/server/... ./internal/relation/ ./internal/persist/intrinsic/ ./client/
+
+# The replication battery (docs/REPLICATION.md): the wire codec for the
+# REPLICATE stream, the store-level ship/apply round-trip and the
+# follower-prefix crash matrix, the follower e2e suite (reads served,
+# writes refused typed, restart/resume both directions), the replication
+# chaos tests (partition/heal, flipped bytes on the stream, follower
+# crash mid-apply), and the client fan-out tests (read-your-writes
+# pinning, staleness bound, fallback) — all under the race detector.
+repl-tests:
+	$(GO) test -race -run 'Repl|Follower|Replica|Heartbeat|ReadOnly|PrimaryRestart|ReadGroups|ApplyGroup' \
+		./internal/server/... ./internal/persist/intrinsic/ ./client/
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

@@ -88,6 +88,11 @@ var (
 	// is poisoned and every write is refused until the process restarts,
 	// while reads and Health keep working. Not retryable.
 	ErrDegraded = wire.ErrDegraded
+	// ErrReadOnly is a replication follower refusing a write: this server
+	// never accepts writes, by role, and the refusal names the primary to
+	// aim at. Never retryable — a retry against the same server can only
+	// get the same answer.
+	ErrReadOnly = wire.ErrReadOnly
 
 	// ErrIOFailed is the persistence layer's I/O sentinel
 	// (iofault.ErrIOFailed); a remote I/O failure unwraps to it too, so
@@ -126,6 +131,18 @@ type Options struct {
 	// by default — it costs one uvarint field per frame and lets the
 	// server's slow-op log name the exact client call that suffered.
 	DisableTrace bool
+	// Replicas lists read-only follower addresses to fan idempotent reads
+	// out to (Get, Join, Names, Explain*). Writes, transactions, Health
+	// and Stats always go to the primary. See client/replicas.go.
+	Replicas []string
+	// MaxReplicaLag is the staleness bound in log bytes: a replica whose
+	// durable offset trails the primary's by more is left out of the read
+	// rotation until it catches up. 0 means 1MiB; negative means
+	// unlimited (read-your-writes pinning still applies).
+	MaxReplicaLag int64
+	// ReplicaProbe is the health-probe interval for replica rotation;
+	// 0 means 1s.
+	ReplicaProbe time.Duration
 }
 
 // RetryPolicy is exponential backoff with full jitter, capped by a total
@@ -229,6 +246,23 @@ func (o Options) requestTimeout() time.Duration {
 	return o.RequestTimeout
 }
 
+func (o Options) maxReplicaLag() int64 {
+	if o.MaxReplicaLag == 0 {
+		return 1 << 20
+	}
+	if o.MaxReplicaLag < 0 {
+		return -1 // unlimited
+	}
+	return o.MaxReplicaLag
+}
+
+func (o Options) replicaProbe() time.Duration {
+	if o.ReplicaProbe <= 0 {
+		return time.Second
+	}
+	return o.ReplicaProbe
+}
+
 // Packed mirrors core.Packed: a remote object with the witness type it was
 // stored at.
 type Packed = core.Packed
@@ -251,6 +285,11 @@ type Client struct {
 	pool   []*conn // fixed slots, lazily (re)dialed
 	closed bool
 	next   atomic.Uint64 // round-robin over the pool
+
+	// writes is the read-your-writes stamp (see noteWrite); reps the
+	// replica read rotation, nil without Options.Replicas.
+	writes atomic.Uint64
+	reps   *replicaSet
 }
 
 // Dial connects to a dbpl server, verifying liveness with a Ping.
@@ -274,6 +313,9 @@ func Dial(addr string, opts *Options) (*Client, error) {
 		c.Close()
 		return nil, err
 	}
+	if len(o.Replicas) > 0 {
+		c.reps = newReplicaSet(c, o.Replicas)
+	}
 	return c, nil
 }
 
@@ -288,9 +330,12 @@ func (c *Client) nextKey() []byte {
 	return key
 }
 
-// Close closes every pooled connection. Sessions hold their own
-// connections and must be finished separately.
+// Close closes every pooled and replica connection. Sessions hold their
+// own connections and must be finished separately.
 func (c *Client) Close() error {
+	if c.reps != nil {
+		c.reps.close()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
@@ -389,6 +434,13 @@ func retryable(err error) bool {
 	if errors.Is(err, ErrClosed) || errors.Is(err, ErrDone) {
 		return false
 	}
+	// A follower's write refusal is permanent and by role — unlike
+	// CodeOverloaded it cannot clear with time, so retrying against the
+	// same server only burns the backoff budget. The typed refusal names
+	// the primary; surface it immediately.
+	if errors.Is(err, ErrReadOnly) {
+		return false
+	}
 	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDeadline) || errors.Is(err, ErrConnLost) {
 		return true
 	}
@@ -427,9 +479,10 @@ func (c *Client) Health() (Health, error) {
 }
 
 // Get is the paper's generic extraction, remotely: every root whose
-// declared type is a subtype of t, packaged with its witness.
+// declared type is a subtype of t, packaged with its witness. With
+// Options.Replicas it may be served by a caught-up follower.
 func (c *Client) Get(t types.Type) ([]Packed, error) {
-	return decodeGet(c.call(wire.OpGet, mustTypeField(t)))
+	return decodeGet(c.readCall(wire.OpGet, mustTypeField(t)))
 }
 
 // GetExpr is Get over the concrete type syntax, e.g. "{Name: String}".
@@ -450,6 +503,7 @@ func (c *Client) Put(name string, v value.Value, declared types.Type) error {
 		return err
 	}
 	f = append(f, c.nextKey())
+	defer c.noteWrite()
 	_, _, err = expect(wire.OpOK)(c.call(wire.OpPut, f...))
 	return err
 }
@@ -458,13 +512,14 @@ func (c *Client) Put(name string, v value.Value, declared types.Type) error {
 // key-stamped: a retried DELETE reports the existed bit of its first
 // application, not of the retry.
 func (c *Client) Delete(name string) (bool, error) {
+	defer c.noteWrite()
 	return decodeDelete(c.call(wire.OpDelete, []byte(name), c.nextKey()))
 }
 
 // Join computes the generalized natural join (the paper's Figure 1) of
 // the extents at t1 and t2, remotely.
 func (c *Client) Join(t1, t2 types.Type) ([]value.Value, error) {
-	ps, err := decodeGet(c.call(wire.OpJoin, mustTypeField(t1), mustTypeField(t2)))
+	ps, err := decodeGet(c.readCall(wire.OpJoin, mustTypeField(t1), mustTypeField(t2)))
 	if err != nil {
 		return nil, err
 	}
@@ -481,12 +536,14 @@ func (c *Client) Join(t1, t2 types.Type) ([]value.Value, error) {
 // rebuilt from the committed roots on every server start. Key-stamped
 // like every write, so a retry applies exactly once.
 func (c *Client) CreateIndex(field string) (bool, error) {
+	defer c.noteWrite()
 	return decodeBool(c.call(wire.OpCreateIndex, []byte(field), c.nextKey()))
 }
 
 // DropIndex removes a field-value index declaration, reporting whether it
 // existed. Key-stamped.
 func (c *Client) DropIndex(field string) (bool, error) {
+	defer c.noteWrite()
 	return decodeBool(c.call(wire.OpDropIndex, []byte(field), c.nextKey()))
 }
 
@@ -494,18 +551,18 @@ func (c *Client) DropIndex(field string) (bool, error) {
 // now for a GET at t — the cost breakdown over scan, extent and index —
 // without executing anything.
 func (c *Client) ExplainGet(t types.Type) (string, error) {
-	return decodeText(c.call(wire.OpExplain, mustTypeField(t)))
+	return decodeText(c.readCall(wire.OpExplain, mustTypeField(t)))
 }
 
 // ExplainJoin renders the join plan (nested-loop or build/probe
 // partition) for joining the extents at t1 and t2.
 func (c *Client) ExplainJoin(t1, t2 types.Type) (string, error) {
-	return decodeText(c.call(wire.OpExplain, mustTypeField(t1), mustTypeField(t2)))
+	return decodeText(c.readCall(wire.OpExplain, mustTypeField(t1), mustTypeField(t2)))
 }
 
 // Names lists the root names.
 func (c *Client) Names() ([]string, error) {
-	_, fields, err := expect(wire.OpOK)(c.call(wire.OpNames))
+	_, fields, err := expect(wire.OpOK)(c.readCall(wire.OpNames))
 	if err != nil {
 		return nil, err
 	}
@@ -641,6 +698,7 @@ func (s *Session) Commit() error {
 	if s.done {
 		return ErrDone
 	}
+	defer s.c.noteWrite()
 	key := s.c.nextKey()
 	pol := s.c.o.RetryPolicy
 	budget := pol.budget()

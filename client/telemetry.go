@@ -68,6 +68,11 @@ type clientMetrics struct {
 	retryNet        *telemetry.Counter
 
 	backoffNS *telemetry.Counter
+
+	// Replica fan-out: reads attempted against a follower, and replica
+	// failures that fell back to the primary.
+	replicaReads     *telemetry.Counter
+	replicaFallbacks *telemetry.Counter
 }
 
 func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
@@ -85,6 +90,8 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 	m.retryConnLost = reg.Counter(`dbpl_client_retries_total{cause="conn_lost"}`)
 	m.retryNet = reg.Counter(`dbpl_client_retries_total{cause="net"}`)
 	m.backoffNS = reg.Counter("dbpl_client_backoff_ns_total")
+	m.replicaReads = reg.Counter("dbpl_client_replica_reads_total")
+	m.replicaFallbacks = reg.Counter("dbpl_client_replica_fallbacks_total")
 	return m
 }
 

@@ -1,9 +1,14 @@
 // The serve verb: a concurrent database server over an intrinsic store.
 //
-//	dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] [-ops 127.0.0.1:7071] store.log
+//	dbpl serve [-addr :7070] [-drain 5s] [-follow primary:7070] [-fsck] [-max-inflight n] [-ops 127.0.0.1:7071] store.log
+//
+// With -follow the server is a read-only replication follower: it streams
+// the primary's log, applies each verified commit group to its own, and
+// serves reads while refusing writes.
 //
 // See docs/SERVER.md for the wire protocol and transaction semantics,
 // docs/RESILIENCE.md for admission control and degraded mode,
+// docs/REPLICATION.md for log shipping and follower semantics,
 // docs/OBSERVABILITY.md for the metrics the -ops endpoint exposes.
 package main
 
@@ -30,6 +35,7 @@ func runServe(args []string, out io.Writer) error {
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	fsck := fs.Bool("fsck", false, "verify the log before serving; refuse to start on corruption")
 	maxInflight := fs.Int("max-inflight", 0, "admission-control cap on concurrently executing requests (0 = default 1024, negative = uncapped)")
+	follow := fs.String("follow", "", "replicate from the primary at this address and serve read-only")
 	opsAddr := fs.String("ops", "", "HTTP ops endpoint exposing /metrics, /slowops and /debug/pprof; unauthenticated — bind loopback (e.g. 127.0.0.1:7071)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +79,7 @@ func runServe(args []string, out io.Writer) error {
 		Logf:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 		MaxInFlight: *maxInflight,
 		Registry:    reg,
+		Follow:      *follow,
 	})
 	if err != nil {
 		return err
@@ -121,7 +128,12 @@ func runServe(args []string, out io.Writer) error {
 	}
 	// The banner is a protocol for scripts and tests: the bound address on
 	// one line, flushed before the first Accept.
-	fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots)\n", fs.Arg(0), ln.Addr(), srv.Stats().Roots)
+	if *follow != "" {
+		fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots, read-only follower of %s)\n",
+			fs.Arg(0), ln.Addr(), srv.Stats().Roots, *follow)
+	} else {
+		fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots)\n", fs.Arg(0), ln.Addr(), srv.Stats().Roots)
+	}
 
 	err = srv.Serve(ln)
 	if err != nil && !errors.Is(err, server.ErrServerClosed) {

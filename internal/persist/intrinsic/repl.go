@@ -1,0 +1,329 @@
+package intrinsic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/types"
+	"dbpl/internal/value"
+)
+
+// This file is the store's replication surface: a primary reads verified
+// commit groups back out of its own log (ReadGroupsAt), and a follower
+// appends them verbatim to its log and applies them to its materialized
+// state (ApplyGroup). Because groups are shipped as raw log bytes, a
+// follower's file is a byte-for-byte prefix of the primary's verified
+// prefix at every instant — the invariant the crash-matrix test replays —
+// and resuming after a crash on either side is just "send me everything
+// from my durable end".
+
+// HeaderSize is the length of the log header ("DBPLLOG" + version byte):
+// the smallest legal replication offset.
+const HeaderSize = int64(len(logMagic) + 1)
+
+// Replication errors.
+var (
+	// ErrBadOffset: a replication offset outside [HeaderSize, durable end].
+	ErrBadOffset = errors.New("intrinsic: replication offset out of range")
+	// ErrUnverified: the log is v1 (no group checksums), so groups cannot
+	// be verified before shipping or applying; Compact upgrades it.
+	ErrUnverified = errors.New("intrinsic: replication requires a v2 (checksummed) log")
+	// ErrBadGroup: the bytes handed to ApplyGroup are not a sequence of
+	// whole, valid commit groups.
+	ErrBadGroup = errors.New("intrinsic: bytes are not whole verified commit groups")
+)
+
+// DurableEnd returns the offset just past the last durable commit group.
+// It is lock-free: safe to call from health reporting while a commit is
+// wedged holding the store mutex.
+func (s *Store) DurableEnd() int64 { return s.endA.Load() }
+
+// EnterReplica puts the store in replica mode before the first group
+// arrives: local mutations (Bind, Commit, Compact, ...) are refused with
+// ErrReplica from here on, so the log can only grow through ApplyGroup.
+func (s *Store) EnterReplica() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replica = true
+}
+
+// scanRaw runs the structural scanner over raw bytes as if they followed a
+// v2 log header. Offsets in the returned summary therefore count from
+// HeaderSize, as in a real file.
+func scanRaw(raw []byte, sink scanSink) (scanSummary, error) {
+	hdr := append([]byte(logMagic), logVersion2)
+	return scanLog(io.MultiReader(bytes.NewReader(hdr), bytes.NewReader(raw)), sink)
+}
+
+// ReadGroupsAt reads whole commit groups starting exactly at offset from,
+// verifying structure and CRC before returning them — a primary ships only
+// its verified prefix. It returns the raw bytes, the offset of the first
+// byte after them, and how many groups they contain. maxBytes is a soft
+// target (<= 0 means 256 KiB): at least one whole group is always
+// returned, however large. from == DurableEnd returns (nil, from, 0, nil).
+func (s *Store) ReadGroupsAt(from int64, maxBytes int) ([]byte, int64, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, 0, ErrClosed
+	}
+	if s.broken != nil {
+		return nil, 0, 0, s.broken
+	}
+	if s.version != logVersion2 {
+		return nil, 0, 0, ErrUnverified
+	}
+	if from < HeaderSize || from > s.end {
+		return nil, 0, 0, fmt.Errorf("%w: %d (durable log spans [%d,%d])", ErrBadOffset, from, HeaderSize, s.end)
+	}
+	if from == s.end {
+		return nil, from, 0, nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 10
+	}
+	n := int64(maxBytes)
+	for {
+		if n > s.end-from {
+			n = s.end - from
+		}
+		buf, err := s.readAt(from, int(n))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		good, groups, cerr := groupBoundary(buf)
+		if cerr != nil {
+			return nil, 0, 0, cerr
+		}
+		if groups > 0 {
+			return buf[:good], from + good, groups, nil
+		}
+		if n == s.end-from {
+			// The whole durable remainder contains no complete group: the
+			// file rotted under us (the durable prefix always ends on a
+			// group boundary).
+			return nil, 0, 0, &CorruptError{Offset: from, Reason: "no commit-group boundary before durable end"}
+		}
+		n *= 2 // a single group larger than the window: widen and retry
+	}
+}
+
+// readAt reads n bytes at off and restores the file position to s.end —
+// the append path relies on the handle sitting at the durable end. Failing
+// to restore it poisons the store: a later append at an unknown position
+// could corrupt the log.
+func (s *Store) readAt(off int64, n int) ([]byte, error) {
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return nil, s.poison(wrapIO(iofault.OpSeek, s.path, err))
+	}
+	buf := make([]byte, n)
+	_, rerr := io.ReadFull(s.f, buf)
+	if _, err := s.f.Seek(s.end, io.SeekStart); err != nil {
+		return nil, s.poison(wrapIO(iofault.OpSeek, s.path, err))
+	}
+	if rerr != nil {
+		return nil, wrapIO(iofault.OpRead, s.path, rerr)
+	}
+	return buf, nil
+}
+
+// groupBoundary scans buf and returns the length of its longest prefix of
+// whole valid commit groups and how many groups that prefix holds. A cut
+// final group is fine (it just isn't counted); deterministic corruption is
+// an error.
+func groupBoundary(buf []byte) (int64, int, error) {
+	sum, err := scanRaw(buf, scanSink{})
+	if err != nil {
+		return 0, 0, err
+	}
+	if sum.corrupt != nil {
+		return 0, 0, sum.corrupt
+	}
+	return sum.goodEnd - HeaderSize, sum.commits, nil
+}
+
+// GroupDelta reports what ApplyGroup changed, in the vocabulary the server
+// needs to advance its published state: which roots were (re)bound, which
+// disappeared, and whether the index-definition table changed.
+type GroupDelta struct {
+	Start, End int64 // the log offsets the bytes occupy
+	Groups     int   // commit groups applied
+	// Changed names roots whose binding is new or different, sorted;
+	// Removed names roots no longer in the table, sorted.
+	Changed []string
+	Removed []string
+	// DefsChanged reports that the declared index-field set changed.
+	DefsChanged bool
+}
+
+// ApplyGroup verifies raw — one or more whole v2 commit groups that must
+// begin exactly at the store's durable end — appends it to the log with
+// the same rollback/poison discipline as a local commit, and applies it to
+// the materialized roots. The first call puts the store in replica mode
+// (see EnterReplica). Verification is complete before any I/O: a torn or
+// checksum-corrupt frame is rejected with ErrBadGroup or a *CorruptError
+// and the store is untouched.
+func (s *Store) ApplyGroup(raw []byte) (GroupDelta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var delta GroupDelta
+	if s.closed {
+		return delta, ErrClosed
+	}
+	if s.broken != nil {
+		return delta, s.broken
+	}
+	if s.version != logVersion2 {
+		return delta, ErrUnverified
+	}
+	s.replica = true
+	delta.Start, delta.End = s.end, s.end
+	if len(raw) == 0 {
+		return delta, nil
+	}
+
+	// 1. Structural + checksum verification, collecting the committed
+	//    effect, before a single byte touches the file.
+	newNodes := map[uint64][]byte{}
+	pending := map[uint64][]byte{}
+	var newRoots []rootEntry
+	var newDefs []string
+	sawRoots, sawDefs := false, false
+	var pendRoots []rootEntry
+	var pendDefs []string
+	pendSawRoots, pendSawDefs := false, false
+	sum, err := scanRaw(raw, scanSink{
+		node:      func(oid uint64, img []byte) { pending[oid] = img },
+		roots:     func(e []rootEntry) { pendRoots, pendSawRoots = e, true },
+		indexDefs: func(f []string) { pendDefs, pendSawDefs = f, true },
+		commit: func(int64) {
+			for oid, img := range pending {
+				newNodes[oid] = img
+			}
+			pending = map[uint64][]byte{}
+			if pendSawRoots {
+				newRoots, sawRoots, pendSawRoots = pendRoots, true, false
+			}
+			if pendSawDefs {
+				newDefs, sawDefs, pendSawDefs = pendDefs, true, false
+			}
+		},
+	})
+	if err != nil {
+		return delta, err
+	}
+	if sum.corrupt != nil {
+		return delta, sum.corrupt
+	}
+	if sum.commits == 0 || sum.goodEnd != HeaderSize+int64(len(raw)) {
+		return delta, fmt.Errorf("%w: frame does not end on a commit-group boundary", ErrBadGroup)
+	}
+	delta.Groups = sum.commits
+
+	// 2. Stage the in-memory effect without touching live state, so a
+	//    failed append leaves memory exactly at the old commit. A node
+	//    image overwriting a *different* existing image means in-place
+	//    mutation of a shared subgraph — a serve primary never produces
+	//    that (every PUT binds freshly decoded values), but a generic
+	//    primary can, and then the cheap per-root diff under-approximates:
+	//    fall back to re-materializing every root.
+	overwrite := false
+	for oid, img := range newNodes {
+		if prev, ok := s.nodes[oid]; ok && !bytes.Equal(prev, img) {
+			overwrite = true
+			break
+		}
+	}
+	var changedEntries []rootEntry
+	var removed []string
+	if sawRoots {
+		for _, e := range newRoots {
+			old, ok := s.lastRoots[e.name]
+			if !ok || overwrite || !bytes.Equal(old.inline, e.inline) ||
+				types.Intern(old.typ) != types.Intern(e.typ) {
+				changedEntries = append(changedEntries, e)
+			}
+		}
+		seen := make(map[string]bool, len(newRoots))
+		for _, e := range newRoots {
+			seen[e.name] = true
+		}
+		for name := range s.lastRoots {
+			if !seen[name] {
+				removed = append(removed, name)
+			}
+		}
+		sort.Strings(removed)
+	}
+	type stagedRoot struct {
+		entry rootEntry
+		val   value.Value
+	}
+	staged := make([]stagedRoot, 0, len(changedEntries))
+	s.applyOverlay = newNodes
+	cache := map[uint64]value.Value{}
+	for _, e := range changedEntries {
+		rd := &nodeReader{buf: e.inline}
+		v, merr := rd.inlineValue(func(oid uint64) (value.Value, error) {
+			return s.materialize(oid, cache, map[uint64]bool{})
+		})
+		if merr != nil {
+			s.applyOverlay = nil
+			return delta, merr
+		}
+		staged = append(staged, stagedRoot{entry: e, val: v})
+	}
+	s.applyOverlay = nil
+
+	// 3. Durable append — the shared write path with local commits.
+	if err := s.appendBytes(raw); err != nil {
+		return delta, err
+	}
+	delta.End = s.end
+
+	// 4. Publish to memory; nothing below can fail.
+	for oid, img := range newNodes {
+		s.nodes[oid] = img
+		if oid >= s.nextOID {
+			s.nextOID = oid + 1
+		}
+	}
+	if sawRoots {
+		for _, name := range removed {
+			delete(s.roots, name)
+		}
+		for _, st := range staged {
+			s.roots[st.entry.name] = &Root{Declared: st.entry.typ, Value: st.val}
+			delta.Changed = append(delta.Changed, st.entry.name)
+		}
+		sort.Strings(delta.Changed)
+		s.lastRoots = make(map[string]rootEntry, len(newRoots))
+		for _, e := range newRoots {
+			s.lastRoots[e.name] = e
+		}
+		delta.Removed = removed
+	}
+	if sawDefs {
+		next := make(map[string]bool, len(newDefs))
+		for _, f := range newDefs {
+			next[f] = true
+		}
+		if len(next) != len(s.indexDefs) {
+			delta.DefsChanged = true
+		} else {
+			for f := range next {
+				if !s.indexDefs[f] {
+					delta.DefsChanged = true
+					break
+				}
+			}
+		}
+		s.indexDefs = next
+		s.defsDirty = false
+	}
+	return delta, nil
+}

@@ -1,0 +1,420 @@
+package intrinsic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dbpl/internal/persist/iofault"
+	"dbpl/internal/value"
+)
+
+// primaryFixture builds a primary store with a scripted history: four
+// commits touching every record kind replication has to carry — node
+// images, root-table rewrites (including a rebind and an unbind), and an
+// index-definition change.
+func primaryFixture(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "primary.log")
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	commit := func() {
+		t.Helper()
+		if _, err := p.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Bind("emp", value.Rec("Name", value.String("J Doe"), "Empno", value.Int(1)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("tag", value.String("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	commit()
+	if err := p.Bind("emps", value.NewSet(
+		value.Rec("Empno", value.Int(1), "Name", value.String("A")),
+		value.Rec("Empno", value.Int(2), "Name", value.String("B")),
+	), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.DeclareIndex("Empno")
+	commit()
+	if err := p.Bind("tag", value.String("v2"), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Unbind("emp")
+	commit()
+	if err := p.Bind("n", value.Int(42), nil); err != nil {
+		t.Fatal(err)
+	}
+	commit()
+	return p, path
+}
+
+// allGroups reads the primary's whole verified log body in one window.
+func allGroups(t *testing.T, p *Store) []byte {
+	t.Helper()
+	raw, _, n, err := p.ReadGroupsAt(HeaderSize, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("primary fixture holds no commit groups")
+	}
+	return raw
+}
+
+// splitGroups cuts raw log bytes into individual commit groups at the
+// boundaries the structural scanner reports.
+func splitGroups(t *testing.T, raw []byte) [][]byte {
+	t.Helper()
+	var ends []int64
+	sum, err := scanRaw(raw, scanSink{commit: func(end int64) { ends = append(ends, end-HeaderSize) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.corrupt != nil {
+		t.Fatal(sum.corrupt)
+	}
+	groups := make([][]byte, 0, len(ends))
+	var prev int64
+	for _, end := range ends {
+		groups = append(groups, raw[prev:end])
+		prev = end
+	}
+	if prev != int64(len(raw)) {
+		t.Fatalf("%d trailing bytes past the last commit group", int64(len(raw))-prev)
+	}
+	return groups
+}
+
+// catchUp ships groups primary→follower until the follower's durable end
+// reaches the primary's, cross-checking that the offsets the two stores
+// report stay in lockstep (they must: the files are byte-identical).
+func catchUp(t *testing.T, p, f *Store) {
+	t.Helper()
+	for {
+		raw, next, n, err := p.ReadGroupsAt(f.DurableEnd(), 0)
+		if err != nil {
+			t.Fatalf("ReadGroupsAt(%d): %v", f.DurableEnd(), err)
+		}
+		if n == 0 {
+			return
+		}
+		delta, err := f.ApplyGroup(raw)
+		if err != nil {
+			t.Fatalf("ApplyGroup at %d: %v", f.DurableEnd(), err)
+		}
+		if delta.End != next || delta.Groups != n {
+			t.Fatalf("delta (end %d, %d groups) disagrees with shipped (next %d, %d groups)",
+				delta.End, delta.Groups, next, n)
+		}
+	}
+}
+
+// TestReplicationRoundTrip: shipping every group of a primary's log into a
+// fresh follower leaves the two log files byte-identical, the visible
+// roots equal, and the index-definition tables equal — and the follower's
+// file replays to the same state through a plain reopen.
+func TestReplicationRoundTrip(t *testing.T) {
+	p, ppath := primaryFixture(t)
+	fpath := filepath.Join(t.TempDir(), "follower.log")
+	f, err := Open(fpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	catchUp(t, p, f)
+
+	pb, err := os.ReadFile(ppath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(fpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, fb) {
+		t.Fatalf("follower log (%d bytes) is not byte-identical to primary log (%d bytes)", len(fb), len(pb))
+	}
+	if !sameState(render(p), render(f)) {
+		t.Fatalf("follower state %v != primary state %v", render(f), render(p))
+	}
+	if !reflect.DeepEqual(p.IndexDefs(), f.IndexDefs()) {
+		t.Fatalf("follower index defs %v != primary %v", f.IndexDefs(), p.IndexDefs())
+	}
+
+	// The shipped file stands on its own: a cold open replays it to the
+	// same state a local history would.
+	f2, err := Open(fpath)
+	if err != nil {
+		t.Fatalf("cold reopen of follower log: %v", err)
+	}
+	defer f2.Close()
+	if !sameState(render(p), render(f2)) {
+		t.Fatalf("reopened follower state %v != primary state %v", render(f2), render(p))
+	}
+}
+
+// TestApplyGroupDelta: each applied group reports exactly which roots
+// changed or vanished and whether the index-definition set moved — the
+// vocabulary the server uses to advance its published state.
+func TestApplyGroupDelta(t *testing.T) {
+	p, _ := primaryFixture(t)
+	groups := splitGroups(t, allGroups(t, p))
+	if len(groups) != 4 {
+		t.Fatalf("fixture produced %d groups, want 4", len(groups))
+	}
+	f, err := Open(filepath.Join(t.TempDir(), "follower.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	want := []GroupDelta{
+		{Changed: []string{"emp", "tag"}},
+		{Changed: []string{"emps"}, DefsChanged: true},
+		{Changed: []string{"tag"}, Removed: []string{"emp"}},
+		{Changed: []string{"n"}},
+	}
+	at := f.DurableEnd()
+	for i, g := range groups {
+		delta, err := f.ApplyGroup(g)
+		if err != nil {
+			t.Fatalf("group %d: %v", i, err)
+		}
+		if delta.Start != at || delta.End != at+int64(len(g)) || delta.Groups != 1 {
+			t.Fatalf("group %d spans [%d,%d) ×%d, want [%d,%d) ×1",
+				i, delta.Start, delta.End, delta.Groups, at, at+int64(len(g)))
+		}
+		at = delta.End
+		if !reflect.DeepEqual(delta.Changed, want[i].Changed) ||
+			!reflect.DeepEqual(delta.Removed, want[i].Removed) ||
+			delta.DefsChanged != want[i].DefsChanged {
+			t.Fatalf("group %d delta = {Changed:%v Removed:%v Defs:%v}, want {Changed:%v Removed:%v Defs:%v}",
+				i, delta.Changed, delta.Removed, delta.DefsChanged,
+				want[i].Changed, want[i].Removed, want[i].DefsChanged)
+		}
+	}
+}
+
+// TestApplyGroupRejectsDamage: a truncated group is refused as ErrBadGroup
+// and a checksum-damaged one as corruption — in both cases before any I/O,
+// leaving the follower's log and state untouched and still able to apply
+// the undamaged bytes.
+func TestApplyGroupRejectsDamage(t *testing.T) {
+	p, _ := primaryFixture(t)
+	groups := splitGroups(t, allGroups(t, p))
+	f, err := Open(filepath.Join(t.TempDir(), "follower.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ApplyGroup(groups[0]); err != nil {
+		t.Fatal(err)
+	}
+	end, state := f.DurableEnd(), render(f)
+
+	g := groups[1]
+	if _, err := f.ApplyGroup(g[:len(g)-3]); !errors.Is(err, ErrBadGroup) {
+		t.Fatalf("truncated group applied with %v, want ErrBadGroup", err)
+	}
+	// The group checksum is the last thing in the group: flipping a bit of
+	// it leaves the structure parseable and fails verification.
+	bad := append([]byte(nil), g...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := f.ApplyGroup(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("checksum-flipped group applied with %v, want ErrCorrupt", err)
+	}
+	// A flip in the middle lands wherever it lands — payload or structure —
+	// but is always refused with a typed error.
+	bad = append([]byte(nil), g...)
+	bad[len(bad)/2] ^= 0x20
+	if _, err := f.ApplyGroup(bad); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadGroup) {
+		t.Fatalf("mid-flipped group applied with %v, want ErrCorrupt or ErrBadGroup", err)
+	}
+
+	if f.DurableEnd() != end {
+		t.Fatalf("durable end moved %d→%d on rejected groups", end, f.DurableEnd())
+	}
+	if !sameState(render(f), state) {
+		t.Fatalf("state changed on rejected groups: %v != %v", render(f), state)
+	}
+	if _, err := f.ApplyGroup(g); err != nil {
+		t.Fatalf("undamaged group refused after rejections: %v", err)
+	}
+}
+
+// TestReplicaRefusesLocalMutation: once a store is a follower — via
+// EnterReplica or the first ApplyGroup — every local mutation path is a
+// typed refusal, so the log can only grow through replication.
+func TestReplicaRefusesLocalMutation(t *testing.T) {
+	f, err := Open(filepath.Join(t.TempDir(), "follower.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.EnterReplica()
+	if err := f.Bind("x", value.Int(1), nil); !errors.Is(err, ErrReplica) {
+		t.Fatalf("Bind on replica: %v, want ErrReplica", err)
+	}
+	if _, err := f.Commit(); !errors.Is(err, ErrReplica) {
+		t.Fatalf("Commit on replica: %v, want ErrReplica", err)
+	}
+	if _, err := f.Compact(); !errors.Is(err, ErrReplica) {
+		t.Fatalf("Compact on replica: %v, want ErrReplica", err)
+	}
+}
+
+// TestReadGroupsAtValidation: offsets outside the durable log are typed
+// ErrBadOffset, the durable end itself means "caught up", an offset inside
+// a group is detected as corruption (the primary never ships from a
+// non-boundary), and a tiny window still returns at least one whole group.
+func TestReadGroupsAtValidation(t *testing.T) {
+	p, _ := primaryFixture(t)
+	end := p.DurableEnd()
+	for _, from := range []int64{0, HeaderSize - 1, end + 1, 1 << 40} {
+		if _, _, _, err := p.ReadGroupsAt(from, 0); !errors.Is(err, ErrBadOffset) {
+			t.Errorf("ReadGroupsAt(%d) = %v, want ErrBadOffset", from, err)
+		}
+	}
+	raw, next, n, err := p.ReadGroupsAt(end, 0)
+	if err != nil || raw != nil || next != end || n != 0 {
+		t.Fatalf("ReadGroupsAt(end) = (%d bytes, %d, %d, %v), want (nil, %d, 0, nil)",
+			len(raw), next, n, err, end)
+	}
+	if _, _, _, err := p.ReadGroupsAt(HeaderSize+1, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadGroupsAt(mid-group) = %v, want ErrCorrupt", err)
+	}
+	raw, next, n, err = p.ReadGroupsAt(HeaderSize, 1)
+	if err != nil || n < 1 {
+		t.Fatalf("ReadGroupsAt(maxBytes=1) = (%d groups, %v), want at least one whole group", n, err)
+	}
+	if next != HeaderSize+int64(len(raw)) {
+		t.Fatalf("next %d != from+len(raw) %d", next, HeaderSize+int64(len(raw)))
+	}
+}
+
+// TestReplicationRequiresV2: a v1 log has no group checksums, so neither
+// side of the protocol will touch it — the primary refuses to ship and a
+// follower refuses to apply.
+func TestReplicationRequiresV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.log")
+	writeV1Log(t, path)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, _, err := s.ReadGroupsAt(HeaderSize, 0); !errors.Is(err, ErrUnverified) {
+		t.Fatalf("ReadGroupsAt on v1 log: %v, want ErrUnverified", err)
+	}
+	if _, err := s.ApplyGroup([]byte{recCommit}); !errors.Is(err, ErrUnverified) {
+		t.Fatalf("ApplyGroup on v1 log: %v, want ErrUnverified", err)
+	}
+}
+
+// applyAll opens a follower over fsys and applies the groups in order,
+// stopping at the first failure — exactly what a crash does.
+func applyAll(fsys iofault.FS, path string, groups [][]byte) int {
+	f, err := OpenFS(fsys, path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	for i, g := range groups {
+		if _, err := f.ApplyGroup(g); err != nil {
+			return i
+		}
+	}
+	return len(groups)
+}
+
+// TestFollowerPrefixCrashMatrix is the replication half of the crash
+// matrix: a probe run counts the mutating I/O operations of applying the
+// primary's whole history on a follower, then the apply is re-run crashing
+// at every boundary (with and without losing unsynced page-cache data).
+// After every crash the reopened follower must satisfy the shipping
+// invariant — its durable log is a byte-for-byte prefix of the primary's,
+// ending on a group boundary — and resuming from its durable end must
+// converge to a byte-identical file and equal visible state.
+func TestFollowerPrefixCrashMatrix(t *testing.T) {
+	p, ppath := primaryFixture(t)
+	groups := splitGroups(t, allGroups(t, p))
+	primaryBytes, err := os.ReadFile(ppath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(p)
+
+	probe := iofault.NewInjector(iofault.OS{})
+	if got := applyAll(probe, filepath.Join(t.TempDir(), "follower.log"), groups); got != len(groups) {
+		t.Fatalf("fault-free apply stopped after %d of %d groups", got, len(groups))
+	}
+	n := probe.Ops()
+	if n < 5 {
+		t.Fatalf("apply performed only %d mutating ops", n)
+	}
+
+	// Every legal durable end: the bare header, or the end of any group.
+	boundaries := map[int64]bool{HeaderSize: true}
+	off := HeaderSize
+	for _, g := range groups {
+		off += int64(len(g))
+		boundaries[off] = true
+	}
+
+	for _, lose := range []bool{false, true} {
+		for k := 1; k <= n; k++ {
+			t.Run(fmt.Sprintf("lose=%v/op=%d", lose, k), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "follower.log")
+				inj := iofault.NewInjector(iofault.OS{})
+				inj.LoseUnsynced = lose
+				inj.CrashAt(k)
+				applyAll(inj, path, groups)
+				if !inj.Crashed() {
+					t.Fatalf("crash at op %d never fired", k)
+				}
+
+				f, err := Open(path)
+				if err != nil {
+					t.Fatalf("reopen after crash at op %d: %v", k, err)
+				}
+				defer f.Close()
+				de := f.DurableEnd()
+				if !boundaries[de] {
+					t.Fatalf("durable end %d after crash is not a group boundary", de)
+				}
+				fb, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int64(len(fb)) < de || !bytes.Equal(fb[:de], primaryBytes[:de]) {
+					t.Fatalf("follower durable prefix [0,%d) diverges from primary", de)
+				}
+
+				// Resume: ship everything past the follower's durable end,
+				// then the two logs must be byte-identical.
+				catchUp(t, p, f)
+				fb, err = os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fb, primaryBytes) {
+					t.Fatalf("resumed follower log (%d bytes) not byte-identical to primary (%d bytes)",
+						len(fb), len(primaryBytes))
+				}
+				if !sameState(render(f), want) {
+					t.Fatalf("resumed follower state %v != primary state %v", render(f), want)
+				}
+			})
+		}
+	}
+}

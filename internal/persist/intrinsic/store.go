@@ -34,6 +34,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbpl/internal/dynamic"
 	"dbpl/internal/persist/iofault"
@@ -53,6 +54,11 @@ var (
 	// unknown state, so further appends are refused until Abort (which
 	// replays and re-trims) or a reopen.
 	ErrPoisoned = errors.New("intrinsic: store poisoned by a failed commit; Abort or reopen to recover")
+	// ErrReplica is returned by every local mutation (Bind, Commit,
+	// DeclareIndex, Compact, ...) on a store in replica mode: its log is a
+	// byte-for-byte prefix of a primary's, and a local commit group would
+	// diverge it forever. See EnterReplica and ApplyGroup in repl.go.
+	ErrReplica = errors.New("intrinsic: store is a replication follower; writes must go to the primary")
 )
 
 // TransientPrefix is the record-field label prefix marking fields that must
@@ -95,8 +101,11 @@ type Store struct {
 	// must match it. Compact always rewrites at the current version.
 	version byte
 	// end is the offset just past the last durable commit group — the
-	// only legal append position.
-	end int64
+	// only legal append position. endA mirrors it for lock-free readers
+	// (DurableEnd): health reporting must not block behind a commit wedged
+	// on a dying disk, which holds mu through the fsync.
+	end  int64
+	endA atomic.Int64
 	// tailDirty records that the file extends past end with torn bytes
 	// (crash leftovers); the next append truncates them first.
 	tailDirty bool
@@ -120,6 +129,18 @@ type Store struct {
 	// defsDirty records that indexDefs changed since the last commit that
 	// persisted them.
 	defsDirty bool
+
+	// replica marks a store fed by ApplyGroup (a replication follower);
+	// local mutations are refused with ErrReplica, and materialized values
+	// are not registered in oids (a follower never re-encodes them).
+	replica bool
+	// lastRoots retains the last applied root-table entries so ApplyGroup
+	// can diff a new table against them and re-materialize only the roots
+	// whose bound value changed.
+	lastRoots map[string]rootEntry
+	// applyOverlay, non-nil only inside ApplyGroup, lets materialize see
+	// the incoming group's node images before they are committed to nodes.
+	applyOverlay map[uint64][]byte
 }
 
 // Open opens (or creates) a store at path, replaying the log to the last
@@ -164,6 +185,13 @@ func (s *Store) Close() error {
 
 // Path returns the log file path.
 func (s *Store) Path() string { return s.path }
+
+// setEnd moves the durable end, keeping the lock-free mirror in step.
+// Callers hold s.mu.
+func (s *Store) setEnd(v int64) {
+	s.end = v
+	s.endA.Store(v)
+}
 
 // rootEntry is a parsed but not yet materialized root-table entry.
 type rootEntry struct {
@@ -233,15 +261,16 @@ func (s *Store) load() error {
 			return &iofault.IOError{Op: iofault.OpSync, Path: s.path, Err: err}
 		}
 		s.version = logVersion
-		s.end = int64(len(header))
+		s.setEnd(int64(len(header)))
 		s.tailDirty = false
+		s.lastRoots = map[string]rootEntry{}
 		return nil
 	}
 	if sum.corrupt != nil {
 		return sum.corrupt
 	}
 	s.version = sum.version
-	s.end = sum.goodEnd
+	s.setEnd(sum.goodEnd)
 	s.tailDirty = sum.torn
 
 	for _, f := range committed.defs {
@@ -253,8 +282,10 @@ func (s *Store) load() error {
 			s.nextOID = oid + 1
 		}
 	}
-	// Materialize the committed roots.
+	// Materialize the committed roots, retaining the raw entries for
+	// ApplyGroup's change detection.
 	cache := map[uint64]value.Value{}
+	s.lastRoots = make(map[string]rootEntry, len(committed.roots))
 	for _, e := range committed.roots {
 		rd := &nodeReader{buf: e.inline}
 		v, err := rd.inlineValue(func(oid uint64) (value.Value, error) {
@@ -264,6 +295,7 @@ func (s *Store) load() error {
 			return err
 		}
 		s.roots[e.name] = &Root{Declared: e.typ, Value: v}
+		s.lastRoots[e.name] = e
 	}
 	// Position the write handle at the end of durable data: a torn tail,
 	// if any, is overwritten by the next append (after truncation).
@@ -273,6 +305,16 @@ func (s *Store) load() error {
 	return nil
 }
 
+// register records a live container's OID so a later Commit can re-encode
+// it incrementally. A replica never commits locally, so registration is
+// skipped there — a long-running follower must not grow oids without
+// bound as groups stream in.
+func (s *Store) register(v value.Value, oid uint64) {
+	if !s.replica {
+		s.oids[v] = oid
+	}
+}
+
 // materialize decodes the node oid (and, recursively, its children) into a
 // live value, with sharing through cache.
 func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[uint64]bool) (value.Value, error) {
@@ -280,6 +322,9 @@ func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[u
 		return v, nil
 	}
 	img, ok := s.nodes[oid]
+	if o, ok2 := s.applyOverlay[oid]; ok2 {
+		img, ok = o, true // the incoming group's image wins during ApplyGroup
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: dangling oid %d", ErrCorrupt, oid)
 	}
@@ -298,7 +343,7 @@ func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[u
 	case inRecord:
 		rec := value.NewRecord()
 		cache[oid] = rec // before children: record cycles are supported
-		s.oids[rec] = oid
+		s.register(rec, oid)
 		n, err := r.uvarint()
 		if err != nil {
 			return nil, err
@@ -318,7 +363,7 @@ func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[u
 	case inList:
 		lst := value.NewList()
 		cache[oid] = lst
-		s.oids[lst] = oid
+		s.register(lst, oid)
 		n, err := r.uvarint()
 		if err != nil {
 			return nil, err
@@ -334,7 +379,7 @@ func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[u
 	case inSet:
 		set := value.NewSet()
 		cache[oid] = set
-		s.oids[set] = oid
+		s.register(set, oid)
 		busy[oid] = true
 		n, err := r.uvarint()
 		if err != nil {
@@ -362,7 +407,7 @@ func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[u
 		delete(busy, oid)
 		tv := value.NewTag(label, payload)
 		cache[oid] = tv
-		s.oids[tv] = oid
+		s.register(tv, oid)
 		return tv, nil
 	case inDynamic:
 		busy[oid] = true
@@ -380,7 +425,7 @@ func (s *Store) materialize(oid uint64, cache map[uint64]value.Value, busy map[u
 			return nil, fmt.Errorf("%w: persisted dynamic no longer conforms: %v", ErrCorrupt, err)
 		}
 		cache[oid] = d
-		s.oids[d] = oid
+		s.register(d, oid)
 		return d, nil
 	default:
 		return nil, fmt.Errorf("%w: node tag %d", ErrCorrupt, tag)
@@ -402,6 +447,9 @@ func (s *Store) Bind(name string, v value.Value, declared types.Type) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.replica {
+		return ErrReplica
+	}
 	s.roots[name] = &Root{Declared: declared, Value: v}
 	return nil
 }
@@ -633,14 +681,22 @@ func (s *Store) rollback(op iofault.Op, cause error) error {
 }
 
 // appendGroup appends one encoded commit group at s.end — adding the
-// CRC-32C trailer on v2 logs and clearing any torn tail first — and
-// advances s.end only when the group is fully durable.
+// CRC-32C trailer on v2 logs — via appendBytes.
 func (s *Store) appendGroup(out *nodeBuf) error {
 	if s.version == logVersion2 {
 		var tr [checksumSize]byte
 		binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(out.Bytes(), crcTable))
 		out.Write(tr[:])
 	}
+	return s.appendBytes(out.Bytes())
+}
+
+// appendBytes appends raw (already checksummed, when the format has
+// checksums) at s.end, clearing any torn tail first, and advances s.end
+// only when the bytes are fully durable. This is the single write path
+// shared by local commits and replicated groups (ApplyGroup), so both get
+// the identical rollback/poison discipline.
+func (s *Store) appendBytes(raw []byte) error {
 	if s.tailDirty {
 		if err := s.f.Truncate(s.end); err != nil {
 			return s.poison(wrapIO(iofault.OpTruncate, s.path, err))
@@ -650,13 +706,13 @@ func (s *Store) appendGroup(out *nodeBuf) error {
 		}
 		s.tailDirty = false
 	}
-	if _, err := s.f.Write(out.Bytes()); err != nil {
+	if _, err := s.f.Write(raw); err != nil {
 		return s.rollback(iofault.OpWrite, err)
 	}
 	if err := s.f.Sync(); err != nil {
 		return s.rollback(iofault.OpSync, err)
 	}
-	s.end += int64(out.Len())
+	s.setEnd(s.end + int64(len(raw)))
 	return nil
 }
 
@@ -677,6 +733,9 @@ func (s *Store) Commit() (CommitStats, error) {
 	}
 	if s.broken != nil {
 		return CommitStats{}, s.broken
+	}
+	if s.replica {
+		return CommitStats{}, ErrReplica
 	}
 	order := s.reach()
 	oidOf := func(v value.Value) uint64 { return s.oids[v] }
@@ -819,7 +878,7 @@ func (s *Store) Compact() (CompactStats, error) {
 	s.f.Close()
 	s.f = f
 	s.version = logVersion
-	s.end = int64(out.Len())
+	s.setEnd(int64(out.Len()))
 	s.tailDirty = false
 	s.defsDirty = false // the rewrite persisted the definitions
 	freed := len(s.nodes) - len(kept)

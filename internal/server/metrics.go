@@ -48,10 +48,22 @@ type serverMetrics struct {
 	joinNested    *telemetry.Counter               // JOIN planned nested-loop
 	joinPartition *telemetry.Counter               // JOIN planned build/probe
 	indexTouched  *telemetry.Counter               // index entries touched at commit
+
+	// Replication. The shipped side counts what this server streamed to
+	// followers; the applied side counts what this server (as a follower)
+	// verified and applied; reconnects counts the follow loop's re-dials.
+	replStreams       *telemetry.Gauge   // live REPLICATE subscriptions
+	replGroupsShipped *telemetry.Counter // commit groups streamed out
+	replBytesShipped  *telemetry.Counter // raw log bytes streamed out
+	replHeartbeats    *telemetry.Counter // idle keepalives sent
+	replGroupsApplied *telemetry.Counter // groups verified + applied (follower)
+	replBytesApplied  *telemetry.Counter // raw log bytes applied (follower)
+	replReconnects    *telemetry.Counter // follow-loop re-dials after a failure
+	replReadOnly      *telemetry.Counter // writes refused with CodeReadOnly
 }
 
-const lastKnownOp = int(wire.OpExplain)
-const lastWireCode = wire.CodeDegraded
+const lastKnownOp = int(wire.OpReplicate)
+const lastWireCode = wire.CodeReadOnly
 
 // trackedOps are the request opcodes that get per-opcode series.
 var trackedOps = []byte{
@@ -59,6 +71,7 @@ var trackedOps = []byte{
 	wire.OpBegin, wire.OpCommit, wire.OpAbort, wire.OpNames,
 	wire.OpHealth, wire.OpStats,
 	wire.OpCreateIndex, wire.OpDropIndex, wire.OpExplain,
+	wire.OpReplicate,
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -89,6 +102,14 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.joinNested = reg.Counter(`dbpl_plan_join_total{path="nested"}`)
 	m.joinPartition = reg.Counter(`dbpl_plan_join_total{path="partition"}`)
 	m.indexTouched = reg.Counter("dbpl_index_entries_touched_total")
+	m.replStreams = reg.Gauge("dbpl_repl_streams")
+	m.replGroupsShipped = reg.Counter("dbpl_repl_groups_shipped_total")
+	m.replBytesShipped = reg.Counter("dbpl_repl_bytes_shipped_total")
+	m.replHeartbeats = reg.Counter("dbpl_repl_heartbeats_total")
+	m.replGroupsApplied = reg.Counter("dbpl_repl_groups_applied_total")
+	m.replBytesApplied = reg.Counter("dbpl_repl_bytes_applied_total")
+	m.replReconnects = reg.Counter("dbpl_repl_reconnects_total")
+	m.replReadOnly = reg.Counter("dbpl_repl_readonly_refusals_total")
 	return m
 }
 

@@ -111,6 +111,19 @@ type Config struct {
 	// Logf, when set, receives one line per accepted connection error and
 	// per protocol violation. nil discards.
 	Logf func(format string, args ...any)
+	// Follow, when non-empty, makes this server a read-only replication
+	// follower of the primary at that address: it streams the primary's
+	// log via REPLICATE, applies each verified commit group to its own log
+	// and published state, serves reads, and refuses every write with
+	// CodeReadOnly. See docs/REPLICATION.md.
+	Follow string
+	// ReplHeartbeat is the keepalive interval on idle replication streams;
+	// a follower declares the link dead after 4 missed heartbeats and
+	// redials with jittered backoff. 0 means 1s.
+	ReplHeartbeat time.Duration
+	// ReplChunk is the soft size target of one REPDATA frame; a single
+	// commit group larger than it is still shipped whole. 0 means 256KiB.
+	ReplChunk int
 }
 
 func (c Config) maxFrame() int {
@@ -165,6 +178,20 @@ func (c Config) slowLogSize() int {
 		return 0 // disabled
 	}
 	return c.SlowLogSize
+}
+
+func (c Config) replHeartbeat() time.Duration {
+	if c.ReplHeartbeat <= 0 {
+		return time.Second
+	}
+	return c.ReplHeartbeat
+}
+
+func (c Config) replChunk() int {
+	if c.ReplChunk <= 0 {
+		return 256 << 10
+	}
+	return c.ReplChunk
 }
 
 func timeoutOr(d, def time.Duration) time.Duration {
@@ -266,11 +293,26 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
+
+	// commitSignal wakes idle replication streamers: every state
+	// publication swaps in a fresh channel and closes the old one, so a
+	// streamer that loaded the channel *before* reading the durable end
+	// can never miss a commit (see notifyCommit).
+	commitSignal atomic.Pointer[chan struct{}]
+	// shutdownCh is closed when Shutdown begins, waking replication
+	// streamers and the follow loop, which never sit in deadline-
+	// interruptible request reads.
+	shutdownCh   chan struct{}
+	shutdownOnce sync.Once
+	// follower is the follow-loop state, nil unless cfg.Follow is set.
+	follower *followerState
 }
 
-// New builds a server over an opened store, deriving the initial
-// published state from the store's committed roots.
-func New(store *intrinsic.Store, cfg Config) (*Server, error) {
+// stateFromStore derives a published state from the store's committed
+// roots. The index set rebuilds from those roots on every open (only the
+// *definitions* are durable), so it can never be ahead of the durable
+// state — the crash-matrix invariant.
+func stateFromStore(store *intrinsic.Store) (*state, error) {
 	st := &state{roots: map[string]*dynamic.Dynamic{}, db: core.New(core.StrategyIndexed)}
 	var members []*dynamic.Dynamic
 	for _, name := range store.Names() {
@@ -286,15 +328,30 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		st.db.Insert(d)
 		members = append(members, d)
 	}
-	// The index set rebuilds from the committed roots on every open (only
-	// the *definitions* are durable), so it can never be ahead of the
-	// durable state — the crash-matrix invariant.
 	defs := make([]index.Def, 0, 4)
 	for _, f := range store.IndexDefs() {
 		defs = append(defs, index.Def{Field: f})
 	}
 	st.idx = index.Rebuild(members, defs...)
+	return st, nil
+}
+
+// New builds a server over an opened store, deriving the initial
+// published state from the store's committed roots. When cfg.Follow is
+// set, the store enters replica mode (local writes refused from here on)
+// and the follow loop starts immediately — the server replicates even
+// before Serve is called.
+func New(store *intrinsic.Store, cfg Config) (*Server, error) {
+	if cfg.Follow != "" {
+		store.EnterReplica()
+	}
+	st, err := stateFromStore(store)
+	if err != nil {
+		return nil, err
+	}
 	srv := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}, start: time.Now()}
+	srv.shutdownCh = make(chan struct{})
+	srv.notifyCommit() // seed the commit-signal channel
 	if n := cfg.idemCacheSize(); n > 0 {
 		srv.idem = newIdemCache(n)
 	}
@@ -318,8 +375,27 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		}
 		return 0
 	})
+	reg.GaugeFunc("dbpl_store_durable_end", func() int64 { return store.DurableEnd() })
+	reg.GaugeFunc("dbpl_server_readonly", func() int64 {
+		if cfg.Follow != "" {
+			return 1
+		}
+		return 0
+	})
 	if n := cfg.slowLogSize(); n > 0 {
 		srv.slow = telemetry.NewSlowLog(n, cfg.slowOpThreshold())
+	}
+	if cfg.Follow != "" {
+		f := &followerState{done: make(chan struct{})}
+		srv.follower = f
+		reg.GaugeFunc("dbpl_repl_primary_end", func() int64 { return f.primaryEnd.Load() })
+		reg.GaugeFunc("dbpl_repl_lag_bytes", func() int64 {
+			if lag := f.primaryEnd.Load() - store.DurableEnd(); lag > 0 {
+				return lag
+			}
+			return 0
+		})
+		go srv.followLoop()
 	}
 	return srv, nil
 }
@@ -400,6 +476,13 @@ func (s *Server) Serve(ln net.Listener) error {
 // force-closed. The store is left open — the caller owns it.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Wake replication streamers (select-blocked, not read-blocked) and the
+	// follow loop, and sever the follower's upstream link so its blocked
+	// stream read fails now rather than at the heartbeat deadline.
+	s.shutdownOnce.Do(func() { close(s.shutdownCh) })
+	if s.follower != nil {
+		s.follower.closeConn()
+	}
 	s.mu.Lock()
 	if s.ln != nil {
 		s.ln.Close()
@@ -428,14 +511,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 
+	if s.follower != nil {
+		<-s.follower.done
+	}
+
 	// Final fsync: an (often empty) commit group marking the shutdown
 	// boundary durable. A poisoned write path must not append it — the
 	// store's in-memory root table has diverged from the committed state,
-	// and the group would durably encode that divergence.
+	// and the group would durably encode that divergence. A follower's log
+	// grows only through ApplyGroup (every applied group was already
+	// fsynced), so there is nothing to append — and the replica-mode store
+	// would refuse the attempt.
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	if s.poisoned != nil {
 		return s.poisoned
+	}
+	if s.cfg.Follow != "" {
+		return nil
 	}
 	if _, err := s.store.Commit(); err != nil {
 		return err
@@ -496,6 +589,13 @@ func (s *Server) serveConn(conn net.Conn) {
 				conn.SetWriteDeadline(time.Now().Add(writeTO))
 			}
 			wire.WriteFrame(conn, s.cfg.maxFrame(), wire.OpError, wire.ErrorFields(we)...)
+			return
+		}
+		// REPLICATE consumes the connection: it becomes a one-way stream of
+		// REPDATA/REPHEARTBEAT frames until the peer hangs up or we drain.
+		// Trace IDs are per-request and do not apply to a stream.
+		if op == wire.OpReplicate {
+			s.streamReplicate(conn, fields, writeTO)
 			return
 		}
 		began := time.Now()
@@ -629,6 +729,19 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 	if s.draining.Load() {
 		return errResp(&wire.WireError{Code: wire.CodeShutdown, Msg: "server is draining"})
 	}
+	// A follower refuses every mutation permanently and by role — distinct
+	// from CodeDegraded (this server is healthy) and never retryable
+	// against this server. The message names the primary so a misdirected
+	// client can re-aim.
+	if s.cfg.Follow != "" {
+		switch op {
+		case wire.OpPut, wire.OpDelete, wire.OpBegin, wire.OpCommit,
+			wire.OpCreateIndex, wire.OpDropIndex:
+			s.m.replReadOnly.Inc()
+			return errResp(&wire.WireError{Code: wire.CodeReadOnly,
+				Msg: fmt.Sprintf("read-only replication follower of %s; writes must go to the primary", s.cfg.Follow)})
+		}
+	}
 	switch op {
 	case wire.OpPing:
 		return wire.OpOK, nil
@@ -722,6 +835,11 @@ func toWireError(err error) *wire.WireError {
 		code = wire.CodeIO
 	case errors.Is(err, intrinsic.ErrClosed):
 		code = wire.CodeShutdown
+	case errors.Is(err, intrinsic.ErrReplica):
+		code = wire.CodeReadOnly
+	case errors.Is(err, intrinsic.ErrBadOffset), errors.Is(err, intrinsic.ErrUnverified),
+		errors.Is(err, intrinsic.ErrBadGroup):
+		code = wire.CodeBadRequest
 	case errors.Is(err, codec.ErrCorrupt), errors.Is(err, codec.ErrBadMagic),
 		errors.Is(err, codec.ErrBadVersion), errors.Is(err, codec.ErrLimitExceeded),
 		errors.Is(err, codec.ErrUnsupported):
@@ -1086,6 +1204,7 @@ func (s *Server) alterIndex(field string, create bool, key string) (bool, error)
 			next.idx, _ = cur.idx.DropField(field)
 		}
 		s.state.Store(next)
+		s.notifyCommit()
 		s.m.commits.Inc()
 		s.m.commitSeconds.ObserveDuration(time.Since(began))
 		s.m.commitOps.Observe(1)
@@ -1188,6 +1307,7 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 	}
 	next, istats := cur.apply(ops)
 	s.state.Store(next)
+	s.notifyCommit()
 	if key != "" {
 		s.idem.put(key, existed)
 	}
@@ -1231,12 +1351,16 @@ func (s *Server) handleHealth() (byte, [][]byte) {
 	roots, _ := snap.Gauge("dbpl_server_roots")
 	uptimeNS, _ := snap.Gauge("dbpl_server_uptime_ns")
 	degraded, _ := snap.Gauge("dbpl_server_degraded")
+	durableEnd, _ := snap.Gauge("dbpl_store_durable_end")
+	readOnly, _ := snap.Gauge("dbpl_server_readonly")
 	return wire.OpOK, wire.HealthFields(wire.Health{
-		Poisoned: degraded != 0,
-		InFlight: int(inflight),
-		Sessions: int(sessions),
-		Roots:    int(roots),
-		Uptime:   time.Duration(uptimeNS),
+		Poisoned:   degraded != 0,
+		ReadOnly:   readOnly != 0,
+		InFlight:   int(inflight),
+		Sessions:   int(sessions),
+		Roots:      int(roots),
+		Uptime:     time.Duration(uptimeNS),
+		DurableEnd: durableEnd,
 	})
 }
 

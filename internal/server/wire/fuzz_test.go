@@ -66,6 +66,25 @@ func FuzzReadFrame(f *testing.F) {
 		Msg: "shed", RetryAfter: 50 * time.Millisecond})...))
 	f.Add(mustFrame(OpOK, HealthFields(Health{Poisoned: true, InFlight: 7,
 		Sessions: 2, Roots: 100, Uptime: time.Hour})...))
+	// Replication: the subscribe request and both stream frame shapes,
+	// plus damaged variants (truncated group bytes, oversize offset, bad
+	// CRC trailer) — each must decode to a *WireError, never panic.
+	f.Add(mustFrame(OpReplicate, ReplicateFields(8)...))
+	f.Add(mustFrame(OpReplicate, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})) // > MaxInt64
+	f.Add(mustFrame(OpRepData, ReplDataFields(8, []byte("NOTALOGGROUP"))...))
+	f.Add(func() []byte { // truncated group payload invalidating the CRC
+		fields := ReplDataFields(8, []byte("group-bytes-here"))
+		fields[1] = fields[1][:4]
+		return mustFrame(OpRepData, fields...)
+	}())
+	f.Add(func() []byte { // flipped CRC trailer
+		fields := ReplDataFields(8, []byte("group-bytes-here"))
+		fields[2][0] ^= 0x40
+		return mustFrame(OpRepData, fields...)
+	}())
+	f.Add(mustFrame(OpRepData, []byte{8}, []byte("raw"))) // missing trailer
+	f.Add(mustFrame(OpRepHeartbeat, HeartbeatFields(1<<40)...))
+	f.Add(mustFrame(OpRepHeartbeat))
 	f.Add(append(mustFrame(OpBegin), mustFrame(OpCommit)...)) // pipelined
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})

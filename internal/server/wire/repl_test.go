@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReplicateReqRoundTrip: the subscribe request carries its offset
+// losslessly, and malformed offsets are typed bad requests.
+func TestReplicateReqRoundTrip(t *testing.T) {
+	for _, from := range []int64{0, 8, 1 << 20, 1<<62 + 12345} {
+		got, err := DecodeReplicateReq(ReplicateFields(from))
+		if err != nil {
+			t.Fatalf("DecodeReplicateReq(%d): %v", from, err)
+		}
+		if got != from {
+			t.Fatalf("offset %d round-tripped to %d", from, got)
+		}
+	}
+	bad := [][][]byte{
+		{},               // no fields
+		{{0x01}, {0x02}}, // two fields
+		{{0xFF}},         // unterminated uvarint
+		{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}}, // > MaxInt64
+	}
+	for i, fields := range bad {
+		if _, err := DecodeReplicateReq(fields); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("bad request %d decoded to %v, want ErrBadRequest", i, err)
+		}
+	}
+}
+
+// TestReplDataRoundTrip: a REPDATA frame carries offset and raw group
+// bytes under a CRC-32C that survives encode/decode.
+func TestReplDataRoundTrip(t *testing.T) {
+	raw := []byte("pretend-commit-group-bytes")
+	start, got, err := DecodeReplData(ReplDataFields(4096, raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 4096 || !bytes.Equal(got, raw) {
+		t.Fatalf("round trip = (%d, %q), want (4096, %q)", start, got, raw)
+	}
+	// Empty payload is legal (it cannot happen on a live stream, but the
+	// decoder must not care).
+	if _, got, err = DecodeReplData(ReplDataFields(8, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip = (%q, %v)", got, err)
+	}
+}
+
+// TestReplDataDetectsCorruption: any bit flip — in the offset, the
+// payload, or the trailer itself — fails the checksum with CodeCorrupt,
+// which tells the follower to drop the link and resubscribe rather than
+// apply the bytes.
+func TestReplDataDetectsCorruption(t *testing.T) {
+	raw := []byte("pretend-commit-group-bytes")
+	for _, flip := range []struct {
+		name  string
+		field int
+		bit   byte
+	}{
+		{"offset", 0, 0x01},
+		{"payload", 1, 0x80},
+		{"trailer", 2, 0x10},
+	} {
+		fields := ReplDataFields(4096, raw)
+		fields[flip.field] = append([]byte(nil), fields[flip.field]...)
+		fields[flip.field][0] ^= flip.bit
+		_, _, err := DecodeReplData(fields)
+		if !errors.Is(err, ErrRemoteCorrupt) {
+			t.Errorf("flipped %s decoded to %v, want ErrRemoteCorrupt", flip.name, err)
+		}
+		var we *WireError
+		if !errors.As(err, &we) || we.Code != CodeCorrupt {
+			t.Errorf("flipped %s: %v is not a CodeCorrupt WireError", flip.name, err)
+		}
+	}
+}
+
+// TestReplDataMalformed: structurally damaged frames are CodeBadFrame,
+// never a panic.
+func TestReplDataMalformed(t *testing.T) {
+	good := ReplDataFields(8, []byte("raw"))
+	bad := [][][]byte{
+		{},                         // no fields
+		good[:2],                   // missing trailer
+		{good[0], good[1], {1}},    // short trailer
+		{{0xFF}, good[1], good[2]}, // unterminated offset
+		{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, good[1], good[2]}, // oversize offset
+	}
+	for i, fields := range bad {
+		if _, _, err := DecodeReplData(fields); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("malformed frame %d decoded to %v, want ErrBadFrame", i, err)
+		}
+	}
+}
+
+// TestHeartbeatRoundTrip: the keepalive carries the primary's durable end.
+func TestHeartbeatRoundTrip(t *testing.T) {
+	got, err := DecodeHeartbeat(HeartbeatFields(1 << 40))
+	if err != nil || got != 1<<40 {
+		t.Fatalf("heartbeat round trip = (%d, %v)", got, err)
+	}
+	for i, fields := range [][][]byte{{}, {{0xFF}}, {{1}, {2}}} {
+		if _, err := DecodeHeartbeat(fields); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("malformed heartbeat %d decoded to %v, want ErrBadFrame", i, err)
+		}
+	}
+}
+
+// TestHealthCarriesReplicationFields: the extended HEALTH payload round-
+// trips the follower flag and durable offset next to the original fields,
+// and a short frame stays a typed decode error.
+func TestHealthCarriesReplicationFields(t *testing.T) {
+	want := Health{
+		Poisoned: true, ReadOnly: true,
+		InFlight: 3, Sessions: 9, Roots: 42,
+		Uptime: 90210, DurableEnd: 1 << 33,
+	}
+	got, err := DecodeHealth(HealthFields(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Health round trip = %+v, want %+v", got, want)
+	}
+	if _, err := DecodeHealth(HealthFields(want)[:5]); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short HEALTH decoded to %v, want ErrBadFrame", err)
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"time"
 
 	"dbpl/internal/persist/codec"
@@ -64,18 +66,32 @@ const (
 	OpCreateIndex byte = 0x0C // [field, id?]              -> OK [created(1)]
 	OpDropIndex   byte = 0x0D // [field, id?]              -> OK [existed(1)]
 	OpExplain     byte = 0x0E // [type-image(, type-image)] -> OK [plan-text]
+	// OpReplicate subscribes the connection to the primary's log: [from]
+	// (uvarint durable offset). The server answers with an open-ended
+	// stream of OpRepData / OpRepHeartbeat frames instead of a single
+	// response; the connection carries nothing else afterwards.
+	OpReplicate byte = 0x0F
 )
 
 // lastRequestOp is the highest assigned request opcode. The opcode
 // exhaustiveness test walks [OpPing, lastRequestOp]; update it when
 // appending an opcode. Request opcodes must stay below TraceFlag.
-const lastRequestOp = OpExplain
+const lastRequestOp = OpReplicate
 
-// Response opcodes.
+// Response opcodes. OpRepData and OpRepHeartbeat are the replication
+// stream (see OpReplicate): REPDATA carries whole commit groups as raw log
+// bytes [startOffset, raw, crc32c], where the 4-byte little-endian CRC-32C
+// trailer covers the offset field followed by the raw bytes — so a flipped
+// bit anywhere in the frame (offset or payload) is detected before the
+// follower touches its log. REPHEARTBEAT is the idle keepalive
+// [durableEnd], letting a follower distinguish a quiet primary from a dead
+// link and track lag while fully caught up.
 const (
-	OpOK     byte = 0x80
-	OpValues byte = 0x81
-	OpError  byte = 0x82 // [code(1), message]
+	OpOK           byte = 0x80
+	OpValues       byte = 0x81
+	OpError        byte = 0x82 // [code(1), message]
+	OpRepData      byte = 0x83 // [startOffset, rawGroups, crc32c(4)]
+	OpRepHeartbeat byte = 0x84 // [durableEnd]
 )
 
 // TraceFlag marks a *traced* frame in either direction: the opcode byte
@@ -123,12 +139,18 @@ func OpName(op byte) string {
 		return "DROPINDEX"
 	case OpExplain:
 		return "EXPLAIN"
+	case OpReplicate:
+		return "REPLICATE"
 	case OpOK:
 		return "OK"
 	case OpValues:
 		return "VALUES"
 	case OpError:
 		return "ERROR"
+	case OpRepData:
+		return "REPDATA"
+	case OpRepHeartbeat:
+		return "REPHEARTBEAT"
 	default:
 		return fmt.Sprintf("op(%#x)", op)
 	}
@@ -201,11 +223,16 @@ const (
 	// could not be rolled back) and it is running in degraded read-only
 	// mode; reads and HEALTH keep working until the process restarts.
 	CodeDegraded
+	// CodeReadOnly: the server is a replication follower and permanently
+	// refuses writes; the message names the primary to send them to.
+	// Unlike CodeOverloaded this is never retryable against this server —
+	// a follower does not become writable by waiting.
+	CodeReadOnly
 )
 
 // lastCode is the highest assigned code. The exhaustiveness test walks
 // [CodeBadFrame, lastCode]; update it when appending a code.
-const lastCode = CodeDegraded
+const lastCode = CodeReadOnly
 
 // Per-code sentinels; a *WireError unwraps to the sentinel of its code so
 // clients dispatch with errors.Is.
@@ -224,6 +251,7 @@ var (
 	ErrInternal      = errors.New("wire: internal server error")
 	ErrOverloaded    = errors.New("wire: server overloaded")
 	ErrDegraded      = errors.New("wire: server degraded to read-only")
+	ErrReadOnly      = errors.New("wire: server is a read-only replication follower")
 )
 
 // String names the code.
@@ -257,6 +285,8 @@ func (c Code) String() string {
 		return "overloaded"
 	case CodeDegraded:
 		return "degraded"
+	case CodeReadOnly:
+		return "read-only"
 	default:
 		return fmt.Sprintf("code(%d)", byte(c))
 	}
@@ -291,6 +321,8 @@ func (c Code) Sentinel() error {
 		return ErrOverloaded
 	case CodeDegraded:
 		return ErrDegraded
+	case CodeReadOnly:
+		return ErrReadOnly
 	default:
 		return ErrInternal
 	}
@@ -475,17 +507,26 @@ func DecodeError(fields [][]byte) error {
 // ---------------------------------------------------------------------------
 
 // Health is the server's self-report: whether the write path is poisoned
-// (degraded read-only mode), how much work is in flight, how many
-// sessions are connected, the committed root count, and the uptime. It is
-// the payload of the HEALTH opcode's OK response, and the one request a
-// server answers even while shedding load — a monitor must be able to ask
-// "are you overloaded?" of an overloaded server.
+// (degraded read-only mode), whether it is a read-only replication
+// follower, how much work is in flight, how many sessions are connected,
+// the committed root count, the uptime, and the store's durable log
+// offset. It is the payload of the HEALTH opcode's OK response, and the
+// one request a server answers even while shedding load — a monitor must
+// be able to ask "are you overloaded?" of an overloaded server.
 type Health struct {
 	Poisoned bool
+	// ReadOnly reports a replication follower: writes are refused with
+	// CodeReadOnly.
+	ReadOnly bool
 	InFlight int
 	Sessions int
 	Roots    int
 	Uptime   time.Duration
+	// DurableEnd is the byte offset just past the store's last durable
+	// commit group. On a follower it is the applied replication offset, so
+	// primary.DurableEnd - follower.DurableEnd is the replication lag in
+	// log bytes — observable from HEALTH alone, no STATS needed.
+	DurableEnd int64
 }
 
 // HealthFields encodes the HEALTH response payload.
@@ -494,21 +535,25 @@ func HealthFields(h Health) [][]byte {
 	if h.Poisoned {
 		flags |= 1
 	}
+	if h.ReadOnly {
+		flags |= 2
+	}
 	return [][]byte{
 		{flags},
 		uvarintField(uint64(h.InFlight)),
 		uvarintField(uint64(h.Sessions)),
 		uvarintField(uint64(h.Roots)),
 		uvarintField(uint64(h.Uptime)),
+		uvarintField(uint64(h.DurableEnd)),
 	}
 }
 
 // DecodeHealth reconstructs the Health from a HEALTH response payload.
 func DecodeHealth(fields [][]byte) (Health, error) {
-	if len(fields) != 5 || len(fields[0]) != 1 {
+	if len(fields) != 6 || len(fields[0]) != 1 {
 		return Health{}, errf(CodeBadFrame, "malformed HEALTH response")
 	}
-	var u [4]uint64
+	var u [5]uint64
 	for i, f := range fields[1:] {
 		v, ok := uvarintOf(f)
 		if !ok {
@@ -517,12 +562,93 @@ func DecodeHealth(fields [][]byte) (Health, error) {
 		u[i] = v
 	}
 	return Health{
-		Poisoned: fields[0][0]&1 != 0,
-		InFlight: int(u[0]),
-		Sessions: int(u[1]),
-		Roots:    int(u[2]),
-		Uptime:   time.Duration(u[3]),
+		Poisoned:   fields[0][0]&1 != 0,
+		ReadOnly:   fields[0][0]&2 != 0,
+		InFlight:   int(u[0]),
+		Sessions:   int(u[1]),
+		Roots:      int(u[2]),
+		Uptime:     time.Duration(u[3]),
+		DurableEnd: int64(u[4]),
 	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Replication frames (the REPLICATE opcode and its stream)
+// ---------------------------------------------------------------------------
+
+// replCRCTable is the Castagnoli polynomial — the same CRC-32C the
+// intrinsic log uses for its commit groups, so one hardware-accelerated
+// checksum family covers disk and wire.
+var replCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ReplicateFields encodes the REPLICATE request: stream my log from this
+// durable offset.
+func ReplicateFields(from int64) [][]byte {
+	return [][]byte{uvarintField(uint64(from))}
+}
+
+// DecodeReplicateReq decodes the REPLICATE request payload. An offset that
+// does not fit an int64 is as malformed as a truncated one.
+func DecodeReplicateReq(fields [][]byte) (int64, error) {
+	if len(fields) != 1 {
+		return 0, errf(CodeBadRequest, "REPLICATE wants 1 field, got %d", len(fields))
+	}
+	v, ok := uvarintOf(fields[0])
+	if !ok {
+		return 0, errf(CodeBadRequest, "malformed REPLICATE offset")
+	}
+	if v > math.MaxInt64 {
+		return 0, errf(CodeBadRequest, "REPLICATE offset %d overflows", v)
+	}
+	return int64(v), nil
+}
+
+// ReplDataFields encodes one REPDATA stream frame: whole commit groups as
+// raw log bytes starting at offset start, trailed by the CRC-32C of the
+// offset field followed by the raw bytes.
+func ReplDataFields(start int64, raw []byte) [][]byte {
+	off := uvarintField(uint64(start))
+	sum := crc32.Update(crc32.Update(0, replCRCTable, off), replCRCTable, raw)
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], sum)
+	return [][]byte{off, raw, tr[:]}
+}
+
+// DecodeReplData verifies and decodes a REPDATA frame. A checksum mismatch
+// is CodeCorrupt — the follower must drop the connection and resubscribe
+// from its durable offset rather than apply the bytes; any other
+// malformation is CodeBadFrame. Never panics (FuzzReadFrame feeds this).
+func DecodeReplData(fields [][]byte) (int64, []byte, error) {
+	if len(fields) != 3 || len(fields[2]) != 4 {
+		return 0, nil, errf(CodeBadFrame, "malformed REPDATA frame")
+	}
+	v, ok := uvarintOf(fields[0])
+	if !ok || v > math.MaxInt64 {
+		return 0, nil, errf(CodeBadFrame, "malformed REPDATA offset")
+	}
+	sum := crc32.Update(crc32.Update(0, replCRCTable, fields[0]), replCRCTable, fields[1])
+	if got := binary.LittleEndian.Uint32(fields[2]); got != sum {
+		return 0, nil, errf(CodeCorrupt,
+			"REPDATA checksum mismatch (stored %08x, computed %08x)", got, sum)
+	}
+	return int64(v), fields[1], nil
+}
+
+// HeartbeatFields encodes a REPHEARTBEAT frame: the primary's durable end.
+func HeartbeatFields(end int64) [][]byte {
+	return [][]byte{uvarintField(uint64(end))}
+}
+
+// DecodeHeartbeat decodes a REPHEARTBEAT frame.
+func DecodeHeartbeat(fields [][]byte) (int64, error) {
+	if len(fields) != 1 {
+		return 0, errf(CodeBadFrame, "malformed REPHEARTBEAT frame")
+	}
+	v, ok := uvarintOf(fields[0])
+	if !ok || v > math.MaxInt64 {
+		return 0, errf(CodeBadFrame, "malformed REPHEARTBEAT offset")
+	}
+	return int64(v), nil
 }
 
 // UvarintField encodes v as a standalone uvarint field (trace IDs,
