@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests repl-tests clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests clean
 
-all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests repl-tests fuzz-wire
+all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every experiment (E1–E17) as paper-style tables.
+# Regenerate every experiment (E1–E18) as paper-style tables.
 report:
 	$(GO) run ./cmd/benchreport
 
@@ -96,6 +96,17 @@ index-tests:
 repl-tests:
 	$(GO) test -race -run 'Repl|Follower|Replica|Heartbeat|ReadOnly|PrimaryRestart|ReadGroups|ApplyGroup' \
 		./internal/server/... ./internal/persist/intrinsic/ ./client/
+
+# The group-commit battery (docs/PERSISTENCE.md durability modes): the
+# store-level batched-append tests (stage/sync round trip, byte-identity
+# with the serial log, the crash matrix at every I/O boundary, prefix
+# replay), the coalescer white-box tests (shared fsync, fail-the-whole-
+# batch, the stage→ack poison regression, exactly-once idempotency, the
+# async watermark), and the e2e concurrency stress — all under the race
+# detector.
+commit-tests:
+	$(GO) test -race -run 'Batch|Stage|SyncBatch|Coalescer|GroupCommit|Async|Compact' \
+		./internal/persist/intrinsic/ ./internal/server/...
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

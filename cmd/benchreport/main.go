@@ -32,6 +32,7 @@ import (
 	"dbpl/internal/index"
 	"dbpl/internal/persist/codec"
 	"dbpl/internal/persist/intrinsic"
+	"dbpl/internal/persist/iofault"
 	"dbpl/internal/persist/replicating"
 	"dbpl/internal/persist/snapshot"
 	"dbpl/internal/plan"
@@ -97,6 +98,9 @@ func main() {
 	}
 	if sel("E17") {
 		e17Replication()
+	}
+	if sel("E18") {
+		e18GroupCommit()
 	}
 }
 
@@ -1044,4 +1048,181 @@ func e17Replication() {
 	fmt.Println("wall clock and the table shows absence-of-overhead, not speedup (the")
 	fmt.Println("E13 caveat); the lag numbers are the honest cost of asynchrony: the")
 	fmt.Println("window trails by about one commit group and closes in milliseconds.")
+}
+
+// ---------------------------------------------------------------------------
+
+// slowSyncFS models an SSD-class disk on hosts whose fsync is nearly
+// free (tmpfs, battery-backed cache): every Sync costs an extra fixed
+// latency. Without it E18 would measure the loopback round trip, not
+// durability amortization — the fsync must be the dominant cost for the
+// experiment's question to be the one answered.
+type slowSyncFS struct {
+	iofault.FS
+	delay time.Duration
+}
+
+func (f slowSyncFS) OpenFile(name string, flag int, perm os.FileMode) (iofault.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: file, delay: f.delay}, nil
+}
+
+type slowSyncFile struct {
+	iofault.File
+	delay time.Duration
+}
+
+func (f slowSyncFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+// e18Serve is e17Serve over the modeled disk.
+func e18Serve(path string, cfg server.Config, syncDelay time.Duration) (string, func(), error) {
+	st, err := intrinsic.OpenFS(slowSyncFS{FS: iofault.OS{}, delay: syncDelay}, path)
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := server.New(st, cfg)
+	if err != nil {
+		st.Close()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return "", nil, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+		st.Close()
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// e18Throughput runs `writers` goroutines, each autocommitting PUTs over
+// its own client for a fixed wall window, and returns aggregate acked
+// writes per second.
+func e18Throughput(addr string, writers int, window time.Duration) (float64, error) {
+	clients := make([]*client.Client, writers)
+	for i := range clients {
+		c, err := client.Dial(addr, &client.Options{PoolSize: 1})
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("w%02d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				if err := clients[w].Put(name, value.Int(int64(i)), nil); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	time.Sleep(window)
+	close(stopCh)
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, err
+	}
+	return float64(ops.Load()) / window.Seconds(), nil
+}
+
+func e18GroupCommit() {
+	header("E18", "group commit: PUT throughput vs writer concurrency per durability mode",
+		`per-commit durability serializes every writer behind a private fsync,
+       so aggregate throughput flatlines at 1/fsync no matter how many
+       clients push; the commit coalescer stages concurrent commits into
+       one batch promoted by one shared fsync, so throughput should scale
+       with the batch while each writer keeps the same guarantee; async
+       acks before the fsync and marks the upper bound (and its price)`)
+	window := 400 * time.Millisecond
+	sweep := []int{1, 2, 4, 8, 16}
+	syncDelay := 2 * time.Millisecond // SSD-class fsync
+	if *quick {
+		window = 150 * time.Millisecond
+		sweep = []int{1, 4, 8}
+	}
+	dir, err := os.MkdirTemp("", "e18-*")
+	if err != nil {
+		fmt.Println("e18: ", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("fsync modeled at %v (SSD-class); host fsync is near-free, which\n", syncDelay)
+	fmt.Println("would measure the loopback round trip instead of durability cost")
+	modes := []server.Durability{server.DurPerCommit, server.DurGroup, server.DurAsync}
+	rates := map[server.Durability]map[int]float64{}
+	fmt.Printf("\n%-12s |", "durability")
+	for _, w := range sweep {
+		fmt.Printf(" %9s", fmt.Sprintf("w=%d", w))
+	}
+	fmt.Println("   (acked writes/sec)")
+	for _, mode := range modes {
+		addr, stop, err := e18Serve(filepath.Join(dir, mode.String()+".log"),
+			server.Config{Durability: mode}, syncDelay)
+		if err != nil {
+			fmt.Println("e18: ", err)
+			return
+		}
+		rates[mode] = map[int]float64{}
+		fmt.Printf("%-12s |", mode)
+		for _, w := range sweep {
+			rate, err := e18Throughput(addr, w, window)
+			if err != nil {
+				fmt.Println("\ne18: ", err)
+				stop()
+				return
+			}
+			rates[mode][w] = rate
+			fmt.Printf(" %9.0f", rate)
+		}
+		fmt.Println()
+		stop()
+	}
+
+	base := rates[server.DurPerCommit][1]
+	grp := rates[server.DurGroup][8]
+	if base > 0 {
+		fmt.Printf("\namortization: group @ 8 writers = %.1fx the per-commit single-writer rate", grp/base)
+		if grp >= 2*base {
+			fmt.Println("  ✓ (>= 2x)")
+		} else {
+			fmt.Println("  ✗ (< 2x)")
+		}
+	}
+	fmt.Println("\nshape: per-commit is flat — adding writers only lengthens the fsync")
+	fmt.Println("queue; group scales because the batch amortizes that queue into one")
+	fmt.Println("shared fsync (batches self-tune to whatever queued during the previous")
+	fmt.Println("one); async tops the table by acking before the fsync, paying for it")
+	fmt.Println("with the acked-but-not-durable window HEALTH reports. The scaling is")
+	fmt.Println("real even on a single CPU — the writers overlap in fsync *wait*, not")
+	fmt.Println("in compute — though absolute rates compress as cores saturate.")
 }

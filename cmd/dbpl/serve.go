@@ -1,10 +1,19 @@
 // The serve verb: a concurrent database server over an intrinsic store.
 //
-//	dbpl serve [-addr :7070] [-drain 5s] [-follow primary:7070] [-fsck] [-max-inflight n] [-ops 127.0.0.1:7071] store.log
+//	dbpl serve [-addr :7070] [-drain 5s] [-follow primary:7070] [-fsck] [-max-inflight n]
+//	           [-durability per-commit|group|async] [-commit-max-delay d] [-commit-max-batch n]
+//	           [-ops 127.0.0.1:7071] store.log
 //
 // With -follow the server is a read-only replication follower: it streams
 // the primary's log, applies each verified commit group to its own, and
 // serves reads while refusing writes.
+//
+// -durability selects when writes are acknowledged relative to the fsync:
+// per-commit (default) fsyncs every commit group alone; group coalesces
+// concurrent commits under one shared fsync and acks after it (same
+// guarantee, amortized cost); async acks before the fsync and publishes
+// the acked-end watermark via HEALTH — a crash may lose acked writes. See
+// docs/PERSISTENCE.md.
 //
 // See docs/SERVER.md for the wire protocol and transaction semantics,
 // docs/RESILIENCE.md for admission control and degraded mode,
@@ -37,11 +46,18 @@ func runServe(args []string, out io.Writer) error {
 	maxInflight := fs.Int("max-inflight", 0, "admission-control cap on concurrently executing requests (0 = default 1024, negative = uncapped)")
 	follow := fs.String("follow", "", "replicate from the primary at this address and serve read-only")
 	opsAddr := fs.String("ops", "", "HTTP ops endpoint exposing /metrics, /slowops and /debug/pprof; unauthenticated — bind loopback (e.g. 127.0.0.1:7071)")
+	durability := fs.String("durability", "per-commit", "write acknowledgement mode: per-commit (one fsync per commit), group (concurrent commits share one fsync), async (ack before fsync; a crash may lose acked writes)")
+	commitMaxDelay := fs.Duration("commit-max-delay", 0, "group/async: linger this long for more commits to join a batch (0 = batch whatever queued during the previous fsync)")
+	commitMaxBatch := fs.Int("commit-max-batch", 0, "group/async: max commit groups amortized by one fsync (0 = default 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("usage: dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] [-ops 127.0.0.1:7071] store.log")
+		return errors.New("usage: dbpl serve [-addr :7070] [-drain 5s] [-fsck] [-max-inflight n] [-durability per-commit|group|async] [-ops 127.0.0.1:7071] store.log")
+	}
+	dur, err := server.ParseDurability(*durability)
+	if err != nil {
+		return fmt.Errorf("serve -durability: %w", err)
 	}
 	if *fsck {
 		// Catch a damaged log at startup, before binding the listener —
@@ -76,10 +92,13 @@ func runServe(args []string, out io.Writer) error {
 	defer st.Close()
 
 	srv, err := server.New(st, server.Config{
-		Logf:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
-		MaxInFlight: *maxInflight,
-		Registry:    reg,
-		Follow:      *follow,
+		Logf:          func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		MaxInFlight:   *maxInflight,
+		Registry:      reg,
+		Follow:        *follow,
+		Durability:    dur,
+		GroupMaxDelay: *commitMaxDelay,
+		GroupMaxBatch: *commitMaxBatch,
 	})
 	if err != nil {
 		return err
@@ -131,6 +150,9 @@ func runServe(args []string, out io.Writer) error {
 	if *follow != "" {
 		fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots, read-only follower of %s)\n",
 			fs.Arg(0), ln.Addr(), srv.Stats().Roots, *follow)
+	} else if dur != server.DurPerCommit {
+		fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots, durability=%s)\n",
+			fs.Arg(0), ln.Addr(), srv.Stats().Roots, dur)
 	} else {
 		fmt.Fprintf(out, "dbpl: serving %s on %s (%d roots)\n", fs.Arg(0), ln.Addr(), srv.Stats().Roots)
 	}

@@ -112,17 +112,19 @@ func (s *Store) ReadGroupsAt(from int64, maxBytes int) ([]byte, int64, int, erro
 	}
 }
 
-// readAt reads n bytes at off and restores the file position to s.end —
-// the append path relies on the handle sitting at the durable end. Failing
-// to restore it poisons the store: a later append at an unknown position
-// could corrupt the log.
+// readAt reads n bytes at off and restores the file position to the
+// append position — the durable end, or past the last staged group while
+// a commit batch is open (a replication read racing a group commit must
+// not reset where the next staged group lands). Failing to restore it
+// poisons the store: a later append at an unknown position could corrupt
+// the log.
 func (s *Store) readAt(off int64, n int) ([]byte, error) {
 	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
 		return nil, s.poison(wrapIO(iofault.OpSeek, s.path, err))
 	}
 	buf := make([]byte, n)
 	_, rerr := io.ReadFull(s.f, buf)
-	if _, err := s.f.Seek(s.end, io.SeekStart); err != nil {
+	if _, err := s.f.Seek(s.appendPos(), io.SeekStart); err != nil {
 		return nil, s.poison(wrapIO(iofault.OpSeek, s.path, err))
 	}
 	if rerr != nil {
@@ -179,6 +181,9 @@ func (s *Store) ApplyGroup(raw []byte) (GroupDelta, error) {
 	}
 	if s.version != logVersion2 {
 		return delta, ErrUnverified
+	}
+	if s.staged > 0 {
+		return delta, fmt.Errorf("%w: store has a staged local commit batch", ErrReplica)
 	}
 	s.replica = true
 	delta.Start, delta.End = s.end, s.end

@@ -346,7 +346,71 @@ func applyAll(fsys iofault.FS, path string, groups [][]byte) int {
 // ending on a group boundary — and resuming from its durable end must
 // converge to a byte-identical file and equal visible state.
 func TestFollowerPrefixCrashMatrix(t *testing.T) {
-	p, ppath := primaryFixture(t)
+	followerPrefixCrashMatrix(t, primaryFixture)
+}
+
+// TestFollowerPrefixCrashMatrixGroupCommit re-runs the follower crash
+// matrix against a *group-committing* primary: the same logical history
+// staged via StageCommit and promoted in two SyncBatch fsyncs. Because a
+// batched log is byte-identical to a serial one, a follower streaming
+// from it must still converge byte-identical through every crash.
+func TestFollowerPrefixCrashMatrixGroupCommit(t *testing.T) {
+	followerPrefixCrashMatrix(t, batchedPrimaryFixture)
+}
+
+// batchedPrimaryFixture builds the primaryFixture history with group
+// commit: four staged groups, two shared fsyncs.
+func batchedPrimaryFixture(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "primary.log")
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	stage := func() {
+		t.Helper()
+		if _, err := p.StageCommit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sync := func(want int) {
+		t.Helper()
+		if n, err := p.SyncBatch(); err != nil || n != want {
+			t.Fatalf("SyncBatch = (%d, %v), want (%d, nil)", n, err, want)
+		}
+	}
+	if err := p.Bind("emp", value.Rec("Name", value.String("J Doe"), "Empno", value.Int(1)), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("tag", value.String("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	stage()
+	if err := p.Bind("emps", value.NewSet(
+		value.Rec("Empno", value.Int(1), "Name", value.String("A")),
+		value.Rec("Empno", value.Int(2), "Name", value.String("B")),
+	), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.DeclareIndex("Empno")
+	stage()
+	sync(2)
+	if err := p.Bind("tag", value.String("v2"), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Unbind("emp")
+	stage()
+	if err := p.Bind("n", value.Int(42), nil); err != nil {
+		t.Fatal(err)
+	}
+	stage()
+	sync(2)
+	return p, path
+}
+
+func followerPrefixCrashMatrix(t *testing.T, fixture func(*testing.T) (*Store, string)) {
+	p, ppath := fixture(t)
 	groups := splitGroups(t, allGroups(t, p))
 	primaryBytes, err := os.ReadFile(ppath)
 	if err != nil {

@@ -130,6 +130,28 @@ type Store struct {
 	// persisted them.
 	defsDirty bool
 
+	// Batch staging (group commit). StageCommit appends an encoded commit
+	// group to the file *without* syncing it; SyncBatch makes every staged
+	// group durable with one fsync. Between the two, the file extends past
+	// end by whole (but volatile) commit groups:
+	//
+	//   staged      — groups written since the last durable boundary
+	//   stagedEnd   — file offset just past the last staged group
+	//   stagedNodes — node images those groups wrote; merged into nodes only
+	//                 when the batch is durable, so a failed batch leaves the
+	//                 in-memory images exactly at the durable state
+	//   stagedDefs  — a staged group persisted the index-definition table
+	//                 (defsDirty is restored if the batch fails)
+	//
+	// The invariant every recovery path preserves: while staged > 0 the file
+	// may hold complete-but-unsynced groups past end, and they must be
+	// truncated away (rollbackStaged, or Abort) before any replay — a replay
+	// would otherwise resurrect groups whose writers were told they failed.
+	staged      int
+	stagedEnd   int64
+	stagedNodes map[uint64][]byte
+	stagedDefs  bool
+
 	// replica marks a store fed by ApplyGroup (a replication follower);
 	// local mutations are refused with ErrReplica, and materialized values
 	// are not registered in oids (a follower never re-encodes them).
@@ -666,37 +688,62 @@ func (s *Store) poison(cause error) error {
 	return cause
 }
 
-// rollback trims a torn append after a failed write or sync, so a later
-// commit can never bury the torn bytes behind further appends. If the
-// trim itself fails the store is poisoned.
-func (s *Store) rollback(op iofault.Op, cause error) error {
-	err := wrapIO(op, s.path, cause)
-	if terr := s.f.Truncate(s.end); terr != nil {
-		return s.poison(err)
+// appendPos is the file handle's append position: past the last staged
+// group while a batch is open, else the durable end. Callers hold s.mu.
+func (s *Store) appendPos() int64 {
+	if s.staged > 0 {
+		return s.stagedEnd
 	}
-	if _, serr := s.f.Seek(s.end, io.SeekStart); serr != nil {
-		return s.poison(err)
-	}
-	return err
+	return s.end
 }
 
-// appendGroup appends one encoded commit group at s.end — adding the
-// CRC-32C trailer on v2 logs — via appendBytes.
-func (s *Store) appendGroup(out *nodeBuf) error {
+// resetStaging discards the in-memory staging state once the staged bytes
+// are gone from the file. A batch that persisted the index-definition
+// table and then failed must mark the defs dirty again, so the next commit
+// re-writes them. Callers hold s.mu.
+func (s *Store) resetStaging() {
+	s.staged = 0
+	s.stagedEnd = s.end
+	s.stagedNodes = nil
+	if s.stagedDefs {
+		s.defsDirty = true
+		s.stagedDefs = false
+	}
+}
+
+// rollbackStaged trims every staged-but-unsynced group (and any torn bytes
+// of the failed write) back to the pre-batch durable end, so a later
+// append or replay can never resurrect a batch whose writers were told it
+// failed. If the trim itself fails the store is poisoned: the file holds
+// complete groups past the durable end that cannot be removed, and only a
+// successful Abort (which retries the trim) recovers. Returns cause.
+func (s *Store) rollbackStaged(cause error) error {
+	if terr := s.f.Truncate(s.end); terr != nil {
+		return s.poison(cause)
+	}
+	if _, serr := s.f.Seek(s.end, io.SeekStart); serr != nil {
+		return s.poison(cause)
+	}
+	s.resetStaging()
+	return cause
+}
+
+// stageGroup stages one encoded commit group — adding the CRC-32C trailer
+// on v2 logs — via stageBytes.
+func (s *Store) stageGroup(out *nodeBuf) error {
 	if s.version == logVersion2 {
 		var tr [checksumSize]byte
 		binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(out.Bytes(), crcTable))
 		out.Write(tr[:])
 	}
-	return s.appendBytes(out.Bytes())
+	return s.stageBytes(out.Bytes())
 }
 
-// appendBytes appends raw (already checksummed, when the format has
-// checksums) at s.end, clearing any torn tail first, and advances s.end
-// only when the bytes are fully durable. This is the single write path
-// shared by local commits and replicated groups (ApplyGroup), so both get
-// the identical rollback/poison discipline.
-func (s *Store) appendBytes(raw []byte) error {
+// stageBytes appends raw past the last staged group *without* syncing,
+// clearing any torn crash tail first. The bytes are volatile until
+// syncStaged promotes them; a write failure rolls the whole open batch
+// back (rollbackStaged), so staged groups fail together.
+func (s *Store) stageBytes(raw []byte) error {
 	if s.tailDirty {
 		if err := s.f.Truncate(s.end); err != nil {
 			return s.poison(wrapIO(iofault.OpTruncate, s.path, err))
@@ -706,19 +753,59 @@ func (s *Store) appendBytes(raw []byte) error {
 		}
 		s.tailDirty = false
 	}
+	if s.staged == 0 {
+		s.stagedEnd = s.end
+	}
 	if _, err := s.f.Write(raw); err != nil {
-		return s.rollback(iofault.OpWrite, err)
+		return s.rollbackStaged(wrapIO(iofault.OpWrite, s.path, err))
+	}
+	s.stagedEnd += int64(len(raw))
+	s.staged++
+	return nil
+}
+
+// syncStaged fsyncs the file, promoting every staged group to durable at
+// once — the one shared fsync group commit exists to amortize — and only
+// then merges the staged node images into the committed ones. On a sync
+// failure the batch is rolled back to the pre-batch durable end (or the
+// store is poisoned if even that fails): all staged groups fail together,
+// with the same cause. Returns the number of groups made durable.
+func (s *Store) syncStaged() (int, error) {
+	if s.staged == 0 {
+		return 0, nil
 	}
 	if err := s.f.Sync(); err != nil {
-		return s.rollback(iofault.OpSync, err)
+		return 0, s.rollbackStaged(wrapIO(iofault.OpSync, s.path, err))
 	}
-	s.setEnd(s.end + int64(len(raw)))
-	return nil
+	n := s.staged
+	s.setEnd(s.stagedEnd)
+	for oid, img := range s.stagedNodes {
+		s.nodes[oid] = img
+	}
+	s.stagedNodes = nil
+	s.staged = 0
+	s.stagedDefs = false
+	return n, nil
+}
+
+// appendBytes appends raw (already checksummed, when the format has
+// checksums) at the append position and advances s.end only when the
+// bytes are fully durable — stage + sync as a batch of one. This is the
+// single write path shared by local commits and replicated groups
+// (ApplyGroup), so both get the identical rollback/poison discipline.
+func (s *Store) appendBytes(raw []byte) error {
+	if err := s.stageBytes(raw); err != nil {
+		return err
+	}
+	_, err := s.syncStaged()
+	return err
 }
 
 // Commit makes the current state of every handle durable. Only nodes whose
 // shallow image differs from the last committed image are appended — the
-// incremental property benchmarked in experiment E4.
+// incremental property benchmarked in experiment E4. Commit is stage +
+// sync as a batch of one: the group-commit primitives below share every
+// byte of its write path.
 //
 // Commit is crash-consistent: on a write or sync failure the log is
 // truncated back to the pre-commit offset (and the in-memory images are
@@ -728,15 +815,88 @@ func (s *Store) appendBytes(raw []byte) error {
 func (s *Store) Commit() (CommitStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return CommitStats{}, err
+	}
+	stats, err := s.stageCommitLocked()
+	if err != nil {
+		return stats, err
+	}
+	_, err = s.syncStaged()
+	return stats, err
+}
+
+// StageCommit encodes the current state of every handle as one commit
+// group and appends it to the log *without* syncing: the group is staged,
+// not durable, and must not be acknowledged to anyone until a SyncBatch
+// succeeds. Repeated StageCommit calls build a batch that one SyncBatch
+// promotes with a single shared fsync — group commit's amortization. A
+// staged group is volatile (a crash may lose it) but never torn-visible:
+// recovery applies whole groups only, so a reopen lands on a group
+// boundary — some serial prefix of the staged batch, never part of one
+// group.
+func (s *Store) StageCommit() (CommitStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return CommitStats{}, err
+	}
+	return s.stageCommitLocked()
+}
+
+// SyncBatch makes every staged commit group durable with one fsync and
+// reports how many groups it promoted (0, trivially succeeding, when
+// nothing is staged). On failure the whole batch has been rolled back to
+// the pre-batch durable end — every staged group failed, with this error
+// as the shared cause — or, if even the rollback failed, the store is
+// poisoned until Abort re-trims and replays.
+func (s *Store) SyncBatch() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return 0, err
+	}
+	return s.syncStaged()
+}
+
+// StagedEnd returns the offset just past the last staged commit group —
+// the durable end when no batch is open. It is the acked-end watermark a
+// Durability=async server publishes next to DurableEnd.
+func (s *Store) StagedEnd() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendPos()
+}
+
+// StagedGroups reports how many staged-but-unsynced groups the open batch
+// holds (tests and invariant checks).
+func (s *Store) StagedGroups() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.staged
+}
+
+// writable is the shared precondition of every local append path. Callers
+// hold s.mu.
+func (s *Store) writable() error {
 	if s.closed {
-		return CommitStats{}, ErrClosed
+		return ErrClosed
 	}
 	if s.broken != nil {
-		return CommitStats{}, s.broken
+		return s.broken
 	}
 	if s.replica {
-		return CommitStats{}, ErrReplica
+		return ErrReplica
 	}
+	return nil
+}
+
+// stageCommitLocked encodes and stages one commit group. Incremental
+// encoding compares against the staged image when one exists — within a
+// batch each group diffs against its predecessor, exactly as if the
+// groups had been committed singly — which is why a batched log is
+// byte-identical to a serial one (the property test). Callers hold s.mu.
+func (s *Store) stageCommitLocked() (CommitStats, error) {
 	order := s.reach()
 	oidOf := func(v value.Value) uint64 { return s.oids[v] }
 
@@ -749,7 +909,11 @@ func (s *Store) Commit() (CommitStats, error) {
 			return stats, err
 		}
 		oid := s.oids[v]
-		if prev, ok := s.nodes[oid]; ok && string(prev) == string(img) {
+		prev, ok := s.stagedNodes[oid]
+		if !ok {
+			prev, ok = s.nodes[oid]
+		}
+		if ok && string(prev) == string(img) {
 			continue // unchanged: no I/O
 		}
 		newImages[oid] = img
@@ -768,15 +932,19 @@ func (s *Store) Commit() (CommitStats, error) {
 		wroteDefs = true
 	}
 	out.WriteByte(recCommit)
-	if err := s.appendGroup(&out); err != nil {
+	if err := s.stageGroup(&out); err != nil {
 		return stats, err
 	}
 	stats.BytesWritten = out.Len()
+	if s.stagedNodes == nil {
+		s.stagedNodes = make(map[uint64][]byte, len(newImages))
+	}
 	for oid, img := range newImages {
-		s.nodes[oid] = img
+		s.stagedNodes[oid] = img
 	}
 	if wroteDefs {
 		s.defsDirty = false
+		s.stagedDefs = true
 	}
 	return stats, nil
 }
@@ -789,6 +957,20 @@ func (s *Store) Abort() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	// Staged-but-unsynced groups must leave the file before the replay
+	// below: they are complete, valid groups, so a replay would resurrect
+	// them as committed even though their writers were told the batch
+	// failed. This is also how a poisoned batch rollback recovers — Abort
+	// retries the trim it could not do.
+	if s.staged > 0 {
+		if err := s.f.Truncate(s.end); err != nil {
+			return s.poison(wrapIO(iofault.OpTruncate, s.path, err))
+		}
+		if _, err := s.f.Seek(s.end, io.SeekStart); err != nil {
+			return s.poison(wrapIO(iofault.OpSeek, s.path, err))
+		}
+		s.resetStaging()
 	}
 	s.broken = nil // a poisoned store recovers by replaying the log
 	s.roots = map[string]*Root{}
@@ -805,11 +987,23 @@ func (s *Store) Abort() error {
 // Compact always rewrites at the current log version, so it is also the
 // upgrade path from a v1 (checksum-free) log to v2.
 func (s *Store) Compact() (CompactStats, error) {
-	if _, err := s.Commit(); err != nil {
-		return CompactStats{}, err
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.staged > 0 {
+		// Rewriting the file would silently bake staged-but-unacked groups
+		// into the compacted image (or drop them). The batch owner decides
+		// their fate first.
+		return CompactStats{}, fmt.Errorf("intrinsic: a staged commit batch is open; SyncBatch or Abort before Compact")
+	}
+	if err := s.writable(); err != nil {
+		return CompactStats{}, err
+	}
+	if _, err := s.stageCommitLocked(); err != nil {
+		return CompactStats{}, err
+	}
+	if _, err := s.syncStaged(); err != nil {
+		return CompactStats{}, err
+	}
 	before := s.end
 	order := s.reach()
 	oidOf := func(v value.Value) uint64 { return s.oids[v] }

@@ -70,6 +70,15 @@ func (i *Injector) FailAt(op Op, nth int) {
 	i.fails[op][nth] = true
 }
 
+// Clear disarms every not-yet-fired FailAt fault of the given kind, so a
+// test that over-arms (e.g. "fail the next K syncs however the batch
+// splits") can let recovery proceed cleanly afterwards.
+func (i *Injector) Clear(op Op) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.fails, op)
+}
+
 // CrashAt arranges a simulated crash at the nth (1-based) mutating
 // operation. Zero disables.
 func (i *Injector) CrashAt(nth int) {

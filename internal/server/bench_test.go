@@ -1,9 +1,11 @@
 package server_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"dbpl/client"
@@ -114,6 +116,68 @@ func BenchmarkServeGet(b *testing.B) {
 // admission gate (one atomic add/sub) and the idempotency-key lookup +
 // record inside the commit (E14 in EXPERIMENTS.md). The dedup-off
 // variant isolates the key machinery's cost by disabling the cache.
+// BenchmarkServePutConcurrency measures aggregate autocommitting PUT
+// throughput as the writer count grows, per durability mode (E18 in
+// EXPERIMENTS.md). Under per-commit every writer pays a private fsync so
+// the aggregate flatlines; under group concurrent commits share one
+// fsync and throughput scales with the batch; async acks before it.
+func BenchmarkServePutConcurrency(b *testing.B) {
+	rec := value.Rec("Name", value.String("bench"), "Empno", value.Int(1))
+	recT := types.MustParse("{Name: String, Empno: Int}")
+
+	for _, mode := range []server.Durability{server.DurPerCommit, server.DurGroup, server.DurAsync} {
+		for _, writers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/writers-%d", mode, writers), func(b *testing.B) {
+				st, err := intrinsic.Open(filepath.Join(b.TempDir(), "bench-e18.log"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				srv, err := server.New(st, server.Config{Durability: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				go srv.Serve(ln)
+				defer srv.Shutdown(context.Background())
+				addr := ln.Addr().String()
+
+				clients := make([]*client.Client, writers)
+				for w := range clients {
+					if clients[w], err = client.Dial(addr, &client.Options{PoolSize: 1}); err != nil {
+						b.Fatal(err)
+					}
+					defer clients[w].Close()
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					w := w
+					n := b.N / writers
+					if w < b.N%writers {
+						n++
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						name := fmt.Sprintf("w%d", w)
+						for i := 0; i < n; i++ {
+							if err := clients[w].Put(name, rec, recT); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
 func BenchmarkServePut(b *testing.B) {
 	rec := value.Rec("Name", value.String("bench"), "Empno", value.Int(1))
 	recT := types.MustParse("{Name: String, Empno: Int}")

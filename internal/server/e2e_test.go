@@ -3,7 +3,6 @@ package server_test
 import (
 	"context"
 	"errors"
-	"net"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -36,25 +35,7 @@ type harness struct {
 }
 
 func boot(t *testing.T, path string) *harness {
-	t.Helper()
-	st, err := intrinsic.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv, err := server.New(st, server.Config{})
-	if err != nil {
-		st.Close()
-		t.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		st.Close()
-		t.Fatal(err)
-	}
-	h := &harness{t: t, path: path, store: st, srv: srv, addr: ln.Addr().String(), done: make(chan error, 1)}
-	go func() { h.done <- srv.Serve(ln) }()
-	t.Cleanup(h.stop)
-	return h
+	return bootCfg(t, path, nil, server.Config{})
 }
 
 // stop drains the server and closes the store; idempotent (tests that

@@ -39,6 +39,17 @@ type serverMetrics struct {
 	commitSeconds *telemetry.Histogram // store.Commit latency (fsync-dominated)
 	commitOps     *telemetry.Histogram // operations per commit group
 
+	// Group commit (coalesce.go). batchGroups is the size of each
+	// promoted batch in commit groups; fsyncsSaved counts the fsyncs
+	// coalescing avoided (batch size - 1, summed); commitQueueWait is how
+	// long each commit sat queued before its batch began (the follower
+	// wait); commitSyncSeconds is the shared batch fsync (the leader
+	// wait).
+	batchGroups       *telemetry.Histogram
+	fsyncsSaved       *telemetry.Counter
+	commitQueueWait   *telemetry.Histogram
+	commitSyncSeconds *telemetry.Histogram
+
 	inflight *telemetry.Gauge // requests admitted and not yet answered
 	sessions *telemetry.Gauge // open connections
 
@@ -94,6 +105,13 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		telemetry.UnitDuration, telemetry.DurationBuckets)
 	m.commitOps = reg.Histogram("dbpl_server_commit_group_ops",
 		telemetry.UnitCount, telemetry.SizeBuckets)
+	m.batchGroups = reg.Histogram("dbpl_commit_batch_groups",
+		telemetry.UnitCount, telemetry.SizeBuckets)
+	m.fsyncsSaved = reg.Counter("dbpl_commit_fsyncs_saved_total")
+	m.commitQueueWait = reg.Histogram("dbpl_commit_queue_wait_seconds",
+		telemetry.UnitDuration, telemetry.DurationBuckets)
+	m.commitSyncSeconds = reg.Histogram("dbpl_commit_sync_seconds",
+		telemetry.UnitDuration, telemetry.DurationBuckets)
 	m.inflight = reg.Gauge("dbpl_server_inflight")
 	m.sessions = reg.Gauge("dbpl_server_sessions")
 	for p := plan.PathScan; int(p) < numPlanPaths; p++ {

@@ -124,6 +124,21 @@ type Config struct {
 	// ReplChunk is the soft size target of one REPDATA frame; a single
 	// commit group larger than it is still shipped whole. 0 means 256KiB.
 	ReplChunk int
+	// Durability selects when a write is acknowledged relative to its
+	// fsync: DurPerCommit (default, one fsync per commit group), DurGroup
+	// (concurrent commits share one fsync, acked after it) or DurAsync
+	// (acked before the fsync; the acked-end watermark is published via
+	// HEALTH/STATS). See coalesce.go and docs/PERSISTENCE.md.
+	Durability Durability
+	// GroupMaxDelay is how long the committer lingers for stragglers after
+	// the first commit of a batch, under DurGroup/DurAsync. 0 (the
+	// default) means no artificial wait: a batch is whatever queued while
+	// the previous fsync ran — batches grow exactly as fast as the disk is
+	// slow, adding no latency when the server is idle.
+	GroupMaxDelay time.Duration
+	// GroupMaxBatch caps the commit groups amortized by one fsync, under
+	// DurGroup/DurAsync; 0 means 64.
+	GroupMaxBatch int
 }
 
 func (c Config) maxFrame() int {
@@ -192,6 +207,20 @@ func (c Config) replChunk() int {
 		return 256 << 10
 	}
 	return c.ReplChunk
+}
+
+func (c Config) groupMaxBatch() int {
+	if c.GroupMaxBatch <= 0 {
+		return 64
+	}
+	return c.GroupMaxBatch
+}
+
+func (c Config) groupMaxDelay() time.Duration {
+	if c.GroupMaxDelay < 0 {
+		return 0
+	}
+	return c.GroupMaxDelay
 }
 
 func timeoutOr(d, def time.Duration) time.Duration {
@@ -306,6 +335,20 @@ type Server struct {
 	shutdownOnce sync.Once
 	// follower is the follow-loop state, nil unless cfg.Follow is set.
 	follower *followerState
+
+	// commitCh feeds the committer goroutine under DurGroup/DurAsync; nil
+	// under DurPerCommit (commits take the serial path). committerDone
+	// closes when the committer has drained the queue and exited;
+	// committerStop guards the close of commitCh (Shutdown may be called
+	// twice). See coalesce.go.
+	commitCh      chan *commitReq
+	committerDone chan struct{}
+	committerStop sync.Once
+	// ackedEnd is the acknowledged-end watermark under DurAsync: the log
+	// offset up to which writes have been acked, at or ahead of the
+	// durable end by at most one in-flight batch. Zero (and ignored) in
+	// the synchronous modes, where nothing is acked before it is durable.
+	ackedEnd atomic.Int64
 }
 
 // stateFromStore derives a published state from the store's committed
@@ -376,6 +419,14 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		return 0
 	})
 	reg.GaugeFunc("dbpl_store_durable_end", func() int64 { return store.DurableEnd() })
+	// The acked-end watermark: equal to the durable end except under
+	// DurAsync, where it runs ahead by the acked-but-unsynced window.
+	reg.GaugeFunc("dbpl_server_acked_end", func() int64 {
+		if ae := srv.ackedEnd.Load(); ae > store.DurableEnd() {
+			return ae
+		}
+		return store.DurableEnd()
+	})
 	reg.GaugeFunc("dbpl_server_readonly", func() int64 {
 		if cfg.Follow != "" {
 			return 1
@@ -396,6 +447,11 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 			return 0
 		})
 		go srv.followLoop()
+	}
+	if cfg.Durability != DurPerCommit && cfg.Follow == "" {
+		srv.commitCh = make(chan *commitReq, cfg.groupMaxBatch())
+		srv.committerDone = make(chan struct{})
+		go srv.committerLoop()
 	}
 	return srv, nil
 }
@@ -513,6 +569,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	if s.follower != nil {
 		<-s.follower.done
+	}
+
+	// Every request handler has returned (wg), so no writer can enqueue
+	// again: close the commit queue and let the committer drain what is
+	// left before the final durable boundary below.
+	if s.commitCh != nil {
+		s.committerStop.Do(func() { close(s.commitCh) })
+		<-s.committerDone
 	}
 
 	// Final fsync: an (often empty) commit group marking the shutdown
@@ -1275,6 +1339,12 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	if s.commitCh != nil {
+		// DurGroup/DurAsync: hand the commit to the coalescer, which
+		// batches it with every concurrent writer's under one shared fsync
+		// (see coalesce.go). The serial path below is DurPerCommit.
+		return s.coalescedCommit(ops, key)
+	}
 	began := time.Now()
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
@@ -1352,6 +1422,7 @@ func (s *Server) handleHealth() (byte, [][]byte) {
 	uptimeNS, _ := snap.Gauge("dbpl_server_uptime_ns")
 	degraded, _ := snap.Gauge("dbpl_server_degraded")
 	durableEnd, _ := snap.Gauge("dbpl_store_durable_end")
+	ackedEnd, _ := snap.Gauge("dbpl_server_acked_end")
 	readOnly, _ := snap.Gauge("dbpl_server_readonly")
 	return wire.OpOK, wire.HealthFields(wire.Health{
 		Poisoned:   degraded != 0,
@@ -1361,6 +1432,7 @@ func (s *Server) handleHealth() (byte, [][]byte) {
 		Roots:      int(roots),
 		Uptime:     time.Duration(uptimeNS),
 		DurableEnd: durableEnd,
+		AckedEnd:   ackedEnd,
 	})
 }
 

@@ -66,6 +66,10 @@ func FuzzReadFrame(f *testing.F) {
 		Msg: "shed", RetryAfter: 50 * time.Millisecond})...))
 	f.Add(mustFrame(OpOK, HealthFields(Health{Poisoned: true, InFlight: 7,
 		Sessions: 2, Roots: 100, Uptime: time.Hour})...))
+	// The durable-watermark pair: acked ahead of durable (async mode), and
+	// the legacy six-field shape without AckedEnd.
+	f.Add(mustFrame(OpOK, HealthFields(Health{DurableEnd: 1 << 20, AckedEnd: 1<<20 + 512})...))
+	f.Add(mustFrame(OpOK, HealthFields(Health{DurableEnd: 1 << 20})[:6]...))
 	// Replication: the subscribe request and both stream frame shapes,
 	// plus damaged variants (truncated group bytes, oversize offset, bad
 	// CRC trailer) — each must decode to a *WireError, never panic.

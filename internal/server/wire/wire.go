@@ -527,6 +527,11 @@ type Health struct {
 	// primary.DurableEnd - follower.DurableEnd is the replication lag in
 	// log bytes — observable from HEALTH alone, no STATS needed.
 	DurableEnd int64
+	// AckedEnd is the acknowledged-end watermark: the log offset up to
+	// which writes have been acknowledged. Equal to DurableEnd except
+	// under Durability=async, where AckedEnd - DurableEnd is the
+	// acked-but-not-yet-durable window a crash would lose.
+	AckedEnd int64
 }
 
 // HealthFields encodes the HEALTH response payload.
@@ -545,15 +550,19 @@ func HealthFields(h Health) [][]byte {
 		uvarintField(uint64(h.Roots)),
 		uvarintField(uint64(h.Uptime)),
 		uvarintField(uint64(h.DurableEnd)),
+		uvarintField(uint64(h.AckedEnd)),
 	}
 }
 
 // DecodeHealth reconstructs the Health from a HEALTH response payload.
+// Six fields (a pre-group-commit server, no AckedEnd) are accepted for
+// compatibility: nothing was acked beyond the durable end there, so
+// AckedEnd = DurableEnd.
 func DecodeHealth(fields [][]byte) (Health, error) {
-	if len(fields) != 6 || len(fields[0]) != 1 {
+	if (len(fields) != 6 && len(fields) != 7) || len(fields[0]) != 1 {
 		return Health{}, errf(CodeBadFrame, "malformed HEALTH response")
 	}
-	var u [5]uint64
+	var u [6]uint64
 	for i, f := range fields[1:] {
 		v, ok := uvarintOf(f)
 		if !ok {
@@ -561,7 +570,7 @@ func DecodeHealth(fields [][]byte) (Health, error) {
 		}
 		u[i] = v
 	}
-	return Health{
+	h := Health{
 		Poisoned:   fields[0][0]&1 != 0,
 		ReadOnly:   fields[0][0]&2 != 0,
 		InFlight:   int(u[0]),
@@ -569,7 +578,12 @@ func DecodeHealth(fields [][]byte) (Health, error) {
 		Roots:      int(u[2]),
 		Uptime:     time.Duration(u[3]),
 		DurableEnd: int64(u[4]),
-	}, nil
+		AckedEnd:   int64(u[4]),
+	}
+	if len(fields) == 7 {
+		h.AckedEnd = int64(u[5])
+	}
+	return h, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -220,6 +220,7 @@ func TestHealthFieldsRoundTrip(t *testing.T) {
 	for _, h := range []Health{
 		{},
 		{Poisoned: true, InFlight: 3, Sessions: 2, Roots: 41, Uptime: 90 * time.Second},
+		{DurableEnd: 4096, AckedEnd: 8192}, // async: acked ahead of durable
 	} {
 		got, err := DecodeHealth(HealthFields(h))
 		if err != nil {
@@ -228,6 +229,17 @@ func TestHealthFieldsRoundTrip(t *testing.T) {
 		if got != h {
 			t.Errorf("round trip = %+v, want %+v", got, h)
 		}
+	}
+	// A six-field payload (a pre-group-commit server without the AckedEnd
+	// watermark) still decodes; nothing was acked beyond the durable end
+	// there, so AckedEnd reports the durable end.
+	legacy := HealthFields(Health{DurableEnd: 777, AckedEnd: 777})[:6]
+	got, err := DecodeHealth(legacy)
+	if err != nil {
+		t.Fatalf("DecodeHealth(6 fields): %v", err)
+	}
+	if got.AckedEnd != 777 || got.DurableEnd != 777 {
+		t.Errorf("legacy decode = %+v, want AckedEnd = DurableEnd = 777", got)
 	}
 	// Malformed health payloads are diagnosed, not trusted.
 	for name, fields := range map[string][][]byte{
