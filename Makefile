@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests failover-tests clean
 
-all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests fuzz-wire
+all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests failover-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every experiment (E1–E18) as paper-style tables.
+# Regenerate every experiment (E1–E19) as paper-style tables.
 report:
 	$(GO) run ./cmd/benchreport
 
@@ -107,6 +107,17 @@ repl-tests:
 commit-tests:
 	$(GO) test -race -run 'Batch|Stage|SyncBatch|Coalescer|GroupCommit|Async|Compact' \
 		./internal/persist/intrinsic/ ./internal/server/...
+
+# The failover battery (docs/REPLICATION.md failover runbook): the
+# store-level promotion tests (durable epoch bump, crash matrix at every
+# I/O boundary, prefix/divergence properties, fork detection on rejoin),
+# the server chaos battery (kill-primary promotion, fencing of a
+# partitioned stale primary's late acks, typed divergent-rejoin refusal,
+# bit flips and hung links during promotion), and the client-driven
+# write-failover e2e — all under the race detector.
+failover-tests:
+	$(GO) test -race -run 'Promote|Failover|Fence|Fenced|Diverge|VerifyTail|Epoch|HangNext|WriteFailover' \
+		./internal/persist/intrinsic/ ./internal/server/... ./client/ ./cmd/dbpl/
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

@@ -90,9 +90,18 @@ var (
 	ErrDegraded = wire.ErrDegraded
 	// ErrReadOnly is a replication follower refusing a write: this server
 	// never accepts writes, by role, and the refusal names the primary to
-	// aim at. Never retryable — a retry against the same server can only
-	// get the same answer.
+	// aim at. Never retryable against the same server — but with
+	// Options.Replicas set it triggers failover: the client probes the
+	// candidate set for the real primary and replays there.
 	ErrReadOnly = wire.ErrReadOnly
+	// ErrFenced is a demoted primary refusing a write: a newer primary
+	// exists at a higher promotion epoch and this one is permanently
+	// read-only (the refusal names its successor). With Options.Replicas
+	// set the client fails over — it probes the candidate set for the
+	// highest-epoch writable server, re-pins writes there, and replays
+	// the in-flight request under its original idempotency key, so the
+	// write applies exactly once even across the promotion.
+	ErrFenced = wire.ErrFenced
 
 	// ErrIOFailed is the persistence layer's I/O sentinel
 	// (iofault.ErrIOFailed); a remote I/O failure unwraps to it too, so
@@ -131,9 +140,14 @@ type Options struct {
 	// by default — it costs one uvarint field per frame and lets the
 	// server's slow-op log name the exact client call that suffered.
 	DisableTrace bool
-	// Replicas lists read-only follower addresses to fan idempotent reads
-	// out to (Get, Join, Names, Explain*). Writes, transactions, Health
-	// and Stats always go to the primary. See client/replicas.go.
+	// Replicas lists read-only follower addresses. They do two jobs:
+	// idempotent reads (Get, Join, Names, Explain*) fan out to caught-up
+	// followers, and together with the dialed address they form the
+	// *failover set* — when the primary is lost or fenced, the client
+	// probes every candidate's HEALTH for the highest-epoch writable
+	// server and re-pins writes there. Writes, transactions, Health and
+	// Stats always go to the currently pinned primary. See
+	// client/replicas.go and client/failover.go.
 	Replicas []string
 	// MaxReplicaLag is the staleness bound in log bytes: a replica whose
 	// durable offset trails the primary's by more is left out of the read
@@ -270,8 +284,12 @@ type Packed = core.Packed
 // Client is a pooled connection to one dbpl server. It is safe for
 // concurrent use.
 type Client struct {
-	addr string
-	o    Options
+	// addr is the current write target, guarded by mu: failover re-pins
+	// it to a newly promoted primary. origin is the address Dial was
+	// given, immutable, and always part of the failover candidate set.
+	addr   string
+	origin string
+	o      Options
 
 	// id is the client-unique prefix of idempotency keys; seq the
 	// per-client write counter completing them.
@@ -298,7 +316,7 @@ func Dial(addr string, opts *Options) (*Client, error) {
 	if opts != nil {
 		o = *opts
 	}
-	c := &Client{addr: addr, o: o, pool: make([]*conn, o.poolSize())}
+	c := &Client{addr: addr, origin: addr, o: o, pool: make([]*conn, o.poolSize())}
 	reg := o.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -348,6 +366,14 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// primary returns the current write target: the dialed address, or the
+// server failover last re-pinned writes to.
+func (c *Client) primary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
 // getConn returns a live pooled connection, redialing a dead slot.
 func (c *Client) getConn() (*conn, error) {
 	slot := int(c.next.Add(1)-1) % len(c.pool)
@@ -361,10 +387,11 @@ func (c *Client) getConn() (*conn, error) {
 		c.mu.Unlock()
 		return cn, nil
 	}
+	addr := c.addr
 	c.mu.Unlock()
 	// Dial outside the lock; racing callers may dial the same slot, the
 	// loser's connection is closed.
-	fresh, err := dialConn(c.addr, c.o)
+	fresh, err := dialConn(addr, c.o)
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +400,13 @@ func (c *Client) getConn() (*conn, error) {
 	if c.closed {
 		fresh.fail(ErrClosed)
 		return nil, ErrClosed
+	}
+	if c.addr != addr {
+		// Failover re-pinned the primary while we were dialing the old
+		// one: pooling this connection would route writes to a fenced
+		// server. Drop it and let the retry loop dial the new address.
+		fresh.fail(ErrConnLost)
+		return nil, fmt.Errorf("%w: primary re-pinned to %s during dial", ErrConnLost, c.addr)
 	}
 	if cur := c.pool[slot]; cur != nil && !cur.isDead() {
 		fresh.fail(ErrClosed)
@@ -407,6 +441,17 @@ func (c *Client) call(op byte, fields ...[]byte) (byte, [][]byte, error) {
 		if err == nil {
 			return respOp, respFields, nil
 		}
+		// Failover: the primary is gone (lost connection, dial failure) or
+		// refuses writes by role (fenced, demoted). With a failover set
+		// configured, find the highest-epoch writable server and replay
+		// there; the frame — including its idempotency key — is reused
+		// verbatim, so the replayed write applies exactly once even if the
+		// original reached the old primary's log. The replay skips the
+		// backoff (the new primary is fresh evidence, not a guess) but
+		// still counts against MaxAttempts.
+		if attempt < pol.maxAttempts() && c.failoverEligible(err) && c.failover() {
+			continue
+		}
 		if !retryable(err) || attempt >= pol.maxAttempts() {
 			return 0, nil, err
 		}
@@ -434,11 +479,13 @@ func retryable(err error) bool {
 	if errors.Is(err, ErrClosed) || errors.Is(err, ErrDone) {
 		return false
 	}
-	// A follower's write refusal is permanent and by role — unlike
-	// CodeOverloaded it cannot clear with time, so retrying against the
-	// same server only burns the backoff budget. The typed refusal names
-	// the primary; surface it immediately.
-	if errors.Is(err, ErrReadOnly) {
+	// A follower's or fenced server's write refusal is permanent and by
+	// role — unlike CodeOverloaded it cannot clear with time, so retrying
+	// against the same server only burns the backoff budget. The typed
+	// refusal names the primary; surface it immediately. (With a failover
+	// set configured, call() handles these before consulting retryable:
+	// the retry then goes to a *different* server.)
+	if errors.Is(err, ErrReadOnly) || errors.Is(err, ErrFenced) {
 		return false
 	}
 	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDeadline) || errors.Is(err, ErrConnLost) {
@@ -560,6 +607,32 @@ func (c *Client) ExplainJoin(t1, t2 types.Type) (string, error) {
 	return decodeText(c.readCall(wire.OpExplain, mustTypeField(t1), mustTypeField(t2)))
 }
 
+// Promote orders the server to take over as primary: it stops following
+// its upstream, bumps the promotion epoch durably, and starts accepting
+// writes. The new epoch is returned. The server must have been started
+// with -allow-promote; a staged or poisoned server refuses. Deliberately
+// a single attempt with no retries — promotion is an admin action whose
+// replay would bump the epoch again, so a lost acknowledgement is left
+// to the operator (probe Health for the role and epoch, then decide).
+func (c *Client) Promote() (uint64, error) {
+	c.m.attempt(wire.OpPromote)
+	op, fields, err := c.roundTrip(wire.OpPromote)
+	if err == nil && op == wire.OpError {
+		err = wire.DecodeError(fields)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if op != wire.OpOK || len(fields) != 1 {
+		return 0, &wire.WireError{Code: wire.CodeBadFrame, Msg: "malformed PROMOTE response"}
+	}
+	epoch, n := binary.Uvarint(fields[0])
+	if n <= 0 {
+		return 0, &wire.WireError{Code: wire.CodeBadFrame, Msg: "malformed PROMOTE epoch"}
+	}
+	return epoch, nil
+}
+
 // Names lists the root names.
 func (c *Client) Names() ([]string, error) {
 	_, fields, err := expect(wire.OpOK)(c.readCall(wire.OpNames))
@@ -597,6 +670,11 @@ func (c *Client) Begin() (*Session, error) {
 		if err == nil {
 			return s, nil
 		}
+		// Sessions fail over like stateless calls: nothing is buffered
+		// before BEGIN succeeds, so redialing the new primary is free.
+		if attempt < pol.maxAttempts() && c.failoverEligible(err) && c.failover() {
+			continue
+		}
 		if !retryable(err) || attempt >= pol.maxAttempts() {
 			return nil, err
 		}
@@ -615,7 +693,7 @@ func (c *Client) Begin() (*Session, error) {
 }
 
 func (c *Client) begin() (*Session, error) {
-	cn, err := dialConn(c.addr, c.o)
+	cn, err := dialConn(c.primary(), c.o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,95 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestFailoverEligibleClassification pins down which failures may trigger
+// a probe of the failover set: transport loss and role-based refusals
+// only, and only when a failover set exists at all. Definite application
+// errors must never re-route — they would reproduce on any server.
+func TestFailoverEligibleClassification(t *testing.T) {
+	eligible := []error{
+		ErrFenced,
+		ErrReadOnly,
+		ErrConnLost,
+		ErrDeadline,
+		fmt.Errorf("wrapped: %w", ErrFenced),
+		&net.OpError{Op: "dial", Err: errors.New("connection refused")},
+	}
+	ineligible := []error{
+		ErrNoRoot,
+		ErrTxn,
+		ErrRemoteCorrupt,
+		ErrDegraded,
+		ErrBadRequest,
+		errors.New("some application error"),
+	}
+
+	with := &Client{o: Options{Replicas: []string{"replica:1"}}}
+	for _, err := range eligible {
+		if !with.failoverEligible(err) {
+			t.Errorf("failoverEligible(%v) = false with a failover set, want true", err)
+		}
+	}
+	for _, err := range ineligible {
+		if with.failoverEligible(err) {
+			t.Errorf("failoverEligible(%v) = true, want false (application error)", err)
+		}
+	}
+	// No failover set: nothing is eligible, not even a lost connection —
+	// there is nowhere to go.
+	without := &Client{o: Options{}}
+	for _, err := range eligible {
+		if without.failoverEligible(err) {
+			t.Errorf("failoverEligible(%v) = true without a failover set, want false", err)
+		}
+	}
+}
+
+// TestFailoverCandidates: the probe order is the original dialed address
+// first, then the replicas, with the origin deduplicated — re-pinning
+// must never make the candidate set drift from what the caller
+// configured.
+func TestFailoverCandidates(t *testing.T) {
+	c := &Client{
+		origin: "primary:1",
+		o:      Options{Replicas: []string{"rep:1", "primary:1", "rep:2"}},
+	}
+	want := []string{"primary:1", "rep:1", "rep:2"}
+	if got := c.candidates(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("candidates() = %v, want %v", got, want)
+	}
+	// The candidate set is anchored to the Dial address, not the current
+	// pin: after a failover to rep:1 the old origin is still probed (it
+	// may recover and be re-promoted later).
+	c.addr = "rep:1"
+	if got := c.candidates(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("candidates() after re-pin = %v, want %v", got, want)
+	}
+}
+
+// TestCapDur: probe timeouts are bounded — a blackholed candidate costs
+// the cap, not the caller's full request timeout, and "no deadline"
+// becomes the cap rather than forever.
+func TestCapDur(t *testing.T) {
+	const cap = 2 * time.Second
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, cap},                   // no deadline -> cap
+		{-1, cap},                  // disabled -> cap
+		{time.Second, time.Second}, // under the cap passes through
+		{time.Minute, cap},         // over the cap is clamped
+	}
+	for _, tc := range cases {
+		if got := capDur(tc.in, cap); got != tc.want {
+			t.Errorf("capDur(%v, %v) = %v, want %v", tc.in, cap, got, tc.want)
+		}
+	}
+}

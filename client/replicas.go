@@ -39,6 +39,13 @@ type replica struct {
 	// proven caught up; a replica is only read from while synced covers
 	// every acknowledged write (read-your-writes).
 	synced atomic.Uint64
+	// role and epoch are the last probe's self-report. A change in either
+	// invalidates every cached verdict: the old proofs described a
+	// different regime. Without this a demoted primary would keep serving
+	// fan-out reads on its stale pre-fence proof, and a promoted follower
+	// would never be re-proven in its new role.
+	role  atomic.Int32
+	epoch atomic.Uint64
 
 	mu sync.Mutex
 	cn *conn
@@ -159,6 +166,23 @@ func (rs *replicaSet) probe() {
 			rep.healthy.Store(false)
 			continue
 		}
+		if wire.Role(rep.role.Load()) != h.Role || rep.epoch.Load() != h.Epoch {
+			// The server changed role or observed a promotion since the
+			// last probe: every cached verdict about it is void. Reset the
+			// read-your-writes proof; this probe round re-derives it
+			// against the current primary under the new regime.
+			rep.role.Store(int32(h.Role))
+			rep.epoch.Store(h.Epoch)
+			rep.synced.Store(0)
+		}
+		if h.Role == wire.RoleFenced {
+			// A fenced ex-primary follows nobody: its data is frozen at
+			// the moment it was demoted and can only grow staler. Unlike a
+			// lagging follower it will never re-qualify on its own, so it
+			// leaves the rotation until an operator rejoins it.
+			rep.healthy.Store(false)
+			continue
+		}
 		if perr == nil {
 			if bound >= 0 && ph.DurableEnd-h.DurableEnd > bound {
 				rep.healthy.Store(false)
@@ -210,10 +234,17 @@ func (c *Client) readCall(op byte, fields ...[]byte) (byte, [][]byte, error) {
 			if err == nil {
 				return respOp, respFields, nil
 			}
-			if !retryable(err) && !errors.Is(err, ErrShutdown) {
+			// Role-change refusals (ErrReadOnly, ErrFenced) invalidate the
+			// cached verdict and fall back — this server is not what the
+			// probe thought it was, but the primary can still answer the
+			// read. Other definite application errors return as-is: the
+			// primary would say the same.
+			if !retryable(err) && !errors.Is(err, ErrShutdown) &&
+				!errors.Is(err, ErrReadOnly) && !errors.Is(err, ErrFenced) {
 				return 0, nil, err
 			}
 			rep.healthy.Store(false)
+			rep.synced.Store(0)
 			c.m.replicaFallbacks.Inc()
 		}
 	}

@@ -73,6 +73,10 @@ type clientMetrics struct {
 	// failures that fell back to the primary.
 	replicaReads     *telemetry.Counter
 	replicaFallbacks *telemetry.Counter
+
+	// failovers counts write re-pins to a different primary (probing that
+	// merely re-confirmed the current pin is not counted).
+	failovers *telemetry.Counter
 }
 
 func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
@@ -92,6 +96,7 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 	m.backoffNS = reg.Counter("dbpl_client_backoff_ns_total")
 	m.replicaReads = reg.Counter("dbpl_client_replica_reads_total")
 	m.replicaFallbacks = reg.Counter("dbpl_client_replica_fallbacks_total")
+	m.failovers = reg.Counter("dbpl_client_failovers_total")
 	return m
 }
 

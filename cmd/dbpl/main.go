@@ -24,6 +24,11 @@
 //
 //	dbpl stats [-watch] addr
 //
+// The promote verb orders a follower started with -allow-promote to take
+// over as primary during failover (see docs/REPLICATION.md):
+//
+//	dbpl promote addr
+//
 // Every verb handles SIGINT/SIGTERM gracefully: open stores are closed
 // (the server additionally drains in-flight requests) before exiting.
 package main
@@ -58,6 +63,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		if err := runStats(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dbpl: stats:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "promote" {
+		if err := runPromote(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpl: promote:", err)
 			os.Exit(1)
 		}
 		return

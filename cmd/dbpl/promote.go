@@ -1,0 +1,41 @@
+// The promote verb: order a follower to take over as primary.
+//
+//	dbpl promote addr
+//
+// The target must have been started with `dbpl serve -allow-promote`. On
+// success it stops following its old upstream, appends a durable epoch
+// record to its log, begins accepting writes, and (best effort) notifies
+// the old primary so it fences itself read-only. See docs/REPLICATION.md
+// for the full failover runbook, including how to rejoin the demoted
+// primary and what a divergence refusal means.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"dbpl/client"
+)
+
+func runPromote(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("promote", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: dbpl promote addr")
+	}
+	c, err := client.Dial(fs.Arg(0), nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	epoch, err := c.Promote()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dbpl: %s promoted to primary at epoch %d\n", fs.Arg(0), epoch)
+	return nil
+}

@@ -1,12 +1,15 @@
 // The serve verb: a concurrent database server over an intrinsic store.
 //
-//	dbpl serve [-addr :7070] [-drain 5s] [-follow primary:7070] [-fsck] [-max-inflight n]
-//	           [-durability per-commit|group|async] [-commit-max-delay d] [-commit-max-batch n]
-//	           [-ops 127.0.0.1:7071] store.log
+//	dbpl serve [-addr :7070] [-drain 5s] [-follow primary:7070] [-allow-promote] [-fsck]
+//	           [-max-inflight n] [-durability per-commit|group|async]
+//	           [-commit-max-delay d] [-commit-max-batch n] [-ops 127.0.0.1:7071] store.log
 //
 // With -follow the server is a read-only replication follower: it streams
 // the primary's log, applies each verified commit group to its own, and
-// serves reads while refusing writes.
+// serves reads while refusing writes. With -allow-promote it additionally
+// accepts the PROMOTE admin opcode (`dbpl promote addr`), which turns a
+// follower into the new primary at a bumped, durable promotion epoch —
+// see docs/REPLICATION.md for the failover runbook.
 //
 // -durability selects when writes are acknowledged relative to the fsync:
 // per-commit (default) fsyncs every commit group alone; group coalesces
@@ -45,6 +48,7 @@ func runServe(args []string, out io.Writer) error {
 	fsck := fs.Bool("fsck", false, "verify the log before serving; refuse to start on corruption")
 	maxInflight := fs.Int("max-inflight", 0, "admission-control cap on concurrently executing requests (0 = default 1024, negative = uncapped)")
 	follow := fs.String("follow", "", "replicate from the primary at this address and serve read-only")
+	allowPromote := fs.Bool("allow-promote", false, "accept the PROMOTE admin opcode (dbpl promote) to take over as primary during failover")
 	opsAddr := fs.String("ops", "", "HTTP ops endpoint exposing /metrics, /slowops and /debug/pprof; unauthenticated — bind loopback (e.g. 127.0.0.1:7071)")
 	durability := fs.String("durability", "per-commit", "write acknowledgement mode: per-commit (one fsync per commit), group (concurrent commits share one fsync), async (ack before fsync; a crash may lose acked writes)")
 	commitMaxDelay := fs.Duration("commit-max-delay", 0, "group/async: linger this long for more commits to join a batch (0 = batch whatever queued during the previous fsync)")
@@ -96,6 +100,7 @@ func runServe(args []string, out io.Writer) error {
 		MaxInFlight:   *maxInflight,
 		Registry:      reg,
 		Follow:        *follow,
+		AllowPromote:  *allowPromote,
 		Durability:    dur,
 		GroupMaxDelay: *commitMaxDelay,
 		GroupMaxBatch: *commitMaxBatch,

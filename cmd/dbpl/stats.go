@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dbpl/client"
+	"dbpl/internal/server/wire"
 	"dbpl/internal/telemetry"
 )
 
@@ -50,7 +51,15 @@ func runStats(args []string, out io.Writer) error {
 }
 
 func renderSnapshot(out io.Writer, addr string, s *telemetry.Snapshot) {
-	fmt.Fprintf(out, "dbpl stats %s — taken %s\n", addr, s.TakenAt.Format(time.RFC3339))
+	// The replication identity — role and promotion epoch — leads the
+	// report: during a failover it is the first thing an operator needs,
+	// and digging it out of the gauge list is too slow at 3am.
+	if role, epoch, ok := replIdentity(s); ok {
+		fmt.Fprintf(out, "dbpl stats %s — taken %s — %s, epoch %d\n",
+			addr, s.TakenAt.Format(time.RFC3339), wire.Role(role).String(), epoch)
+	} else {
+		fmt.Fprintf(out, "dbpl stats %s — taken %s\n", addr, s.TakenAt.Format(time.RFC3339))
+	}
 	if len(s.Counters) > 0 {
 		fmt.Fprintln(out, "counters:")
 		for _, c := range s.Counters {
@@ -71,6 +80,22 @@ func renderSnapshot(out io.Writer, addr string, s *telemetry.Snapshot) {
 		}
 	}
 	fmt.Fprintln(out)
+}
+
+// replIdentity digs the server's role and promotion epoch out of the
+// snapshot's gauges; ok is false against a pre-failover server that does
+// not publish them.
+func replIdentity(s *telemetry.Snapshot) (role, epoch int64, ok bool) {
+	var haveRole, haveEpoch bool
+	for _, g := range s.Gauges {
+		switch g.Name {
+		case "dbpl_repl_role":
+			role, haveRole = g.Value, true
+		case "dbpl_server_epoch":
+			epoch, haveEpoch = g.Value, true
+		}
+	}
+	return role, epoch, haveRole && haveEpoch
 }
 
 // histVal renders one histogram-scaled value: durations humanly

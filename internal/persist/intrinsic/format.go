@@ -29,6 +29,7 @@ import (
 //	  'N' oid len imageBytes     -- a node (re)definition
 //	  'R' count {name typeLen typeBytes valueInline}  -- the root table
 //	  'X' count {name}           -- the index-definition table (v2 only)
+//	  'E' epoch                  -- the promotion epoch (v2 only)
 //	  'C' [crc32c]               -- commit marker
 //
 // Version 2 (current) follows the 'C' with the little-endian CRC-32C of
@@ -66,6 +67,15 @@ const (
 	// logged: they rebuild from the committed roots on open, which is what
 	// keeps an index from ever running ahead of the durable state.
 	recIndex byte = 'X'
+	// recEpoch is the promotion epoch: a monotone counter bumped by
+	// Promote() when a replication follower takes over as primary, so two
+	// histories that fork at a failover are distinguishable forever.
+	// Layout: 'E' uvarint(epoch). Like 'X' it is a delta in time — the
+	// last committed record wins — and is written only to v2 logs (the v1
+	// grammar is frozen; Compact upgrades), but tolerated by the reader in
+	// either version. Appended durably inside its own commit group by
+	// Promote, and carried forward by Compact.
+	recEpoch byte = 'E'
 
 	// checksumSize is the CRC-32C trailer length after a v2 commit marker.
 	checksumSize = 4

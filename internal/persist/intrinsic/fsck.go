@@ -22,6 +22,9 @@ type FsckReport struct {
 	// IndexDefs counts the entries of the last valid index-definition
 	// table ('X' record) — the field indexes a reopen will rebuild.
 	IndexDefs int
+	// Epoch is the last committed promotion epoch ('E' record); 0 for a
+	// log that was never promoted.
+	Epoch uint64
 	// TornTail reports bytes past GoodEnd that a crash explains (an
 	// interrupted commit); they are ignored by Open and dropped by Salvage.
 	TornTail bool
@@ -37,8 +40,8 @@ func (r *FsckReport) Clean() bool { return !r.TornTail && r.Corrupt == nil }
 
 // String renders the report in the format the fsck CLI verb prints.
 func (r *FsckReport) String() string {
-	s := fmt.Sprintf("%s: log v%d, %d bytes, %d commits, %d nodes, %d roots, %d index defs\n",
-		r.Path, r.Version, r.Size, r.Commits, r.Nodes, r.Roots, r.IndexDefs)
+	s := fmt.Sprintf("%s: log v%d, %d bytes, %d commits, %d nodes, %d roots, %d index defs, epoch %d\n",
+		r.Path, r.Version, r.Size, r.Commits, r.Nodes, r.Roots, r.IndexDefs, r.Epoch)
 	s += fmt.Sprintf("last valid commit ends at offset %d", r.GoodEnd)
 	switch {
 	case r.Corrupt != nil:
@@ -74,12 +77,15 @@ func FsckFS(fsys iofault.FS, path string) (*FsckReport, error) {
 	rep := &FsckReport{Path: path, Size: fi.Size()}
 	nodes := 0
 	var lastRoots, lastDefs int
+	var lastEpoch, pendingEpoch uint64
 	pendingNodes := 0
 	pendingRoots, pendingDefs := -1, -1
+	sawEpoch := false
 	sum, err := scanLog(f, scanSink{
 		node:      func(uint64, []byte) { pendingNodes++ },
 		roots:     func(entries []rootEntry) { pendingRoots = len(entries) },
 		indexDefs: func(fields []string) { pendingDefs = len(fields) },
+		epoch:     func(e uint64) { pendingEpoch, sawEpoch = e, true },
 		commit: func(int64) {
 			nodes += pendingNodes
 			pendingNodes = 0
@@ -90,6 +96,10 @@ func FsckFS(fsys iofault.FS, path string) (*FsckReport, error) {
 			if pendingDefs >= 0 {
 				lastDefs = pendingDefs
 				pendingDefs = -1
+			}
+			if sawEpoch {
+				lastEpoch = pendingEpoch
+				sawEpoch = false
 			}
 		},
 	})
@@ -107,6 +117,7 @@ func FsckFS(fsys iofault.FS, path string) (*FsckReport, error) {
 	rep.Nodes = nodes
 	rep.Roots = lastRoots
 	rep.IndexDefs = lastDefs
+	rep.Epoch = lastEpoch
 	rep.TornTail = sum.torn
 	rep.Corrupt = sum.corrupt
 	return rep, nil

@@ -35,7 +35,26 @@ var (
 	// ErrBadGroup: the bytes handed to ApplyGroup are not a sequence of
 	// whole, valid commit groups.
 	ErrBadGroup = errors.New("intrinsic: bytes are not whole verified commit groups")
+	// ErrDiverged: this store's log is not a byte prefix of the log it is
+	// being compared against — the histories forked (a stale primary kept
+	// committing past a failover) and no amount of shipping can reconcile
+	// them. DivergenceError carries the first divergent offset.
+	ErrDiverged = errors.New("intrinsic: log has diverged; histories forked and cannot be reconciled by replication")
 )
+
+// DivergenceError reports where two logs stop agreeing: the offset of the
+// first byte at which this store's log differs from the one it rejoined
+// against. It unwraps to ErrDiverged. Recovery is manual and explicit —
+// salvage or discard the divergent suffix — never silent truncation.
+type DivergenceError struct {
+	Offset int64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("intrinsic: log diverges at offset %d: local bytes disagree with the current primary's history; refusing to truncate", e.Offset)
+}
+
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }
 
 // DurableEnd returns the offset just past the last durable commit group.
 // It is lock-free: safe to call from health reporting while a commit is
@@ -49,6 +68,94 @@ func (s *Store) EnterReplica() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.replica = true
+}
+
+// Epoch returns the promotion epoch: 0 until the first Promote, and the
+// last committed 'E' record's value after recovery. Lock-free, like
+// DurableEnd — fencing decisions and health reporting must not block
+// behind a wedged commit.
+func (s *Store) Epoch() uint64 { return s.epochA.Load() }
+
+// Promote is the inverse of EnterReplica: it bumps the promotion epoch,
+// appends the epoch record durably as its own commit group, and re-enables
+// local mutations (Bind, Commit, ...). It is the store half of failover —
+// a follower whose primary died becomes the new primary the moment the
+// epoch record is durable. Promote also works on a store that was never a
+// replica (a planned epoch bump before handing off).
+//
+// The bump is atomic: the record rides the same stage/sync/rollback path
+// as a commit, so a crash at any I/O boundary leaves either the old epoch
+// (torn or missing group, ignored on reopen) or the new one — never a torn
+// record applied. Refused while a staged batch is open (its owner decides
+// its fate first), on a poisoned store, and on a v1 log (no checksummed
+// groups to replicate afterwards; Compact upgrades).
+func (s *Store) Promote() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.broken != nil {
+		return 0, s.broken
+	}
+	if s.staged > 0 {
+		return 0, fmt.Errorf("intrinsic: a staged commit batch is open; SyncBatch or Abort before Promote")
+	}
+	if s.version != logVersion2 {
+		return 0, ErrUnverified
+	}
+	next := s.epoch + 1
+	var out nodeBuf
+	out.WriteByte(recEpoch)
+	out.uvarint(next)
+	out.WriteByte(recCommit)
+	if err := s.stageGroup(&out); err != nil {
+		return 0, err
+	}
+	if _, err := s.syncStaged(); err != nil {
+		return 0, err
+	}
+	s.replica = false
+	s.setEpoch(next)
+	return next, nil
+}
+
+// VerifyTail compares raw — the current primary's log bytes starting at
+// offset from — against this store's durable log. It returns how many
+// bytes of raw overlap the local log (the caller applies the remainder
+// with ApplyGroup), or a *DivergenceError naming the first offset at which
+// the local bytes disagree: this store committed history the primary does
+// not have, and must not be truncated silently. from must lie within the
+// durable log.
+func (s *Store) VerifyTail(raw []byte, from int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.broken != nil {
+		return 0, s.broken
+	}
+	if from < HeaderSize || from > s.end {
+		return 0, fmt.Errorf("%w: %d (durable log spans [%d,%d])", ErrBadOffset, from, HeaderSize, s.end)
+	}
+	n := int64(len(raw))
+	if from+n > s.end {
+		n = s.end - from
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	local, err := s.readAt(from, int(n))
+	if err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < n; i++ {
+		if local[i] != raw[i] {
+			return i, &DivergenceError{Offset: from + i}
+		}
+	}
+	return n, nil
 }
 
 // scanRaw runs the structural scanner over raw bytes as if they followed a
@@ -197,14 +304,17 @@ func (s *Store) ApplyGroup(raw []byte) (GroupDelta, error) {
 	pending := map[uint64][]byte{}
 	var newRoots []rootEntry
 	var newDefs []string
-	sawRoots, sawDefs := false, false
+	var newEpoch uint64
+	sawRoots, sawDefs, sawEpoch := false, false, false
 	var pendRoots []rootEntry
 	var pendDefs []string
-	pendSawRoots, pendSawDefs := false, false
+	var pendEpoch uint64
+	pendSawRoots, pendSawDefs, pendSawEpoch := false, false, false
 	sum, err := scanRaw(raw, scanSink{
 		node:      func(oid uint64, img []byte) { pending[oid] = img },
 		roots:     func(e []rootEntry) { pendRoots, pendSawRoots = e, true },
 		indexDefs: func(f []string) { pendDefs, pendSawDefs = f, true },
+		epoch:     func(e uint64) { pendEpoch, pendSawEpoch = e, true },
 		commit: func(int64) {
 			for oid, img := range pending {
 				newNodes[oid] = img
@@ -215,6 +325,9 @@ func (s *Store) ApplyGroup(raw []byte) (GroupDelta, error) {
 			}
 			if pendSawDefs {
 				newDefs, sawDefs, pendSawDefs = pendDefs, true, false
+			}
+			if pendSawEpoch {
+				newEpoch, sawEpoch, pendSawEpoch = pendEpoch, true, false
 			}
 		},
 	})
@@ -329,6 +442,11 @@ func (s *Store) ApplyGroup(raw []byte) (GroupDelta, error) {
 		}
 		s.indexDefs = next
 		s.defsDirty = false
+	}
+	if sawEpoch {
+		// The primary's promotion record flows down the stream like any
+		// other record; the follower's epoch tracks the history it holds.
+		s.setEpoch(newEpoch)
 	}
 	return delta, nil
 }

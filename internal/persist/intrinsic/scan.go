@@ -48,6 +48,7 @@ type scanSink struct {
 	node      func(oid uint64, img []byte)
 	roots     func(entries []rootEntry)
 	indexDefs func(fields []string)
+	epoch     func(e uint64)
 	commit    func(end int64)
 }
 
@@ -301,6 +302,15 @@ func scanLog(r io.Reader, sink scanSink) (scanSummary, error) {
 			}
 			if sink.indexDefs != nil {
 				sink.indexDefs(fields)
+			}
+		case recEpoch:
+			e, err := s.uvarint()
+			if err != nil {
+				anomaly(s.off, "bad epoch record", err)
+				return sum, nil
+			}
+			if sink.epoch != nil {
+				sink.epoch(e)
 			}
 		case recCommit:
 			if v == logVersion2 {

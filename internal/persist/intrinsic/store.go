@@ -120,6 +120,14 @@ type Store struct {
 	nodes   map[uint64][]byte
 	nextOID uint64
 
+	// epoch is the promotion epoch: 0 until the first Promote, bumped by
+	// every Promote and recovered from the last committed 'E' record on
+	// open. epochA mirrors it for lock-free readers (Epoch): health and
+	// fencing decisions must not block behind a commit wedged on a dying
+	// disk.
+	epoch  uint64
+	epochA atomic.Uint64
+
 	// indexDefs is the declared field-index set (see DeclareIndex). Durable
 	// on v2 logs as an 'X' record in the next commit group after a change;
 	// on v1 logs it is memory-only until Compact upgrades the file. Only
@@ -215,6 +223,13 @@ func (s *Store) setEnd(v int64) {
 	s.endA.Store(v)
 }
 
+// setEpoch moves the promotion epoch, keeping the lock-free mirror in
+// step. Callers hold s.mu.
+func (s *Store) setEpoch(e uint64) {
+	s.epoch = e
+	s.epochA.Store(e)
+}
+
 // rootEntry is a parsed but not yet materialized root-table entry.
 type rootEntry struct {
 	name   string
@@ -236,16 +251,19 @@ func (s *Store) load() error {
 		nodes map[uint64][]byte
 		roots []rootEntry
 		defs  []string
+		epoch uint64
 	}{nodes: map[uint64][]byte{}}
 	pending := map[uint64][]byte{}
 	var pendingRoots []rootEntry
 	var pendingDefs []string
-	sawRoots, sawDefs := false, false
+	var pendingEpoch uint64
+	sawRoots, sawDefs, sawEpoch := false, false, false
 
 	sum, err := scanLog(s.f, scanSink{
 		node:      func(oid uint64, img []byte) { pending[oid] = img },
 		roots:     func(entries []rootEntry) { pendingRoots = entries; sawRoots = true },
 		indexDefs: func(fields []string) { pendingDefs = fields; sawDefs = true },
+		epoch:     func(e uint64) { pendingEpoch = e; sawEpoch = true },
 		commit: func(int64) {
 			for oid, img := range pending {
 				committed.nodes[oid] = img
@@ -258,6 +276,10 @@ func (s *Store) load() error {
 			if sawDefs {
 				committed.defs = pendingDefs
 				sawDefs = false
+			}
+			if sawEpoch {
+				committed.epoch = pendingEpoch
+				sawEpoch = false
 			}
 		},
 	})
@@ -285,6 +307,7 @@ func (s *Store) load() error {
 		s.version = logVersion
 		s.setEnd(int64(len(header)))
 		s.tailDirty = false
+		s.setEpoch(0)
 		s.lastRoots = map[string]rootEntry{}
 		return nil
 	}
@@ -294,6 +317,7 @@ func (s *Store) load() error {
 	s.version = sum.version
 	s.setEnd(sum.goodEnd)
 	s.tailDirty = sum.torn
+	s.setEpoch(committed.epoch)
 
 	for _, f := range committed.defs {
 		s.indexDefs[f] = true
@@ -1038,6 +1062,12 @@ func (s *Store) Compact() (CompactStats, error) {
 	}
 	if len(s.indexDefs) > 0 {
 		s.encodeIndexDefs(&out) // the v1→v2 upgrade path for definitions
+	}
+	if s.epoch > 0 {
+		// Carry the promotion epoch into the rewritten log (and onto v2
+		// for a v1 source, where the record could not be appended).
+		out.WriteByte(recEpoch)
+		out.uvarint(s.epoch)
 	}
 	out.WriteByte(recCommit)
 	// The group checksum covers everything after the header.

@@ -198,6 +198,19 @@ func (s *Server) processBatch(batch []*commitReq) {
 		}
 		return
 	}
+	// The fence decision point for coalesced writes: a batch that queued
+	// while this server was primary but reached the committer after a
+	// fence is refused whole, under the same lock the fence was applied
+	// under — a demoted primary can never ack a write after its
+	// successor's promotion (the double-ack discipline, extended to
+	// failover).
+	if r := wire.Role(s.role.Load()); r != wire.RolePrimary {
+		err := s.refuseWrite(r)
+		for _, req := range batch {
+			results[req] = commitResult{err: err}
+		}
+		return
+	}
 
 	// Stage phase: each commit becomes one staged group; the successor
 	// state is computed but not yet published. Requests answered from the

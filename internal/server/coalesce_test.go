@@ -30,9 +30,14 @@ import (
 func TestGroupCommitRaceStress(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "stress.log")
 	reg := telemetry.NewRegistry()
+	// A small linger makes coalescing deterministic: on a fast disk the
+	// shared fsync can finish before the next writer's frame is even
+	// parsed, and a zero-delay committer then sees batches of one — the
+	// assertion below would flake with the machine's load.
 	h := bootCfg(t, path, nil, server.Config{
-		Durability: server.DurGroup,
-		Registry:   reg,
+		Durability:    server.DurGroup,
+		GroupMaxDelay: 2 * time.Millisecond,
+		Registry:      reg,
 	})
 
 	const (

@@ -71,10 +71,11 @@ type serverMetrics struct {
 	replBytesApplied  *telemetry.Counter // raw log bytes applied (follower)
 	replReconnects    *telemetry.Counter // follow-loop re-dials after a failure
 	replReadOnly      *telemetry.Counter // writes refused with CodeReadOnly
+	fencedRefusals    *telemetry.Counter // writes refused with CodeFenced (demoted primary)
 }
 
-const lastKnownOp = int(wire.OpReplicate)
-const lastWireCode = wire.CodeReadOnly
+const lastKnownOp = int(wire.OpPromote)
+const lastWireCode = wire.CodeFenced
 
 // trackedOps are the request opcodes that get per-opcode series.
 var trackedOps = []byte{
@@ -82,7 +83,7 @@ var trackedOps = []byte{
 	wire.OpBegin, wire.OpCommit, wire.OpAbort, wire.OpNames,
 	wire.OpHealth, wire.OpStats,
 	wire.OpCreateIndex, wire.OpDropIndex, wire.OpExplain,
-	wire.OpReplicate,
+	wire.OpReplicate, wire.OpPromote,
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -128,6 +129,7 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.replBytesApplied = reg.Counter("dbpl_repl_bytes_applied_total")
 	m.replReconnects = reg.Counter("dbpl_repl_reconnects_total")
 	m.replReadOnly = reg.Counter("dbpl_repl_readonly_refusals_total")
+	m.fencedRefusals = reg.Counter("dbpl_repl_fenced_refusals_total")
 	return m
 }
 

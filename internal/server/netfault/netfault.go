@@ -59,6 +59,7 @@ type Proxy struct {
 	dirs        [2]rules
 	latency     time.Duration
 	partitioned bool
+	hangNext    bool                  // one-shot: hang the next accepted conn
 	links       map[net.Conn]struct{} // live upstream+downstream conns
 	closed      bool
 }
@@ -125,6 +126,22 @@ func (p *Proxy) Blackhole(dir Dir, on bool) {
 	p.dirs[dir].blackhole = on
 }
 
+// HangNextConn arms a one-shot hang: the next accepted connection is
+// established normally (the dialer's connect succeeds) but never
+// relayed — no upstream is dialed, incoming bytes are read and silently
+// discarded, and nothing is ever written back. No RST, no FIN, no
+// error: the peer's requests enter a working TCP stream and simply
+// never get answers. This is how a dead-but-not-disconnected server
+// looks from outside, and it is the fault that only a timeout can
+// detect — the heartbeat-loss leg of the failover battery drives it to
+// prove promotion does not depend on the old primary failing loudly.
+// One-shot: connections after the hung one relay normally.
+func (p *Proxy) HangNextConn() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hangNext = true
+}
+
 // Partition severs every live link with an RST and makes new connections
 // die immediately after accept, until Heal.
 func (p *Proxy) Partition() {
@@ -184,9 +201,41 @@ func (p *Proxy) acceptLoop() {
 			abort(down)
 			continue
 		}
+		hang := p.hangNext
+		p.hangNext = false
 		p.mu.Unlock()
+		if hang {
+			go p.hang(down)
+			continue
+		}
 		go p.relay(down)
 	}
+}
+
+// hang holds a connection open forever without relaying it: incoming
+// bytes are drained (so the peer's writes succeed and its socket buffers
+// never push back) and discarded, and no byte ever flows back. The link
+// dies only when the peer gives up, or when Close/Partition tears every
+// link down.
+func (p *Proxy) hang(down net.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		abort(down)
+		return
+	}
+	p.links[down] = struct{}{}
+	p.mu.Unlock()
+	buf := make([]byte, 32<<10)
+	for {
+		if _, err := down.Read(buf); err != nil {
+			break
+		}
+	}
+	p.mu.Lock()
+	delete(p.links, down)
+	p.mu.Unlock()
+	down.Close()
 }
 
 // relay dials the target and pumps both directions until either side

@@ -177,6 +177,59 @@ func TestBlackholeKeepsConnUp(t *testing.T) {
 	}
 }
 
+// TestHangNextConnIsSilent: a hung connection establishes (the dial and
+// the write both succeed) but never answers and never errors — the only
+// way out is a timeout, which is the point of the primitive.
+func TestHangNextConn(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	p.HangNextConn()
+	c := dial(t, p.Addr())
+	if _, err := c.Write([]byte("anybody home")); err != nil {
+		t.Fatalf("write into hung conn: %v (writes must succeed silently)", err)
+	}
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 4)
+	_, err := c.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read from hung conn: %v, want timeout (no RST, no FIN, no echo)", err)
+	}
+
+	// One-shot: the next connection relays normally even while the first
+	// one is still hanging.
+	c2 := dial(t, p.Addr())
+	got, err := echo(c2, []byte("next"))
+	if err != nil {
+		t.Fatalf("echo on the connection after the hang: %v", err)
+	}
+	if string(got) != "next" {
+		t.Errorf("got %q, want %q", got, "next")
+	}
+
+	// And the hung connection is STILL silent — hanging is per-conn state,
+	// not a direction script the second connection could have cleared.
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("hung conn produced bytes after a later connection relayed")
+	}
+}
+
+// TestHangNextConnDrainsWrites: the hung side keeps accepting bytes
+// (drained, not buffered), so a peer that streams into the void never
+// blocks on TCP backpressure — it has to detect the silence by timeout.
+func TestHangNextConnDrainsWrites(t *testing.T) {
+	p := proxyTo(t, echoServer(t))
+	p.HangNextConn()
+	c := dial(t, p.Addr())
+	chunk := make([]byte, 64<<10)
+	c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 16; i++ { // 1MiB total, far past any socket buffer
+		if _, err := c.Write(chunk); err != nil {
+			t.Fatalf("write %d into hung conn: %v (drain must prevent backpressure)", i, err)
+		}
+	}
+}
+
 func TestPartitionAndHeal(t *testing.T) {
 	addr := echoServer(t)
 	p := proxyTo(t, addr)

@@ -71,7 +71,7 @@ func (s *Server) streamReplicate(conn net.Conn, fields [][]byte, writeTO time.Du
 		}
 		wire.WriteFrame(conn, maxFrame, wire.OpError, wire.ErrorFields(we)...)
 	}
-	from, err := wire.DecodeReplicateReq(fields)
+	from, subEpoch, err := wire.DecodeReplicateReq(fields)
 	if err != nil {
 		fail(toWireError(err))
 		return
@@ -81,7 +81,28 @@ func (s *Server) streamReplicate(conn net.Conn, fields [][]byte, writeTO time.Du
 		// the beginning".
 		from = intrinsic.HeaderSize
 	}
+	// Fencing, primary side: a subscriber carrying a higher promotion
+	// epoch has been promoted past us — we are the stale half of a
+	// failover. Demote ourselves (under commitMu, so no write in flight
+	// can be acked after the decision) and refuse the stream.
+	if subEpoch > s.store.Epoch() {
+		s.observeEpoch(subEpoch, "")
+		fail(&wire.WireError{Code: wire.CodeFenced,
+			Msg: fmt.Sprintf("subscriber epoch %d is above this server's epoch %d; fenced", subEpoch, s.store.Epoch())})
+		return
+	}
 	hb := s.cfg.replHeartbeat()
+	// An immediate heartbeat opens every stream: it carries our epoch and
+	// durable end, so the subscriber learns about a failover (and can run
+	// rejoin verification) before a single group is applied — and even
+	// when the loop below refuses because its log has grown past ours.
+	if writeTO > 0 {
+		conn.SetWriteDeadline(time.Now().Add(writeTO))
+	}
+	if wire.WriteFrame(conn, maxFrame, wire.OpRepHeartbeat,
+		wire.HeartbeatFields(s.store.DurableEnd(), s.store.Epoch())...) != nil {
+		return
+	}
 	for {
 		if s.draining.Load() {
 			fail(&wire.WireError{Code: wire.CodeShutdown, Msg: "server is draining"})
@@ -105,7 +126,7 @@ func (s *Server) streamReplicate(conn net.Conn, fields [][]byte, writeTO time.Du
 			if writeTO > 0 {
 				conn.SetWriteDeadline(time.Now().Add(writeTO))
 			}
-			if wire.WriteFrame(conn, maxFrame, wire.OpRepData, wire.ReplDataFields(from, raw)...) != nil {
+			if wire.WriteFrame(conn, maxFrame, wire.OpRepData, wire.ReplDataFields(from, raw, s.store.Epoch())...) != nil {
 				return
 			}
 			from = next
@@ -127,7 +148,7 @@ func (s *Server) streamReplicate(conn net.Conn, fields [][]byte, writeTO time.Du
 			if writeTO > 0 {
 				conn.SetWriteDeadline(time.Now().Add(writeTO))
 			}
-			if wire.WriteFrame(conn, maxFrame, wire.OpRepHeartbeat, wire.HeartbeatFields(end)...) != nil {
+			if wire.WriteFrame(conn, maxFrame, wire.OpRepHeartbeat, wire.HeartbeatFields(end, s.store.Epoch())...) != nil {
 				return
 			}
 			s.m.replHeartbeats.Inc()
@@ -145,6 +166,16 @@ func (s *Server) streamReplicate(conn net.Conn, fields [][]byte, writeTO time.Du
 type followerState struct {
 	primaryEnd atomic.Int64
 	done       chan struct{}
+	// stop ends the follow loop without shutting the server down — the
+	// promotion path: a follower that becomes the primary must not keep a
+	// subscription to the server it just superseded.
+	stop     chan struct{}
+	stopOnce sync.Once
+	// verifiedEpoch is the highest upstream epoch whose history this
+	// follower has proven its own log a byte prefix of (rejoin
+	// verification). Streams from an upstream above this epoch are not
+	// applied until the proof succeeds.
+	verifiedEpoch atomic.Uint64
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -189,6 +220,8 @@ func (s *Server) followLoop() {
 		select {
 		case <-s.shutdownCh:
 			return
+		case <-s.follower.stop:
+			return
 		default:
 		}
 		if !first {
@@ -196,8 +229,14 @@ func (s *Server) followLoop() {
 		}
 		first = false
 		progressed, err := s.followOnce()
-		if err != nil && !s.draining.Load() {
+		if err != nil && !s.draining.Load() && !stopped(s.follower.stop) {
 			s.logf("server: replication: %v", err)
+		}
+		if errors.Is(err, intrinsic.ErrDiverged) {
+			// Divergence is permanent: redialing would only re-prove it.
+			// The log is left intact (never truncated); recovery is the
+			// explicit runbook in docs/REPLICATION.md. Reads keep working.
+			return
 		}
 		if progressed {
 			backoff = base
@@ -207,11 +246,35 @@ func (s *Server) followLoop() {
 		case <-time.After(time.Duration(rand.Int63n(int64(backoff)) + 1)):
 		case <-s.shutdownCh:
 			return
+		case <-s.follower.stop:
+			return
 		}
 		if backoff *= 2; backoff > cap {
 			backoff = cap
 		}
 	}
+}
+
+// stopped reports whether ch (a close-only signal channel) is closed.
+func stopped(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// stopFollow ends the follow loop and severs its upstream link, then
+// waits for it to exit — the first step of a promotion, so no replicated
+// frame can race the epoch bump.
+func (s *Server) stopFollow() {
+	if s.follower == nil {
+		return
+	}
+	s.follower.stopOnce.Do(func() { close(s.follower.stop) })
+	s.follower.closeConn()
+	<-s.follower.done
 }
 
 // followOnce is one subscription: dial, request the stream from our
@@ -231,7 +294,7 @@ func (s *Server) followOnce() (progressed bool, err error) {
 	hb := s.cfg.replHeartbeat()
 	conn.SetWriteDeadline(time.Now().Add(4 * hb))
 	if err := wire.WriteFrame(conn, maxFrame, wire.OpReplicate,
-		wire.ReplicateFields(s.store.DurableEnd())...); err != nil {
+		wire.ReplicateFields(s.store.DurableEnd(), s.store.Epoch())...); err != nil {
 		return false, fmt.Errorf("subscribing to %s: %w", s.cfg.Follow, err)
 	}
 	conn.SetWriteDeadline(time.Time{})
@@ -245,18 +308,24 @@ func (s *Server) followOnce() (progressed bool, err error) {
 		}
 		switch op {
 		case wire.OpRepHeartbeat:
-			end, err := wire.DecodeHeartbeat(fields)
+			end, upEpoch, err := wire.DecodeHeartbeat(fields)
 			if err != nil {
+				return progressed, err
+			}
+			if err := s.checkUpstreamEpoch(upEpoch); err != nil {
 				return progressed, err
 			}
 			s.follower.primaryEnd.Store(end)
 		case wire.OpRepData:
-			start, raw, err := wire.DecodeReplData(fields)
+			start, raw, upEpoch, err := wire.DecodeReplData(fields)
 			if err != nil {
 				// Checksum mismatch or malformed frame: drop the link
 				// without applying anything. The redial resumes from our
 				// durable end, so the damaged group is re-sent intact.
 				return progressed, fmt.Errorf("stream from %s: %w", s.cfg.Follow, err)
+			}
+			if err := s.checkUpstreamEpoch(upEpoch); err != nil {
+				return progressed, err
 			}
 			n, err := s.applyReplicated(start, raw)
 			if err != nil {
@@ -274,6 +343,107 @@ func (s *Server) followOnce() (progressed bool, err error) {
 	}
 }
 
+// checkUpstreamEpoch is fencing, follower side, applied to every frame's
+// epoch before the frame is: an upstream below our own epoch is a stale
+// ex-primary (its history and ours may have forked past our shared
+// prefix) — the link is dropped, never applied. An upstream *above* our
+// epoch was promoted while we were partitioned from it: before applying
+// anything we must prove our log is still a byte prefix of the new
+// history (rejoin verification); the proof is cached per epoch so a
+// healthy stream pays it once.
+func (s *Server) checkUpstreamEpoch(up uint64) error {
+	local := s.store.Epoch()
+	if up < local {
+		return fmt.Errorf("fencing: upstream %s at epoch %d is behind local epoch %d; dropping replication link",
+			s.cfg.Follow, up, local)
+	}
+	if up > local && s.follower.verifiedEpoch.Load() < up {
+		if err := s.verifyRejoin(); err != nil {
+			return err
+		}
+		s.follower.verifiedEpoch.Store(up)
+	}
+	return nil
+}
+
+// verifyRejoin proves this store's durable log is a byte prefix of the
+// upstream's history, before any higher-epoch group is applied. After a
+// failover the new primary may have been promoted holding *less* history
+// than we do (groups the old primary acked but never shipped): those
+// offsets belong to the forked old history, and blindly appending the
+// new primary's groups after them would interleave two histories in one
+// log. The check streams the upstream's log from the beginning on a
+// separate connection and byte-compares it against ours; a mismatch — or
+// an upstream whose history ends before ours with every shared byte
+// equal — is a typed *intrinsic.DivergenceError naming the first
+// divergent offset. The local log is never truncated; recovery is the
+// explicit runbook in docs/REPLICATION.md.
+func (s *Server) verifyRejoin() error {
+	localEnd := s.store.DurableEnd()
+	if localEnd <= intrinsic.HeaderSize {
+		return nil // nothing local that could disagree
+	}
+	conn, err := net.DialTimeout("tcp", s.cfg.Follow, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("rejoin verification: %w", err)
+	}
+	defer conn.Close()
+	maxFrame := s.cfg.maxFrame()
+	hb := s.cfg.replHeartbeat()
+	conn.SetWriteDeadline(time.Now().Add(4 * hb))
+	if err := wire.WriteFrame(conn, maxFrame, wire.OpReplicate,
+		wire.ReplicateFields(intrinsic.HeaderSize, s.store.Epoch())...); err != nil {
+		return fmt.Errorf("rejoin verification: %w", err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	br := bufio.NewReader(conn)
+	verified := intrinsic.HeaderSize
+	for verified < localEnd {
+		conn.SetReadDeadline(time.Now().Add(4 * hb))
+		op, fields, err := wire.ReadFrame(br, maxFrame)
+		if err != nil {
+			return fmt.Errorf("rejoin verification: %w", err)
+		}
+		switch op {
+		case wire.OpRepData:
+			start, raw, _, err := wire.DecodeReplData(fields)
+			if err != nil {
+				return fmt.Errorf("rejoin verification: %w", err)
+			}
+			if start != verified {
+				return fmt.Errorf("rejoin verification: frame at offset %d, wanted %d", start, verified)
+			}
+			n, err := s.store.VerifyTail(raw, start)
+			if err != nil {
+				return fmt.Errorf("rejoin refused: %w", err)
+			}
+			verified += n
+			if n < int64(len(raw)) {
+				// The new history extends past our durable end and every
+				// local byte matched: we are a clean prefix. The remainder
+				// arrives through the ordinary stream.
+				return nil
+			}
+		case wire.OpRepHeartbeat:
+			end, _, err := wire.DecodeHeartbeat(fields)
+			if err != nil {
+				return fmt.Errorf("rejoin verification: %w", err)
+			}
+			if end < localEnd && verified >= end {
+				// The upstream's history ends here and ours continues:
+				// our extra groups were never shipped and are not part of
+				// the new history. Typed refusal, not truncation.
+				return fmt.Errorf("rejoin refused: %w", &intrinsic.DivergenceError{Offset: end})
+			}
+		case wire.OpError:
+			return fmt.Errorf("rejoin verification: upstream refused: %w", wire.DecodeError(fields))
+		default:
+			return fmt.Errorf("rejoin verification: unexpected stream opcode %#x", op)
+		}
+	}
+	return nil
+}
+
 // applyReplicated makes one REPDATA frame durable and visible: verify +
 // append via Store.ApplyGroup, then publish the successor state. It runs
 // under commitMu for the same reason commits do — state publication is
@@ -281,18 +451,31 @@ func (s *Server) followOnce() (progressed bool, err error) {
 func (s *Server) applyReplicated(start int64, raw []byte) (int, error) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	// A frame already in flight when this server was promoted must not
+	// land after the epoch bump: the new primary's log grows through
+	// local commits now.
+	if wire.Role(s.role.Load()) == wire.RolePrimary {
+		return 0, fmt.Errorf("promoted to primary at epoch %d; dropping replication stream", s.store.Epoch())
+	}
 	end := s.store.DurableEnd()
 	// Duplicate and overlap handling. Frames arrive in order on one
 	// connection, but a frame in flight when a link died can be re-sent
 	// after the resubscribe. Both ends of any overlap are group
 	// boundaries (our durable end always is, and frames hold whole
-	// groups), so trimming is exact.
-	if start+int64(len(raw)) <= end {
-		return 0, nil // wholly duplicate: already durable here
-	}
+	// groups); the overlap is byte-verified against the local log — a
+	// re-sent group must be *the same* group, not a forked history's —
+	// so trimming is exact and divergence surfaces typed instead of
+	// being silently overwritten.
 	if start < end {
-		raw = raw[end-start:]
-		start = end
+		n, err := s.store.VerifyTail(raw, start)
+		if err != nil {
+			return 0, fmt.Errorf("replication overlap disagrees with local log: %w", err)
+		}
+		raw = raw[n:]
+		start += n
+	}
+	if len(raw) == 0 {
+		return 0, nil // wholly duplicate: already durable here
 	}
 	if start > end {
 		return 0, fmt.Errorf("replication gap: frame at offset %d, durable end %d", start, end)

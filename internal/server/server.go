@@ -43,7 +43,9 @@
 package server
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -117,6 +119,13 @@ type Config struct {
 	// and published state, serves reads, and refuses every write with
 	// CodeReadOnly. See docs/REPLICATION.md.
 	Follow string
+	// AllowPromote enables the PROMOTE opcode on this server: a follower
+	// may be promoted to primary (failover), and a primary may bump its
+	// epoch. Off by default — promotion rewrites who may ack writes, so
+	// every failover-enabled node must opt in explicitly (the serve verb's
+	// -allow-promote flag). Fence *notifications* are always accepted:
+	// refusing to learn about a higher epoch would defeat fencing.
+	AllowPromote bool
 	// ReplHeartbeat is the keepalive interval on idle replication streams;
 	// a follower declares the link dead after 4 missed heartbeats and
 	// redials with jittered backoff. 0 means 1s.
@@ -336,6 +345,19 @@ type Server struct {
 	// follower is the follow-loop state, nil unless cfg.Follow is set.
 	follower *followerState
 
+	// role is the server's replication role (a wire.Role): RolePrimary
+	// acks writes, RoleFollower refuses them naming the upstream,
+	// RoleFenced is a demoted primary that observed a higher promotion
+	// epoch and refuses them naming its successor. It starts from
+	// cfg.Follow and changes only under commitMu — PROMOTE makes this
+	// server the primary, a fence demotes it — so no write decision can
+	// race a role change (the double-ack discipline).
+	role atomic.Int32
+	// fencedBy is the address of the higher-epoch primary that fenced
+	// this server, for CodeFenced messages; nil when unknown (the fence
+	// was inferred from a replication stream, not a notification).
+	fencedBy atomic.Pointer[string]
+
 	// commitCh feeds the committer goroutine under DurGroup/DurAsync; nil
 	// under DurPerCommit (commits take the serial path). committerDone
 	// closes when the committer has drained the queue and exited;
@@ -393,6 +415,9 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	srv := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}, start: time.Now()}
+	if cfg.Follow != "" {
+		srv.role.Store(int32(wire.RoleFollower))
+	}
 	srv.shutdownCh = make(chan struct{})
 	srv.notifyCommit() // seed the commit-signal channel
 	if n := cfg.idemCacheSize(); n > 0 {
@@ -428,16 +453,22 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		return store.DurableEnd()
 	})
 	reg.GaugeFunc("dbpl_server_readonly", func() int64 {
-		if cfg.Follow != "" {
+		if wire.Role(srv.role.Load()) != wire.RolePrimary {
 			return 1
 		}
 		return 0
 	})
+	// Failover observability: the promotion epoch (the store's, so it is
+	// exactly what the log holds) and the current role, for HEALTH, STATS
+	// and /metrics — a client picks the new primary as the highest-epoch
+	// node reporting RolePrimary.
+	reg.GaugeFunc("dbpl_server_epoch", func() int64 { return int64(store.Epoch()) })
+	reg.GaugeFunc("dbpl_repl_role", func() int64 { return int64(srv.role.Load()) })
 	if n := cfg.slowLogSize(); n > 0 {
 		srv.slow = telemetry.NewSlowLog(n, cfg.slowOpThreshold())
 	}
 	if cfg.Follow != "" {
-		f := &followerState{done: make(chan struct{})}
+		f := &followerState{done: make(chan struct{}), stop: make(chan struct{})}
 		srv.follower = f
 		reg.GaugeFunc("dbpl_repl_primary_end", func() int64 { return f.primaryEnd.Load() })
 		reg.GaugeFunc("dbpl_repl_lag_bytes", func() int64 {
@@ -448,7 +479,11 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 		})
 		go srv.followLoop()
 	}
-	if cfg.Durability != DurPerCommit && cfg.Follow == "" {
+	// The committer starts whenever group durability is configured — even
+	// on a follower, where it idles: a promoted follower must be able to
+	// ack coalesced writes immediately, and starting the goroutine late
+	// would race every reader of commitCh.
+	if cfg.Durability != DurPerCommit {
 		srv.commitCh = make(chan *commitReq, cfg.groupMaxBatch())
 		srv.committerDone = make(chan struct{})
 		go srv.committerLoop()
@@ -591,7 +626,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.poisoned != nil {
 		return s.poisoned
 	}
-	if s.cfg.Follow != "" {
+	if wire.Role(s.role.Load()) != wire.RolePrimary {
 		return nil
 	}
 	if _, err := s.store.Commit(); err != nil {
@@ -793,17 +828,17 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 	if s.draining.Load() {
 		return errResp(&wire.WireError{Code: wire.CodeShutdown, Msg: "server is draining"})
 	}
-	// A follower refuses every mutation permanently and by role — distinct
-	// from CodeDegraded (this server is healthy) and never retryable
-	// against this server. The message names the primary so a misdirected
-	// client can re-aim.
-	if s.cfg.Follow != "" {
+	// A non-primary refuses every mutation by role — distinct from
+	// CodeDegraded (this server is healthy) and never retryable against
+	// this server. A follower answers CodeReadOnly naming its upstream; a
+	// fenced ex-primary answers CodeFenced naming its successor, so a
+	// misdirected client can re-aim. PROMOTE is deliberately not in the
+	// refused set: a follower is exactly what gets promoted.
+	if r := wire.Role(s.role.Load()); r != wire.RolePrimary {
 		switch op {
 		case wire.OpPut, wire.OpDelete, wire.OpBegin, wire.OpCommit,
 			wire.OpCreateIndex, wire.OpDropIndex:
-			s.m.replReadOnly.Inc()
-			return errResp(&wire.WireError{Code: wire.CodeReadOnly,
-				Msg: fmt.Sprintf("read-only replication follower of %s; writes must go to the primary", s.cfg.Follow)})
+			return errResp(s.refuseWrite(r))
 		}
 	}
 	switch op {
@@ -862,6 +897,8 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 		return s.handleDropIndex(sess, fields)
 	case wire.OpExplain:
 		return s.handleExplain(fields)
+	case wire.OpPromote:
+		return s.handlePromote(fields)
 	default:
 		return errResp(&wire.WireError{Code: wire.CodeUnknownOp, Msg: fmt.Sprintf("opcode %#x", op)})
 	}
@@ -876,6 +913,25 @@ func (sess *session) endTxn() {
 
 func errResp(we *wire.WireError) (byte, [][]byte) {
 	return wire.OpError, wire.ErrorFields(we)
+}
+
+// refuseWrite builds the role-gated write refusal: CodeReadOnly for a
+// follower (naming the upstream primary), CodeFenced for a demoted
+// primary (naming its successor when known). Used both at dispatch and
+// at the commit decision under commitMu, so a write admitted before a
+// fence cannot be acked after it.
+func (s *Server) refuseWrite(r wire.Role) *wire.WireError {
+	if r == wire.RoleFenced {
+		s.m.fencedRefusals.Inc()
+		msg := "fenced: a primary with a higher promotion epoch exists; writes refused"
+		if p := s.fencedBy.Load(); p != nil && *p != "" {
+			msg = fmt.Sprintf("fenced: the primary is now %s (higher promotion epoch); writes must go there", *p)
+		}
+		return &wire.WireError{Code: wire.CodeFenced, Msg: msg}
+	}
+	s.m.replReadOnly.Inc()
+	return &wire.WireError{Code: wire.CodeReadOnly,
+		Msg: fmt.Sprintf("read-only replication follower of %s; writes must go to the primary", s.cfg.Follow)}
 }
 
 // toWireError folds any server-side failure into the wire taxonomy,
@@ -1243,6 +1299,9 @@ func (s *Server) alterIndex(field string, create bool, key string) (bool, error)
 		s.m.degraded.Inc()
 		return false, &wire.WireError{Code: wire.CodeDegraded, Msg: s.poisoned.Error()}
 	}
+	if r := wire.Role(s.role.Load()); r != wire.RolePrimary {
+		return false, s.refuseWrite(r)
+	}
 	if key != "" {
 		if res, ok := s.idem.get(key); ok {
 			s.m.idemHits.Inc()
@@ -1352,6 +1411,13 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 		s.m.degraded.Inc()
 		return nil, &wire.WireError{Code: wire.CodeDegraded, Msg: s.poisoned.Error()}
 	}
+	// The fence decision point: a write admitted while this server was
+	// still primary, but reaching the commit decision after a fence, is
+	// refused here — a stale primary can never ack a write after its
+	// successor's promotion.
+	if r := wire.Role(s.role.Load()); r != wire.RolePrimary {
+		return nil, s.refuseWrite(r)
+	}
 	if key != "" {
 		if existed, ok := s.idem.get(key); ok {
 			s.m.idemHits.Inc()
@@ -1407,6 +1473,168 @@ func (s *Server) rollback(cause error) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Failover: PROMOTE, fencing
+// ---------------------------------------------------------------------------
+
+// handlePromote is the PROMOTE opcode's two faces. With no fields it is
+// the admin promotion: this server (typically a follower whose primary
+// died) bumps its epoch durably and becomes the primary; gated by
+// Config.AllowPromote. With fence fields it is the notification a new
+// primary sends its predecessor: a higher epoch exists at newPrimary —
+// demote yourself. Fence notifications are always accepted (refusing to
+// learn of a higher epoch would defeat fencing); stale ones are refused.
+func (s *Server) handlePromote(fields [][]byte) (byte, [][]byte) {
+	epoch, newPrimary, fence, err := wire.DecodePromote(fields)
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	if fence {
+		return s.handleFence(epoch, newPrimary)
+	}
+	if !s.cfg.AllowPromote {
+		return errResp(&wire.WireError{Code: wire.CodeBadRequest,
+			Msg: "promotion is disabled on this server; start it with -allow-promote"})
+	}
+	newEpoch, err := s.promote()
+	if err != nil {
+		return errResp(toWireError(err))
+	}
+	return wire.OpOK, [][]byte{binary.AppendUvarint(nil, newEpoch)}
+}
+
+// promote makes this server the primary: stop following, bump the epoch
+// durably (the store refuses while a commit batch is staged), flip the
+// role, and tell the old upstream it has been superseded. The epoch
+// record is its own commit group, so chained followers receive the
+// promotion through the ordinary stream.
+func (s *Server) promote() (uint64, error) {
+	// Stop the follow loop first, outside commitMu (it may be holding
+	// commitMu in applyReplicated right now), so no replicated frame can
+	// land after the epoch bump.
+	s.stopFollow()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if s.poisoned != nil {
+		s.m.degraded.Inc()
+		return 0, &wire.WireError{Code: wire.CodeDegraded, Msg: s.poisoned.Error()}
+	}
+	wasPrimary := wire.Role(s.role.Load()) == wire.RolePrimary
+	epoch, err := s.store.Promote()
+	if err != nil {
+		return 0, err
+	}
+	s.role.Store(int32(wire.RolePrimary))
+	s.fencedBy.Store(nil)
+	// The epoch record is a durable commit: wake streamers so followers
+	// of *this* server learn the new epoch immediately.
+	s.notifyCommit()
+	s.m.commits.Inc()
+	s.logf("server: promoted to primary at epoch %d", epoch)
+	if s.cfg.Follow != "" && !wasPrimary {
+		// Best effort, retried in the background: the demoted primary may
+		// be dead or partitioned right now — that is usually why we were
+		// promoted — but must learn of its successor the moment it is
+		// reachable, even if it never re-subscribes.
+		go s.sendFence(s.cfg.Follow, epoch)
+	}
+	return epoch, nil
+}
+
+// handleFence applies a fence notification: a new primary at a higher
+// epoch exists. Stale notifications (epoch not above ours) are refused.
+func (s *Server) handleFence(epoch uint64, newPrimary string) (byte, [][]byte) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if epoch <= s.store.Epoch() {
+		return errResp(&wire.WireError{Code: wire.CodeBadRequest,
+			Msg: fmt.Sprintf("stale fence: epoch %d is not above local epoch %d", epoch, s.store.Epoch())})
+	}
+	s.fence(epoch, newPrimary)
+	return wire.OpOK, nil
+}
+
+// fence demotes this server after observing promotion epoch e elsewhere:
+// the role becomes RoleFenced and the store itself enters replica mode
+// (defense in depth — even a code path that skipped the role check
+// cannot append). Idempotent for non-primaries, which are already
+// read-only; they still record the successor's address for redirects.
+// Caller holds commitMu, so no write decided before the fence can be
+// acked after it.
+func (s *Server) fence(e uint64, newPrimary string) {
+	if newPrimary != "" {
+		s.fencedBy.Store(&newPrimary)
+	}
+	if wire.Role(s.role.Load()) != wire.RolePrimary {
+		return
+	}
+	s.role.Store(int32(wire.RoleFenced))
+	s.store.EnterReplica()
+	s.logf("server: fenced: observed promotion epoch %d (local epoch %d); entering read-only mode", e, s.store.Epoch())
+}
+
+// observeEpoch fences this server when e is above the store's epoch —
+// the path for epochs learned passively (a REPLICATE subscriber carrying
+// a higher epoch) rather than via a fence notification. Reports whether
+// a fence was applied.
+func (s *Server) observeEpoch(e uint64, newPrimary string) bool {
+	if e <= s.store.Epoch() {
+		return false
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if e <= s.store.Epoch() {
+		return false
+	}
+	s.fence(e, newPrimary)
+	return true
+}
+
+// sendFence delivers the fence notification to the demoted primary,
+// retrying with backoff until any response arrives (a response — even a
+// refusal — proves delivery) or the server shuts down.
+func (s *Server) sendFence(addr string, epoch uint64) {
+	self := ""
+	if a := s.Addr(); a != nil {
+		self = a.String()
+	}
+	backoff := 100 * time.Millisecond
+	for i := 0; i < 30; i++ {
+		select {
+		case <-s.shutdownCh:
+			return
+		default:
+		}
+		if err := s.fenceOnce(addr, epoch, self); err == nil {
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-s.shutdownCh:
+			return
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// fenceOnce is one fence-notification attempt; only transport failures
+// are errors (and retried by sendFence).
+func (s *Server) fenceOnce(addr string, epoch uint64, self string) error {
+	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(3 * time.Second))
+	if err := wire.WriteFrame(conn, s.cfg.maxFrame(), wire.OpPromote, wire.FenceFields(epoch, self)...); err != nil {
+		return err
+	}
+	_, _, err = wire.ReadFrame(bufio.NewReader(conn), s.cfg.maxFrame())
+	return err
+}
+
 // handleHealth is the HEALTH opcode: the degraded-mode self-report. It
 // touches no locks a wedged writer could hold — every field is an atomic
 // or a derived gauge — so health stays answerable while a commit is stuck
@@ -1424,6 +1652,8 @@ func (s *Server) handleHealth() (byte, [][]byte) {
 	durableEnd, _ := snap.Gauge("dbpl_store_durable_end")
 	ackedEnd, _ := snap.Gauge("dbpl_server_acked_end")
 	readOnly, _ := snap.Gauge("dbpl_server_readonly")
+	role, _ := snap.Gauge("dbpl_repl_role")
+	epoch, _ := snap.Gauge("dbpl_server_epoch")
 	return wire.OpOK, wire.HealthFields(wire.Health{
 		Poisoned:   degraded != 0,
 		ReadOnly:   readOnly != 0,
@@ -1433,6 +1663,8 @@ func (s *Server) handleHealth() (byte, [][]byte) {
 		Uptime:     time.Duration(uptimeNS),
 		DurableEnd: durableEnd,
 		AckedEnd:   ackedEnd,
+		Role:       wire.Role(role),
+		Epoch:      uint64(epoch),
 	})
 }
 

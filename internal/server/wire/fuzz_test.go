@@ -73,22 +73,39 @@ func FuzzReadFrame(f *testing.F) {
 	// Replication: the subscribe request and both stream frame shapes,
 	// plus damaged variants (truncated group bytes, oversize offset, bad
 	// CRC trailer) — each must decode to a *WireError, never panic.
-	f.Add(mustFrame(OpReplicate, ReplicateFields(8)...))
+	f.Add(mustFrame(OpReplicate, ReplicateFields(8, 3)...))
+	f.Add(mustFrame(OpReplicate, UvarintField(8)))                                                    // legacy single-field form
 	f.Add(mustFrame(OpReplicate, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})) // > MaxInt64
-	f.Add(mustFrame(OpRepData, ReplDataFields(8, []byte("NOTALOGGROUP"))...))
+	f.Add(mustFrame(OpRepData, ReplDataFields(8, []byte("NOTALOGGROUP"), 2)...))
 	f.Add(func() []byte { // truncated group payload invalidating the CRC
-		fields := ReplDataFields(8, []byte("group-bytes-here"))
+		fields := ReplDataFields(8, []byte("group-bytes-here"), 2)
 		fields[1] = fields[1][:4]
 		return mustFrame(OpRepData, fields...)
 	}())
 	f.Add(func() []byte { // flipped CRC trailer
-		fields := ReplDataFields(8, []byte("group-bytes-here"))
-		fields[2][0] ^= 0x40
+		fields := ReplDataFields(8, []byte("group-bytes-here"), 2)
+		fields[3][0] ^= 0x40
+		return mustFrame(OpRepData, fields...)
+	}())
+	f.Add(func() []byte { // flipped epoch field (the byte fencing trusts)
+		fields := ReplDataFields(8, []byte("group-bytes-here"), 2)
+		fields[2][0] ^= 0x01
 		return mustFrame(OpRepData, fields...)
 	}())
 	f.Add(mustFrame(OpRepData, []byte{8}, []byte("raw"))) // missing trailer
-	f.Add(mustFrame(OpRepHeartbeat, HeartbeatFields(1<<40)...))
+	f.Add(mustFrame(OpRepHeartbeat, HeartbeatFields(1<<40, 5)...))
+	f.Add(mustFrame(OpRepHeartbeat, UvarintField(64))) // legacy single-field form
 	f.Add(mustFrame(OpRepHeartbeat))
+	// Failover: the self-promote order, the fence notification, and a
+	// malformed fence epoch.
+	f.Add(mustFrame(OpPromote))
+	f.Add(mustFrame(OpPromote, FenceFields(9, "10.0.0.2:7070")...))
+	f.Add(mustFrame(OpPromote, []byte{0xFF}, []byte("addr")))
+	// The nine-field HEALTH payload with role and epoch, and the
+	// seven-field pre-failover shape.
+	f.Add(mustFrame(OpOK, HealthFields(Health{ReadOnly: true, Role: RoleFenced, Epoch: 4,
+		DurableEnd: 1 << 20, AckedEnd: 1 << 20})...))
+	f.Add(mustFrame(OpOK, HealthFields(Health{DurableEnd: 1 << 20, AckedEnd: 1<<20 + 512})[:7]...))
 	f.Add(append(mustFrame(OpBegin), mustFrame(OpCommit)...)) // pipelined
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})

@@ -2,57 +2,99 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 )
 
-// TestReplicateReqRoundTrip: the subscribe request carries its offset
-// losslessly, and malformed offsets are typed bad requests.
+// TestReplicateReqRoundTrip: the subscribe request carries its offset and
+// the subscriber's epoch losslessly, and malformed offsets are typed bad
+// requests.
 func TestReplicateReqRoundTrip(t *testing.T) {
 	for _, from := range []int64{0, 8, 1 << 20, 1<<62 + 12345} {
-		got, err := DecodeReplicateReq(ReplicateFields(from))
-		if err != nil {
-			t.Fatalf("DecodeReplicateReq(%d): %v", from, err)
-		}
-		if got != from {
-			t.Fatalf("offset %d round-tripped to %d", from, got)
+		for _, epoch := range []uint64{0, 1, 1 << 50} {
+			got, gotEpoch, err := DecodeReplicateReq(ReplicateFields(from, epoch))
+			if err != nil {
+				t.Fatalf("DecodeReplicateReq(%d, %d): %v", from, epoch, err)
+			}
+			if got != from || gotEpoch != epoch {
+				t.Fatalf("(%d, %d) round-tripped to (%d, %d)", from, epoch, got, gotEpoch)
+			}
 		}
 	}
+	// The pre-failover single-field form still decodes, with epoch 0.
+	got, gotEpoch, err := DecodeReplicateReq([][]byte{UvarintField(8)})
+	if err != nil || got != 8 || gotEpoch != 0 {
+		t.Fatalf("legacy REPLICATE = (%d, %d, %v), want (8, 0, nil)", got, gotEpoch, err)
+	}
 	bad := [][][]byte{
-		{},               // no fields
-		{{0x01}, {0x02}}, // two fields
-		{{0xFF}},         // unterminated uvarint
+		{},                        // no fields
+		{{1}, {2}, {3}},           // three fields
+		{{0xFF}},                  // unterminated uvarint
+		{UvarintField(8), {0xFF}}, // unterminated epoch
 		{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}}, // > MaxInt64
 	}
 	for i, fields := range bad {
-		if _, err := DecodeReplicateReq(fields); !errors.Is(err, ErrBadRequest) {
+		if _, _, err := DecodeReplicateReq(fields); !errors.Is(err, ErrBadRequest) {
 			t.Errorf("bad request %d decoded to %v, want ErrBadRequest", i, err)
 		}
 	}
 }
 
-// TestReplDataRoundTrip: a REPDATA frame carries offset and raw group
-// bytes under a CRC-32C that survives encode/decode.
+// TestReplDataRoundTrip: a REPDATA frame carries offset, raw group bytes
+// and the primary's epoch under a CRC-32C that survives encode/decode.
 func TestReplDataRoundTrip(t *testing.T) {
 	raw := []byte("pretend-commit-group-bytes")
-	start, got, err := DecodeReplData(ReplDataFields(4096, raw))
+	start, got, epoch, err := DecodeReplData(ReplDataFields(4096, raw, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if start != 4096 || !bytes.Equal(got, raw) {
-		t.Fatalf("round trip = (%d, %q), want (4096, %q)", start, got, raw)
+	if start != 4096 || !bytes.Equal(got, raw) || epoch != 7 {
+		t.Fatalf("round trip = (%d, %q, %d), want (4096, %q, 7)", start, got, epoch, raw)
 	}
 	// Empty payload is legal (it cannot happen on a live stream, but the
 	// decoder must not care).
-	if _, got, err = DecodeReplData(ReplDataFields(8, nil)); err != nil || len(got) != 0 {
+	if _, got, _, err = DecodeReplData(ReplDataFields(8, nil, 0)); err != nil || len(got) != 0 {
 		t.Fatalf("empty round trip = (%q, %v)", got, err)
 	}
 }
 
+// TestReplDataLegacyForm: the pre-failover three-field frame (no epoch;
+// CRC over offset+raw only) still decodes, with epoch 0 — a new follower
+// can stream from an old primary.
+func TestReplDataLegacyForm(t *testing.T) {
+	modern := ReplDataFields(4096, []byte("group-bytes"), 0)
+	// Rebuild the legacy frame: offset, raw, CRC over those two alone.
+	legacy := legacyReplDataFields(4096, []byte("group-bytes"))
+	start, raw, epoch, err := DecodeReplData(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 4096 || string(raw) != "group-bytes" || epoch != 0 {
+		t.Fatalf("legacy decode = (%d, %q, %d)", start, raw, epoch)
+	}
+	// And the modern frame is not confused for it: 4 fields decode the
+	// epoch under the wider CRC.
+	if len(modern) != 4 {
+		t.Fatalf("modern REPDATA has %d fields, want 4", len(modern))
+	}
+}
+
+// legacyReplDataFields reproduces the pre-failover encoder for
+// compatibility tests: [offset, raw, crc], CRC-32C over offset+raw.
+func legacyReplDataFields(start int64, raw []byte) [][]byte {
+	off := UvarintField(uint64(start))
+	sum := crc32.Update(crc32.Update(0, replCRCTable, off), replCRCTable, raw)
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], sum)
+	return [][]byte{off, raw, tr[:]}
+}
+
 // TestReplDataDetectsCorruption: any bit flip — in the offset, the
-// payload, or the trailer itself — fails the checksum with CodeCorrupt,
-// which tells the follower to drop the link and resubscribe rather than
-// apply the bytes.
+// payload, the epoch, or the trailer itself — fails the checksum with
+// CodeCorrupt, which tells the follower to drop the link and resubscribe
+// rather than apply the bytes (or fence on a damaged epoch).
 func TestReplDataDetectsCorruption(t *testing.T) {
 	raw := []byte("pretend-commit-group-bytes")
 	for _, flip := range []struct {
@@ -62,12 +104,13 @@ func TestReplDataDetectsCorruption(t *testing.T) {
 	}{
 		{"offset", 0, 0x01},
 		{"payload", 1, 0x80},
-		{"trailer", 2, 0x10},
+		{"epoch", 2, 0x01},
+		{"trailer", 3, 0x10},
 	} {
-		fields := ReplDataFields(4096, raw)
+		fields := ReplDataFields(4096, raw, 99)
 		fields[flip.field] = append([]byte(nil), fields[flip.field]...)
 		fields[flip.field][0] ^= flip.bit
-		_, _, err := DecodeReplData(fields)
+		_, _, _, err := DecodeReplData(fields)
 		if !errors.Is(err, ErrRemoteCorrupt) {
 			t.Errorf("flipped %s decoded to %v, want ErrRemoteCorrupt", flip.name, err)
 		}
@@ -81,42 +124,66 @@ func TestReplDataDetectsCorruption(t *testing.T) {
 // TestReplDataMalformed: structurally damaged frames are CodeBadFrame,
 // never a panic.
 func TestReplDataMalformed(t *testing.T) {
-	good := ReplDataFields(8, []byte("raw"))
+	good := ReplDataFields(8, []byte("raw"), 1)
 	bad := [][][]byte{
-		{},                         // no fields
-		good[:2],                   // missing trailer
-		{good[0], good[1], {1}},    // short trailer
-		{{0xFF}, good[1], good[2]}, // unterminated offset
-		{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, good[1], good[2]}, // oversize offset
+		{},                                  // no fields
+		good[:2],                            // missing epoch and trailer
+		{good[0], good[1], good[2], {1}},    // short trailer
+		{{0xFF}, good[1], good[2], good[3]}, // unterminated offset
+		{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, good[1], good[2], good[3]}, // oversize offset
 	}
 	for i, fields := range bad {
-		if _, _, err := DecodeReplData(fields); !errors.Is(err, ErrBadFrame) {
+		if _, _, _, err := DecodeReplData(fields); !errors.Is(err, ErrBadFrame) {
 			t.Errorf("malformed frame %d decoded to %v, want ErrBadFrame", i, err)
 		}
 	}
 }
 
-// TestHeartbeatRoundTrip: the keepalive carries the primary's durable end.
+// TestHeartbeatRoundTrip: the keepalive carries the primary's durable end
+// and epoch; the legacy single-field form implies epoch 0.
 func TestHeartbeatRoundTrip(t *testing.T) {
-	got, err := DecodeHeartbeat(HeartbeatFields(1 << 40))
-	if err != nil || got != 1<<40 {
-		t.Fatalf("heartbeat round trip = (%d, %v)", got, err)
+	got, epoch, err := DecodeHeartbeat(HeartbeatFields(1<<40, 12))
+	if err != nil || got != 1<<40 || epoch != 12 {
+		t.Fatalf("heartbeat round trip = (%d, %d, %v)", got, epoch, err)
 	}
-	for i, fields := range [][][]byte{{}, {{0xFF}}, {{1}, {2}}} {
-		if _, err := DecodeHeartbeat(fields); !errors.Is(err, ErrBadFrame) {
+	got, epoch, err = DecodeHeartbeat([][]byte{UvarintField(64)})
+	if err != nil || got != 64 || epoch != 0 {
+		t.Fatalf("legacy heartbeat = (%d, %d, %v), want (64, 0, nil)", got, epoch, err)
+	}
+	for i, fields := range [][][]byte{{}, {{0xFF}}, {{1}, {2}, {3}}, {UvarintField(1), {0xFF}}} {
+		if _, _, err := DecodeHeartbeat(fields); !errors.Is(err, ErrBadFrame) {
 			t.Errorf("malformed heartbeat %d decoded to %v, want ErrBadFrame", i, err)
 		}
 	}
 }
 
+// TestPromoteRoundTrip: the PROMOTE request's two faces — the empty
+// self-promote order and the [epoch, newPrimary] fence notification.
+func TestPromoteRoundTrip(t *testing.T) {
+	epoch, addr, fence, err := DecodePromote(nil)
+	if err != nil || fence || epoch != 0 || addr != "" {
+		t.Fatalf("self-promote decode = (%d, %q, %v, %v)", epoch, addr, fence, err)
+	}
+	epoch, addr, fence, err = DecodePromote(FenceFields(9, "10.0.0.2:7070"))
+	if err != nil || !fence || epoch != 9 || addr != "10.0.0.2:7070" {
+		t.Fatalf("fence decode = (%d, %q, %v, %v)", epoch, addr, fence, err)
+	}
+	for i, fields := range [][][]byte{{{1}}, {{1}, {2}, {3}}, {{0xFF}, []byte("x")}} {
+		if _, _, _, err := DecodePromote(fields); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("malformed PROMOTE %d decoded to %v, want ErrBadRequest", i, err)
+		}
+	}
+}
+
 // TestHealthCarriesReplicationFields: the extended HEALTH payload round-
-// trips the follower flag and durable offset next to the original fields,
-// and a short frame stays a typed decode error.
+// trips the role, epoch, follower flag and durable offset next to the
+// original fields, and a short frame stays a typed decode error.
 func TestHealthCarriesReplicationFields(t *testing.T) {
 	want := Health{
 		Poisoned: true, ReadOnly: true,
 		InFlight: 3, Sessions: 9, Roots: 42,
-		Uptime: 90210, DurableEnd: 1 << 33,
+		Uptime: 90210, DurableEnd: 1 << 33, AckedEnd: 1 << 33,
+		Role: RoleFenced, Epoch: 4,
 	}
 	got, err := DecodeHealth(HealthFields(want))
 	if err != nil {
@@ -127,5 +194,35 @@ func TestHealthCarriesReplicationFields(t *testing.T) {
 	}
 	if _, err := DecodeHealth(HealthFields(want)[:5]); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("short HEALTH decoded to %v, want ErrBadFrame", err)
+	}
+}
+
+// TestHealthLegacyForms: six-field (pre-group-commit) and seven-field
+// (pre-failover) HEALTH payloads still decode; the role is derived from
+// the ReadOnly flag and the epoch defaults to 0.
+func TestHealthLegacyForms(t *testing.T) {
+	full := HealthFields(Health{
+		ReadOnly: true, InFlight: 1, Sessions: 2, Roots: 3,
+		Uptime: 4, DurableEnd: 500, AckedEnd: 600,
+	})
+	got7, err := DecodeHealth(full[:7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got7.Role != RoleFollower || got7.Epoch != 0 || got7.AckedEnd != 600 {
+		t.Fatalf("7-field decode = %+v", got7)
+	}
+	got6, err := DecodeHealth(full[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got6.AckedEnd != got6.DurableEnd || got6.Role != RoleFollower {
+		t.Fatalf("6-field decode = %+v", got6)
+	}
+	// A writable primary's legacy payload derives RolePrimary.
+	writable := HealthFields(Health{Roots: 1})
+	gotW, err := DecodeHealth(writable[:7])
+	if err != nil || gotW.Role != RolePrimary {
+		t.Fatalf("legacy writable decode = (%+v, %v)", gotW, err)
 	}
 }

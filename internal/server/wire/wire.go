@@ -67,16 +67,28 @@ const (
 	OpDropIndex   byte = 0x0D // [field, id?]              -> OK [existed(1)]
 	OpExplain     byte = 0x0E // [type-image(, type-image)] -> OK [plan-text]
 	// OpReplicate subscribes the connection to the primary's log: [from]
-	// (uvarint durable offset). The server answers with an open-ended
-	// stream of OpRepData / OpRepHeartbeat frames instead of a single
-	// response; the connection carries nothing else afterwards.
+	// (uvarint durable offset) plus an optional second field, the
+	// subscriber's promotion epoch — a server seeing a subscriber with a
+	// higher epoch than its own has been superseded and fences itself.
+	// The server answers with an open-ended stream of OpRepData /
+	// OpRepHeartbeat frames instead of a single response; the connection
+	// carries nothing else afterwards.
 	OpReplicate byte = 0x0F
+	// OpPromote is failover administration, gated by the server's
+	// -allow-promote flag. With no fields it orders this server to
+	// promote: bump the store epoch durably, leave follower mode and
+	// start accepting writes ([] -> OK [epoch]). With fields
+	// [epoch, newPrimaryAddr] it is the fence notification a newly
+	// promoted primary sends its old upstream: you have been superseded
+	// at this epoch, enter fenced read-only mode and refer writers to
+	// newPrimaryAddr ([epoch, addr] -> OK []).
+	OpPromote byte = 0x10
 )
 
 // lastRequestOp is the highest assigned request opcode. The opcode
 // exhaustiveness test walks [OpPing, lastRequestOp]; update it when
 // appending an opcode. Request opcodes must stay below TraceFlag.
-const lastRequestOp = OpReplicate
+const lastRequestOp = OpPromote
 
 // Response opcodes. OpRepData and OpRepHeartbeat are the replication
 // stream (see OpReplicate): REPDATA carries whole commit groups as raw log
@@ -141,6 +153,8 @@ func OpName(op byte) string {
 		return "EXPLAIN"
 	case OpReplicate:
 		return "REPLICATE"
+	case OpPromote:
+		return "PROMOTE"
 	case OpOK:
 		return "OK"
 	case OpValues:
@@ -228,11 +242,18 @@ const (
 	// Unlike CodeOverloaded this is never retryable against this server —
 	// a follower does not become writable by waiting.
 	CodeReadOnly
+	// CodeFenced: this server was the primary but observed a higher
+	// promotion epoch — another node was promoted over it — and now
+	// refuses writes so the forked histories can never both be
+	// acknowledged. The message names the new primary. Never retryable
+	// against this server, but the client's failover logic re-probes the
+	// replica set and re-pins writes at the new primary.
+	CodeFenced
 )
 
 // lastCode is the highest assigned code. The exhaustiveness test walks
 // [CodeBadFrame, lastCode]; update it when appending a code.
-const lastCode = CodeReadOnly
+const lastCode = CodeFenced
 
 // Per-code sentinels; a *WireError unwraps to the sentinel of its code so
 // clients dispatch with errors.Is.
@@ -252,6 +273,7 @@ var (
 	ErrOverloaded    = errors.New("wire: server overloaded")
 	ErrDegraded      = errors.New("wire: server degraded to read-only")
 	ErrReadOnly      = errors.New("wire: server is a read-only replication follower")
+	ErrFenced        = errors.New("wire: server is fenced: a higher promotion epoch exists")
 )
 
 // String names the code.
@@ -287,6 +309,8 @@ func (c Code) String() string {
 		return "degraded"
 	case CodeReadOnly:
 		return "read-only"
+	case CodeFenced:
+		return "fenced"
 	default:
 		return fmt.Sprintf("code(%d)", byte(c))
 	}
@@ -323,6 +347,8 @@ func (c Code) Sentinel() error {
 		return ErrDegraded
 	case CodeReadOnly:
 		return ErrReadOnly
+	case CodeFenced:
+		return ErrFenced
 	default:
 		return ErrInternal
 	}
@@ -506,6 +532,30 @@ func DecodeError(fields [][]byte) error {
 // Health (the HEALTH opcode)
 // ---------------------------------------------------------------------------
 
+// Role is a server's replication role as reported by HEALTH: the writable
+// primary, a read-only follower, or a fenced old primary that observed a
+// higher promotion epoch. Wire format: values are stable.
+type Role byte
+
+const (
+	RolePrimary Role = iota
+	RoleFollower
+	RoleFenced
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleFollower:
+		return "follower"
+	case RoleFenced:
+		return "fenced"
+	default:
+		return fmt.Sprintf("role(%d)", byte(r))
+	}
+}
+
 // Health is the server's self-report: whether the write path is poisoned
 // (degraded read-only mode), whether it is a read-only replication
 // follower, how much work is in flight, how many sessions are connected,
@@ -515,8 +565,8 @@ func DecodeError(fields [][]byte) error {
 // be able to ask "are you overloaded?" of an overloaded server.
 type Health struct {
 	Poisoned bool
-	// ReadOnly reports a replication follower: writes are refused with
-	// CodeReadOnly.
+	// ReadOnly reports that writes are refused by role: a replication
+	// follower (CodeReadOnly) or a fenced old primary (CodeFenced).
 	ReadOnly bool
 	InFlight int
 	Sessions int
@@ -532,6 +582,12 @@ type Health struct {
 	// under Durability=async, where AckedEnd - DurableEnd is the
 	// acked-but-not-yet-durable window a crash would lose.
 	AckedEnd int64
+	// Role is the replication role; failover clients probe HEALTH for the
+	// highest-epoch node reporting RolePrimary.
+	Role Role
+	// Epoch is the store's promotion epoch: bumped durably by every
+	// PROMOTE, 0 for a log never promoted. Higher epoch wins a failover.
+	Epoch uint64
 }
 
 // HealthFields encodes the HEALTH response payload.
@@ -551,19 +607,25 @@ func HealthFields(h Health) [][]byte {
 		uvarintField(uint64(h.Uptime)),
 		uvarintField(uint64(h.DurableEnd)),
 		uvarintField(uint64(h.AckedEnd)),
+		{byte(h.Role)},
+		uvarintField(h.Epoch),
 	}
 }
 
 // DecodeHealth reconstructs the Health from a HEALTH response payload.
-// Six fields (a pre-group-commit server, no AckedEnd) are accepted for
-// compatibility: nothing was acked beyond the durable end there, so
-// AckedEnd = DurableEnd.
+// Shorter payloads from older servers are accepted for compatibility: six
+// fields (a pre-group-commit server, no AckedEnd) imply
+// AckedEnd = DurableEnd, and seven fields (a pre-failover server, no
+// role/epoch) imply Epoch 0 with the role derived from the ReadOnly flag.
 func DecodeHealth(fields [][]byte) (Health, error) {
-	if (len(fields) != 6 && len(fields) != 7) || len(fields[0]) != 1 {
+	if (len(fields) != 6 && len(fields) != 7 && len(fields) != 9) || len(fields[0]) != 1 {
 		return Health{}, errf(CodeBadFrame, "malformed HEALTH response")
 	}
 	var u [6]uint64
 	for i, f := range fields[1:] {
+		if i >= len(u) {
+			break
+		}
 		v, ok := uvarintOf(f)
 		if !ok {
 			return Health{}, errf(CodeBadFrame, "malformed HEALTH field %d", i+1)
@@ -580,8 +642,21 @@ func DecodeHealth(fields [][]byte) (Health, error) {
 		DurableEnd: int64(u[4]),
 		AckedEnd:   int64(u[4]),
 	}
-	if len(fields) == 7 {
+	if len(fields) >= 7 {
 		h.AckedEnd = int64(u[5])
+	}
+	if len(fields) == 9 {
+		if len(fields[7]) != 1 {
+			return Health{}, errf(CodeBadFrame, "malformed HEALTH role field")
+		}
+		h.Role = Role(fields[7][0])
+		v, ok := uvarintOf(fields[8])
+		if !ok {
+			return Health{}, errf(CodeBadFrame, "malformed HEALTH epoch field")
+		}
+		h.Epoch = v
+	} else if h.ReadOnly {
+		h.Role = RoleFollower
 	}
 	return h, nil
 }
@@ -596,73 +671,132 @@ func DecodeHealth(fields [][]byte) (Health, error) {
 var replCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ReplicateFields encodes the REPLICATE request: stream my log from this
-// durable offset.
-func ReplicateFields(from int64) [][]byte {
-	return [][]byte{uvarintField(uint64(from))}
+// durable offset. The second field is the subscriber's promotion epoch —
+// a primary seeing a subscriber at a higher epoch than its own has been
+// superseded and must fence itself.
+func ReplicateFields(from int64, epoch uint64) [][]byte {
+	return [][]byte{uvarintField(uint64(from)), uvarintField(epoch)}
 }
 
-// DecodeReplicateReq decodes the REPLICATE request payload. An offset that
-// does not fit an int64 is as malformed as a truncated one.
-func DecodeReplicateReq(fields [][]byte) (int64, error) {
-	if len(fields) != 1 {
-		return 0, errf(CodeBadRequest, "REPLICATE wants 1 field, got %d", len(fields))
+// DecodeReplicateReq decodes the REPLICATE request payload, returning the
+// offset and the subscriber's epoch (0 when the pre-failover single-field
+// form is received). An offset that does not fit an int64 is as malformed
+// as a truncated one.
+func DecodeReplicateReq(fields [][]byte) (int64, uint64, error) {
+	if len(fields) != 1 && len(fields) != 2 {
+		return 0, 0, errf(CodeBadRequest, "REPLICATE wants 1 or 2 fields, got %d", len(fields))
 	}
 	v, ok := uvarintOf(fields[0])
 	if !ok {
-		return 0, errf(CodeBadRequest, "malformed REPLICATE offset")
+		return 0, 0, errf(CodeBadRequest, "malformed REPLICATE offset")
 	}
 	if v > math.MaxInt64 {
-		return 0, errf(CodeBadRequest, "REPLICATE offset %d overflows", v)
+		return 0, 0, errf(CodeBadRequest, "REPLICATE offset %d overflows", v)
 	}
-	return int64(v), nil
+	var epoch uint64
+	if len(fields) == 2 {
+		epoch, ok = uvarintOf(fields[1])
+		if !ok {
+			return 0, 0, errf(CodeBadRequest, "malformed REPLICATE epoch")
+		}
+	}
+	return int64(v), epoch, nil
 }
 
 // ReplDataFields encodes one REPDATA stream frame: whole commit groups as
-// raw log bytes starting at offset start, trailed by the CRC-32C of the
-// offset field followed by the raw bytes.
-func ReplDataFields(start int64, raw []byte) [][]byte {
+// raw log bytes starting at offset start, the primary's promotion epoch,
+// and the CRC-32C trailer covering the offset field, the raw bytes, and
+// the epoch field — so a flipped bit anywhere (including in the epoch a
+// follower fences on) is detected before the follower acts on the frame.
+func ReplDataFields(start int64, raw []byte, epoch uint64) [][]byte {
 	off := uvarintField(uint64(start))
-	sum := crc32.Update(crc32.Update(0, replCRCTable, off), replCRCTable, raw)
+	ep := uvarintField(epoch)
+	sum := crc32.Update(crc32.Update(crc32.Update(0, replCRCTable, off), replCRCTable, raw), replCRCTable, ep)
 	var tr [4]byte
 	binary.LittleEndian.PutUint32(tr[:], sum)
-	return [][]byte{off, raw, tr[:]}
+	return [][]byte{off, raw, ep, tr[:]}
 }
 
-// DecodeReplData verifies and decodes a REPDATA frame. A checksum mismatch
-// is CodeCorrupt — the follower must drop the connection and resubscribe
-// from its durable offset rather than apply the bytes; any other
-// malformation is CodeBadFrame. Never panics (FuzzReadFrame feeds this).
-func DecodeReplData(fields [][]byte) (int64, []byte, error) {
-	if len(fields) != 3 || len(fields[2]) != 4 {
-		return 0, nil, errf(CodeBadFrame, "malformed REPDATA frame")
+// DecodeReplData verifies and decodes a REPDATA frame, returning the
+// start offset, the raw group bytes, and the primary's epoch (0 for the
+// pre-failover three-field form, whose CRC covers only offset and raw). A
+// checksum mismatch is CodeCorrupt — the follower must drop the
+// connection and resubscribe from its durable offset rather than apply
+// the bytes; any other malformation is CodeBadFrame. Never panics
+// (FuzzReadFrame feeds this).
+func DecodeReplData(fields [][]byte) (int64, []byte, uint64, error) {
+	if (len(fields) != 3 && len(fields) != 4) || len(fields[len(fields)-1]) != 4 {
+		return 0, nil, 0, errf(CodeBadFrame, "malformed REPDATA frame")
 	}
 	v, ok := uvarintOf(fields[0])
 	if !ok || v > math.MaxInt64 {
-		return 0, nil, errf(CodeBadFrame, "malformed REPDATA offset")
+		return 0, nil, 0, errf(CodeBadFrame, "malformed REPDATA offset")
 	}
+	var epoch uint64
 	sum := crc32.Update(crc32.Update(0, replCRCTable, fields[0]), replCRCTable, fields[1])
-	if got := binary.LittleEndian.Uint32(fields[2]); got != sum {
-		return 0, nil, errf(CodeCorrupt,
+	if len(fields) == 4 {
+		epoch, ok = uvarintOf(fields[2])
+		if !ok {
+			return 0, nil, 0, errf(CodeBadFrame, "malformed REPDATA epoch")
+		}
+		sum = crc32.Update(sum, replCRCTable, fields[2])
+	}
+	if got := binary.LittleEndian.Uint32(fields[len(fields)-1]); got != sum {
+		return 0, nil, 0, errf(CodeCorrupt,
 			"REPDATA checksum mismatch (stored %08x, computed %08x)", got, sum)
 	}
-	return int64(v), fields[1], nil
+	return int64(v), fields[1], epoch, nil
 }
 
-// HeartbeatFields encodes a REPHEARTBEAT frame: the primary's durable end.
-func HeartbeatFields(end int64) [][]byte {
-	return [][]byte{uvarintField(uint64(end))}
+// HeartbeatFields encodes a REPHEARTBEAT frame: the primary's durable end
+// and its promotion epoch.
+func HeartbeatFields(end int64, epoch uint64) [][]byte {
+	return [][]byte{uvarintField(uint64(end)), uvarintField(epoch)}
 }
 
-// DecodeHeartbeat decodes a REPHEARTBEAT frame.
-func DecodeHeartbeat(fields [][]byte) (int64, error) {
-	if len(fields) != 1 {
-		return 0, errf(CodeBadFrame, "malformed REPHEARTBEAT frame")
+// DecodeHeartbeat decodes a REPHEARTBEAT frame, returning the primary's
+// durable end and its epoch (0 for the pre-failover single-field form).
+func DecodeHeartbeat(fields [][]byte) (int64, uint64, error) {
+	if len(fields) != 1 && len(fields) != 2 {
+		return 0, 0, errf(CodeBadFrame, "malformed REPHEARTBEAT frame")
 	}
 	v, ok := uvarintOf(fields[0])
 	if !ok || v > math.MaxInt64 {
-		return 0, errf(CodeBadFrame, "malformed REPHEARTBEAT offset")
+		return 0, 0, errf(CodeBadFrame, "malformed REPHEARTBEAT offset")
 	}
-	return int64(v), nil
+	var epoch uint64
+	if len(fields) == 2 {
+		epoch, ok = uvarintOf(fields[1])
+		if !ok {
+			return 0, 0, errf(CodeBadFrame, "malformed REPHEARTBEAT epoch")
+		}
+	}
+	return int64(v), epoch, nil
+}
+
+// FenceFields encodes the fence-notification form of a PROMOTE request:
+// the sender's (higher) promotion epoch and the address writers should be
+// referred to.
+func FenceFields(epoch uint64, newPrimary string) [][]byte {
+	return [][]byte{uvarintField(epoch), []byte(newPrimary)}
+}
+
+// DecodePromote decodes a PROMOTE request. No fields is the self-promote
+// order (fence == false); [epoch, newPrimaryAddr] is the fence
+// notification (fence == true).
+func DecodePromote(fields [][]byte) (epoch uint64, newPrimary string, fence bool, err error) {
+	switch len(fields) {
+	case 0:
+		return 0, "", false, nil
+	case 2:
+		v, ok := uvarintOf(fields[0])
+		if !ok {
+			return 0, "", false, errf(CodeBadRequest, "malformed PROMOTE epoch")
+		}
+		return v, string(fields[1]), true, nil
+	default:
+		return 0, "", false, errf(CodeBadRequest, "PROMOTE wants 0 or 2 fields, got %d", len(fields))
+	}
 }
 
 // UvarintField encodes v as a standalone uvarint field (trace IDs,
