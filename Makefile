@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests failover-tests clean
+.PHONY: all build vet fmt-check test test-short race bench report examples faults fuzz fuzz-wire serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests failover-tests trace-tests clean
 
-all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests failover-tests fuzz-wire
+all: build vet fmt-check test faults race serve-tests chaos-tests telemetry-tests index-tests repl-tests commit-tests failover-tests trace-tests fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Fails if any file is not gofmt-clean.
+# Fails if any file is not gofmt-clean, or if vet finds anything.
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -118,6 +119,18 @@ commit-tests:
 failover-tests:
 	$(GO) test -race -run 'Promote|Failover|Fence|Fenced|Diverge|VerifyTail|Epoch|HangNext|WriteFailover' \
 		./internal/persist/intrinsic/ ./internal/server/... ./client/ ./cmd/dbpl/
+
+# The tracing battery (docs/OBSERVABILITY.md Tracing): the trace package
+# unit tests (span nesting, sampler determinism, forced-retention ring
+# under racing writers, codec hardening), the wire tests for the traced
+# frame fast path and the 6-field REPDATA form, the server trace e2e
+# suite (group-commit span nesting, the follower's linked apply trace,
+# TRACES opcode, sampling off), and the client zero-alloc stamping test
+# — all under the race detector.
+trace-tests:
+	$(GO) test -race ./internal/telemetry/trace/
+	$(GO) test -race -run 'Trace|Exemplar|ReplData|AppendTracedFrame|SlowLogConcurrent|Delta' \
+		./internal/server/... ./internal/telemetry/... ./client/
 
 # Short fuzz passes over the decoders and the language pipeline.
 fuzz:

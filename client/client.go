@@ -942,12 +942,18 @@ type conn struct {
 	maxFrame int
 	noTrace  bool
 
-	wmu sync.Mutex // serializes {enqueue, write}
+	wmu  sync.Mutex // serializes {enqueue, encode, write}
+	wbuf []byte     // reused frame-encode buffer, guarded by wmu
 
 	mu      sync.Mutex
 	pending []pendingSlot
 	dead    error // sticky; set once by fail
 }
+
+// maxRetainedWriteBuf caps the encode buffer kept across requests: one
+// oversized PUT must not pin its payload's worth of memory on the
+// connection forever.
+const maxRetainedWriteBuf = 64 << 10
 
 func dialConn(addr string, o Options) (*conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, o.dialTimeout())
@@ -1032,11 +1038,9 @@ func (c *conn) readLoop() {
 func (c *conn) roundTrip(timeout time.Duration, op byte, fields ...[]byte) (byte, [][]byte, error) {
 	ch := make(chan result, 1)
 	slot := pendingSlot{ch: ch}
-	wireOp, wireFields := op, fields
 	if !c.noTrace {
 		slot.trace = nextTrace()
 		slot.traced = true
-		wireOp, wireFields = wire.AppendTrace(op, slot.trace, fields)
 	}
 	var deadline time.Time
 	if timeout > 0 {
@@ -1053,7 +1057,25 @@ func (c *conn) roundTrip(timeout time.Duration, op byte, fields ...[]byte) (byte
 	c.pending = append(c.pending, slot)
 	c.mu.Unlock()
 	c.nc.SetWriteDeadline(deadline)
-	err := wire.WriteFrame(c.nc, c.maxFrame, wireOp, wireFields...)
+	// Encode into the connection's reused buffer and write in one syscall.
+	// Trace stamping this way costs zero allocations (E15 addendum in
+	// EXPERIMENTS.md): AppendTracedFrame splices the trace field into the
+	// frame in place, where the old AppendTrace-then-WriteFrame pair built
+	// a fresh field slice and a fresh frame buffer per request.
+	var buf []byte
+	var err error
+	if slot.traced {
+		buf, err = wire.AppendTracedFrame(c.wbuf[:0], c.maxFrame, op, slot.trace, fields...)
+	} else {
+		buf, err = wire.AppendFrame(c.wbuf[:0], c.maxFrame, op, fields...)
+	}
+	if err == nil {
+		c.wbuf = buf
+		if cap(c.wbuf) > maxRetainedWriteBuf {
+			c.wbuf = nil
+		}
+		_, err = c.nc.Write(buf)
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.fail(fmt.Errorf("%w: write failed: %w", ErrConnLost, err))

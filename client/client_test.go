@@ -13,7 +13,7 @@ import (
 // fakeServer accepts one connection and hands it to serve; the wire
 // protocol is spoken by hand so the client's transport behavior is tested
 // without a real server behind it.
-func fakeServer(t *testing.T, serve func(net.Conn)) string {
+func fakeServer(t testing.TB, serve func(net.Conn)) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

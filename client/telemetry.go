@@ -9,6 +9,7 @@ import (
 
 	"dbpl/internal/server/wire"
 	"dbpl/internal/telemetry"
+	"dbpl/internal/telemetry/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -141,4 +142,27 @@ func (c *Client) Stats() (*telemetry.Snapshot, error) {
 		return nil, &wire.WireError{Code: wire.CodeBadFrame, Msg: "malformed STATS response"}
 	}
 	return telemetry.UnmarshalSnapshot(fields[0])
+}
+
+// Trace is one retained server-side span tree, as returned by Traces.
+type Trace = trace.Data
+
+// Traces asks the server for its retained request traces (the TRACES
+// opcode), newest first. A server running with sampling disabled answers
+// an empty slice, not an error.
+func (c *Client) Traces() ([]Trace, error) {
+	_, fields, err := expect(wire.OpOK)(c.call(wire.OpTraces))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Trace, 0, len(fields))
+	for _, f := range fields {
+		d, err := trace.Decode(f)
+		if err != nil {
+			return nil, &wire.WireError{Code: wire.CodeBadFrame,
+				Msg: "malformed TRACES response: " + err.Error()}
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }

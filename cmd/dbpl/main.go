@@ -24,6 +24,11 @@
 //
 //	dbpl stats [-watch] addr
 //
+// The trace verb renders a server's retained request traces — the span
+// trees a server started with -trace-sample records:
+//
+//	dbpl trace [-follow] addr
+//
 // The promote verb orders a follower started with -allow-promote to take
 // over as primary during failover (see docs/REPLICATION.md):
 //
@@ -63,6 +68,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		if err := runStats(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dbpl: stats:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpl: trace:", err)
 			os.Exit(1)
 		}
 		return

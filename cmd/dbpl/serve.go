@@ -2,7 +2,8 @@
 //
 //	dbpl serve [-addr :7070] [-drain 5s] [-follow primary:7070] [-allow-promote] [-fsck]
 //	           [-max-inflight n] [-durability per-commit|group|async]
-//	           [-commit-max-delay d] [-commit-max-batch n] [-ops 127.0.0.1:7071] store.log
+//	           [-commit-max-delay d] [-commit-max-batch n] [-ops 127.0.0.1:7071]
+//	           [-trace-sample p] [-trace-ring n] store.log
 //
 // With -follow the server is a read-only replication follower: it streams
 // the primary's log, applies each verified commit group to its own, and
@@ -53,6 +54,8 @@ func runServe(args []string, out io.Writer) error {
 	durability := fs.String("durability", "per-commit", "write acknowledgement mode: per-commit (one fsync per commit), group (concurrent commits share one fsync), async (ack before fsync; a crash may lose acked writes)")
 	commitMaxDelay := fs.Duration("commit-max-delay", 0, "group/async: linger this long for more commits to join a batch (0 = batch whatever queued during the previous fsync)")
 	commitMaxBatch := fs.Int("commit-max-batch", 0, "group/async: max commit groups amortized by one fsync (0 = default 64)")
+	traceSample := fs.Float64("trace-sample", 0, "head-sampling probability for span-based request tracing (0 = off, 1 = trace everything); slow requests are always retained")
+	traceRing := fs.Int("trace-ring", 0, "completed traces retained in memory for TRACES//traces (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,14 +99,16 @@ func runServe(args []string, out io.Writer) error {
 	defer st.Close()
 
 	srv, err := server.New(st, server.Config{
-		Logf:          func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
-		MaxInFlight:   *maxInflight,
-		Registry:      reg,
-		Follow:        *follow,
-		AllowPromote:  *allowPromote,
-		Durability:    dur,
-		GroupMaxDelay: *commitMaxDelay,
-		GroupMaxBatch: *commitMaxBatch,
+		Logf:            func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		MaxInFlight:     *maxInflight,
+		Registry:        reg,
+		Follow:          *follow,
+		AllowPromote:    *allowPromote,
+		Durability:      dur,
+		GroupMaxDelay:   *commitMaxDelay,
+		GroupMaxBatch:   *commitMaxBatch,
+		TraceSampleRate: *traceSample,
+		TraceRingSize:   *traceRing,
 	})
 	if err != nil {
 		return err

@@ -4,10 +4,14 @@
 //	dbpl stats [-watch] [-every 2s] addr
 //
 // One shot prints the full metric catalogue — counters, gauges, and
-// histograms with count/mean/p50/p99 — grouped and sorted by name;
-// -watch reprints every -every interval until interrupted. STATS bypasses
-// admission control, so the snapshot is readable from exactly the server
-// that is shedding everyone else.
+// histograms with count/mean/p50/p99 — grouped and sorted by name.
+// -watch prints the full snapshot once, then every -every interval
+// renders what *changed*: counters as per-second rates, histograms as
+// interval-local count/mean/p50/p99, gauges at their current value, with
+// unchanged series suppressed — the cumulative catalogue drowns the
+// signal when you are watching for movement. STATS bypasses admission
+// control, so the snapshot is readable from exactly the server that is
+// shedding everyone else.
 package main
 
 import (
@@ -37,17 +41,81 @@ func runStats(args []string, out io.Writer) error {
 		return err
 	}
 	defer c.Close()
+	var prev *telemetry.Snapshot
 	for {
 		snap, err := c.Stats()
 		if err != nil {
 			return err
 		}
-		renderSnapshot(out, fs.Arg(0), snap)
+		if prev == nil {
+			renderSnapshot(out, fs.Arg(0), snap)
+		} else {
+			renderDelta(out, fs.Arg(0), snap, prev)
+		}
 		if !*watch {
 			return nil
 		}
+		prev = snap
 		time.Sleep(*every)
 	}
+}
+
+// renderDelta renders what moved between two snapshots: counter rates,
+// interval-local histogram stats, current gauge values. Quiet series are
+// suppressed.
+func renderDelta(out io.Writer, addr string, cur, prev *telemetry.Snapshot) {
+	d := cur.Delta(prev)
+	secs := cur.TakenAt.Sub(prev.TakenAt).Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	if role, epoch, ok := replIdentity(cur); ok {
+		fmt.Fprintf(out, "dbpl stats %s — Δ%.1fs — %s, epoch %d\n",
+			addr, secs, wire.Role(role).String(), epoch)
+	} else {
+		fmt.Fprintf(out, "dbpl stats %s — Δ%.1fs\n", addr, secs)
+	}
+	var headed bool
+	for _, c := range d.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		if !headed {
+			fmt.Fprintln(out, "counters (rate):")
+			headed = true
+		}
+		fmt.Fprintf(out, "  %-56s %.1f/s\n", c.Name, float64(c.Value)/secs)
+	}
+	headed = false
+	// Gauges are instantaneous; show the ones that moved, at their
+	// current value.
+	prevG := map[string]int64{}
+	for _, g := range prev.Gauges {
+		prevG[g.Name] = g.Value
+	}
+	for _, g := range d.Gauges {
+		if pv, ok := prevG[g.Name]; ok && pv == g.Value {
+			continue
+		}
+		if !headed {
+			fmt.Fprintln(out, "gauges:")
+			headed = true
+		}
+		fmt.Fprintf(out, "  %-56s %d\n", g.Name, g.Value)
+	}
+	headed = false
+	for _, h := range d.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		if !headed {
+			fmt.Fprintln(out, "histograms, this interval (count · mean · p50 · p99):")
+			headed = true
+		}
+		fmt.Fprintf(out, "  %-56s %d · %s · %s · %s\n", h.Name, h.Count,
+			histVal(h, h.Mean()), histVal(h, float64(h.Quantile(0.5))), histVal(h, float64(h.Quantile(0.99))))
+	}
+	fmt.Fprintln(out)
 }
 
 func renderSnapshot(out io.Writer, addr string, s *telemetry.Snapshot) {

@@ -1,0 +1,88 @@
+// The trace verb: fetch and render a running server's retained request
+// traces over the wire (the TRACES opcode).
+//
+//	dbpl trace [-follow] [-every 2s] addr
+//
+// One shot prints every retained span tree, newest first. -follow polls
+// the ring every -every interval and prints only traces not seen before
+// (oldest first, so the terminal reads chronologically), until
+// interrupted. The server records traces when started with
+// -trace-sample; a server with tracing off answers an empty set, which
+// one-shot mode reports explicitly.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"dbpl/client"
+	"dbpl/internal/telemetry/trace"
+)
+
+func runTrace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	follow := fs.Bool("follow", false, "poll for new traces until interrupted")
+	every := fs.Duration("every", 2*time.Second, "poll interval with -follow")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: dbpl trace [-follow] [-every 2s] addr")
+	}
+	c, err := client.Dial(fs.Arg(0), nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	if !*follow {
+		ds, err := c.Traces()
+		if err != nil {
+			return err
+		}
+		if len(ds) == 0 {
+			fmt.Fprintln(out, "dbpl trace: no traces retained (is the server running with -trace-sample?)")
+			return nil
+		}
+		for _, d := range ds {
+			writeTrace(out, d)
+		}
+		return nil
+	}
+
+	// Follow mode: the ring keeps IDs unique (a retried request reuses
+	// its wire trace ID, but the ring holds one tree per recording), so
+	// de-duplicating on ID across polls is exact.
+	seen := map[uint64]bool{}
+	first := true
+	for {
+		ds, err := c.Traces()
+		if err != nil {
+			return err
+		}
+		// Newest-first from the server; print new ones oldest-first.
+		for i := len(ds) - 1; i >= 0; i-- {
+			if seen[ds[i].ID] {
+				continue
+			}
+			seen[ds[i].ID] = true
+			if first {
+				// The backlog predates this invocation; skip it so follow
+				// mode shows what happens from now on.
+				continue
+			}
+			writeTrace(out, ds[i])
+		}
+		first = false
+		time.Sleep(*every)
+	}
+}
+
+// writeTrace renders one span tree followed by a blank separator line.
+func writeTrace(out io.Writer, d client.Trace) {
+	trace.WriteText(out, d)
+	fmt.Fprintln(out)
+}

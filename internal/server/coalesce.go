@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"dbpl/internal/server/wire"
+	rtrace "dbpl/internal/telemetry/trace"
 )
 
 // Durability selects when a write is acknowledged relative to its fsync.
@@ -89,10 +90,17 @@ func ParseDurability(s string) (Durability, error) {
 }
 
 // commitReq is one writer's commit handed to the committer goroutine.
+// tr/sp carry the writer's trace across the goroutine boundary: the
+// committer appends queue-wait/stage/fsync/publish child spans under
+// sp (the writer's "commit" span) while the writer blocks on done, so
+// the finished tree shows exactly where a group-committed write spent
+// its time. Both are nil/zero for unsampled requests.
 type commitReq struct {
 	ops      []txnOp
 	key      string
 	enqueued time.Time
+	tr       *rtrace.Trace
+	sp       rtrace.SpanID
 	done     chan commitResult // buffered(1); exactly one send
 }
 
@@ -166,6 +174,7 @@ func (s *Server) processBatch(batch []*commitReq) {
 	defer s.commitMu.Unlock()
 	for _, r := range batch {
 		s.m.commitQueueWait.ObserveDuration(began.Sub(r.enqueued))
+		r.tr.Add(r.sp, "queue-wait", r.enqueued, began)
 	}
 
 	// results accumulates the answer for every waiter; send delivers it,
@@ -240,6 +249,7 @@ func (s *Server) processBatch(batch []*commitReq) {
 				continue
 			}
 		}
+		stageStart := time.Now()
 		existed := make([]bool, len(r.ops))
 		for i, o := range r.ops {
 			_, existed[i] = pub.roots[o.name]
@@ -260,6 +270,7 @@ func (s *Server) processBatch(batch []*commitReq) {
 		if failAll != nil {
 			break
 		}
+		r.tr.Add(r.sp, "stage", stageStart, time.Now())
 		next, istats := pub.apply(r.ops)
 		pub = next
 		indexTouched += uint64(istats.EntriesTouched)
@@ -281,17 +292,31 @@ func (s *Server) processBatch(batch []*commitReq) {
 		return // the whole batch was answered from the dedup cache
 	}
 
+	// batchTrace is the trace that represents this batch on shared
+	// instruments (the sync-latency exemplar, the REPDATA stamp): the
+	// first sampled waiter's trace ID, zero when none were sampled.
+	var batchTrace uint64
+	for _, sr := range staged {
+		if id := sr.req.tr.ID(); id != 0 {
+			batchTrace = id
+			break
+		}
+	}
+
 	async := s.cfg.Durability == DurAsync
 	ack := func() {
+		pubStart := time.Now()
 		s.state.Store(pub)
 		s.notifyCommit()
+		pubEnd := time.Now()
 		for _, sr := range staged {
 			if sr.req.key != "" {
 				s.idem.put(sr.req.key, sr.existed)
 			}
 			results[sr.req] = commitResult{existed: sr.existed}
+			sr.req.tr.Add(sr.req.sp, "publish", pubStart, pubEnd)
 			s.m.commits.Inc()
-			s.m.commitSeconds.ObserveDuration(time.Since(sr.req.enqueued))
+			s.m.commitSeconds.ObserveDurationExemplar(time.Since(sr.req.enqueued), sr.req.tr.ID())
 			s.m.commitOps.Observe(int64(len(sr.req.ops)))
 		}
 		for r, i := range aliases {
@@ -319,7 +344,8 @@ func (s *Server) processBatch(batch []*commitReq) {
 
 	syncStart := time.Now()
 	_, err := s.store.SyncBatch()
-	s.m.commitSyncSeconds.ObserveDuration(time.Since(syncStart))
+	syncEnd := time.Now()
+	s.m.commitSyncSeconds.ObserveExemplar(int64(syncEnd.Sub(syncStart)), batchTrace)
 	if err != nil {
 		if async {
 			// The waiters were already acknowledged against state that just
@@ -337,6 +363,17 @@ func (s *Server) processBatch(batch []*commitReq) {
 		s.failBatch(batch, results, err)
 		return
 	}
+	// The shared fsync becomes a child span of every durably-acked
+	// waiter: the same wall-clock interval appears in each tree, which
+	// is the point — it shows N writers paying one fsync. Async waiters
+	// were already acknowledged (their goroutines may have recorded the
+	// trace), so only sync modes append it.
+	if !async {
+		for _, sr := range staged {
+			sr.req.tr.Add(sr.req.sp, "fsync", syncStart, syncEnd)
+		}
+	}
+	s.markCommit(batchTrace)
 	if !async {
 		ack()
 	}
@@ -357,9 +394,12 @@ func (s *Server) failBatch(batch []*commitReq, results map[*commitReq]commitResu
 // The committer goroutine does the idempotency lookup, existed
 // computation and staging under commitMu, so ordering is decided by queue
 // position exactly as it used to be by lock handoff.
-func (s *Server) coalescedCommit(ops []txnOp, key string) ([]bool, error) {
-	req := &commitReq{ops: ops, key: key, enqueued: time.Now(), done: make(chan commitResult, 1)}
+func (s *Server) coalescedCommit(ops []txnOp, key string, tr *rtrace.Trace) ([]bool, error) {
+	sp := tr.Start(0, "commit")
+	req := &commitReq{ops: ops, key: key, enqueued: time.Now(),
+		tr: tr, sp: sp, done: make(chan commitResult, 1)}
 	s.commitCh <- req
 	res := <-req.done
+	tr.End(sp)
 	return res.existed, res.err
 }

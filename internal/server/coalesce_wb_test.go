@@ -72,7 +72,7 @@ func TestCoalescerSharesFsync(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = srv.commit([]txnOp{putOp(fmt.Sprintf("r%d", i), int64(i))}, "")
+			_, errs[i] = srv.commit([]txnOp{putOp(fmt.Sprintf("r%d", i), int64(i))}, "", nil)
 		}()
 	}
 	wg.Wait()
@@ -107,7 +107,7 @@ func TestCoalescerBatchFsyncFailureFailsAllWaiters(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "failall.log")
 	inj := iofault.NewInjector(iofault.OS{})
 	srv, st := wbServer(t, inj, path, groupCfg())
-	if _, err := srv.commit([]txnOp{putOp("base", 0)}, ""); err != nil {
+	if _, err := srv.commit([]txnOp{putOp("base", 0)}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	durable := st.DurableEnd()
@@ -126,7 +126,7 @@ func TestCoalescerBatchFsyncFailureFailsAllWaiters(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = srv.commit([]txnOp{putOp(fmt.Sprintf("doomed%d", i), int64(i))}, "")
+			_, errs[i] = srv.commit([]txnOp{putOp(fmt.Sprintf("doomed%d", i), int64(i))}, "", nil)
 		}()
 	}
 	wg.Wait()
@@ -149,7 +149,7 @@ func TestCoalescerBatchFsyncFailureFailsAllWaiters(t *testing.T) {
 	// is durable. (Disarm the spare failures first — the K commits may
 	// have coalesced into fewer than K batches.)
 	inj.Clear(iofault.OpSync)
-	if _, err := srv.commit([]txnOp{putOp("after", 1)}, ""); err != nil {
+	if _, err := srv.commit([]txnOp{putOp("after", 1)}, "", nil); err != nil {
 		t.Fatalf("commit after failed batch: %v", err)
 	}
 	if _, ok := st.Root("after"); !ok {
@@ -171,7 +171,7 @@ func TestCoalescerPoisonBetweenStageAndAck(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "poison.log")
 	inj := iofault.NewInjector(iofault.OS{})
 	srv, st := wbServer(t, inj, path, groupCfg())
-	if _, err := srv.commit([]txnOp{putOp("base", 0)}, ""); err != nil {
+	if _, err := srv.commit([]txnOp{putOp("base", 0)}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -194,7 +194,7 @@ func TestCoalescerPoisonBetweenStageAndAck(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = srv.commit([]txnOp{putOp(fmt.Sprintf("doomed%d", i), int64(i))}, "")
+			_, errs[i] = srv.commit([]txnOp{putOp(fmt.Sprintf("doomed%d", i), int64(i))}, "", nil)
 		}()
 	}
 	wg.Wait()
@@ -207,7 +207,7 @@ func TestCoalescerPoisonBetweenStageAndAck(t *testing.T) {
 		t.Fatal("server not degraded after rollback double-failure")
 	}
 	var we *wire.WireError
-	if _, err := srv.commit([]txnOp{putOp("later", 9)}, ""); !errors.As(err, &we) || we.Code != wire.CodeDegraded {
+	if _, err := srv.commit([]txnOp{putOp("later", 9)}, "", nil); !errors.As(err, &we) || we.Code != wire.CodeDegraded {
 		t.Fatalf("commit on poisoned write path = %v, want CodeDegraded", err)
 	}
 	// HEALTH self-reports the poisoned flag next to the watermarks.
@@ -256,7 +256,7 @@ func TestCoalescerPoisonBetweenStageAndAck(t *testing.T) {
 func TestCoalescerIdemExactlyOnce(t *testing.T) {
 	srv, st := wbServer(t, iofault.OS{}, filepath.Join(t.TempDir(), "idem.log"), groupCfg())
 
-	existed, err := srv.commit([]txnOp{putOp("R", 1)}, "key-1")
+	existed, err := srv.commit([]txnOp{putOp("R", 1)}, "key-1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestCoalescerIdemExactlyOnce(t *testing.T) {
 	}
 	// Across batches: re-execution would now see R existing and answer
 	// [true]; the dedup cache must answer the recorded [false].
-	existed, err = srv.commit([]txnOp{putOp("R", 1)}, "key-1")
+	existed, err = srv.commit([]txnOp{putOp("R", 1)}, "key-1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestCoalescerIdemExactlyOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = srv.commit([]txnOp{putOp("S", 7)}, "key-2")
+			results[i], errs[i] = srv.commit([]txnOp{putOp("S", 7)}, "key-2", nil)
 		}()
 	}
 	wg.Wait()
@@ -383,7 +383,7 @@ func TestAsyncAckAheadOfDurable(t *testing.T) {
 	// leave the committer wedged on a gated fsync after a failed assert.
 	t.Cleanup(gate.Release)
 
-	if _, err := srv.commit([]txnOp{putOp("base", 0)}, ""); err != nil {
+	if _, err := srv.commit([]txnOp{putOp("base", 0)}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	// The ack raced ahead of the first batch's fsync too — wait for it to
@@ -400,7 +400,7 @@ func TestAsyncAckAheadOfDurable(t *testing.T) {
 	gate.Hold()
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.commit([]txnOp{putOp("fast", 1)}, "")
+		_, err := srv.commit([]txnOp{putOp("fast", 1)}, "", nil)
 		done <- err
 	}()
 	// The ack must arrive while the fsync is gated shut.
@@ -459,14 +459,14 @@ func TestAsyncFsyncFailurePoisons(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "async-poison.log")
 	inj := iofault.NewInjector(iofault.OS{})
 	srv, _ := wbServer(t, inj, path, Config{Durability: DurAsync})
-	if _, err := srv.commit([]txnOp{putOp("base", 0)}, ""); err != nil {
+	if _, err := srv.commit([]txnOp{putOp("base", 0)}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 
 	inj.FailAt(iofault.OpSync, inj.Count(iofault.OpSync)+1)
 	// The ack precedes the fsync, so this commit reports success even
 	// though its batch is about to be lost — the mode's documented risk.
-	if _, err := srv.commit([]txnOp{putOp("lost", 1)}, ""); err != nil {
+	if _, err := srv.commit([]txnOp{putOp("lost", 1)}, "", nil); err != nil {
 		t.Fatalf("async commit (acked before failing fsync): %v", err)
 	}
 	// The failure lands on the committer goroutine; the next commit must
@@ -474,7 +474,7 @@ func TestAsyncFsyncFailurePoisons(t *testing.T) {
 	var we *wire.WireError
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, err := srv.commit([]txnOp{putOp("later", 2)}, "")
+		_, err := srv.commit([]txnOp{putOp("later", 2)}, "", nil)
 		if errors.As(err, &we) && we.Code == wire.CodeDegraded {
 			break
 		}

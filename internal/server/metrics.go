@@ -72,9 +72,16 @@ type serverMetrics struct {
 	replReconnects    *telemetry.Counter // follow-loop re-dials after a failure
 	replReadOnly      *telemetry.Counter // writes refused with CodeReadOnly
 	fencedRefusals    *telemetry.Counter // writes refused with CodeFenced (demoted primary)
+
+	// replApplyDelay is the follower-side commit-to-apply lag: for each
+	// traced commit group applied, now minus the primary's commit
+	// wall-clock carried in the 6-field REPDATA form. Clock skew between
+	// the two hosts leaks straight into it — it is a lag indicator, not a
+	// precision measurement; negative skew clamps to zero.
+	replApplyDelay *telemetry.Histogram
 }
 
-const lastKnownOp = int(wire.OpPromote)
+const lastKnownOp = int(wire.OpTraces)
 const lastWireCode = wire.CodeFenced
 
 // trackedOps are the request opcodes that get per-opcode series.
@@ -83,7 +90,7 @@ var trackedOps = []byte{
 	wire.OpBegin, wire.OpCommit, wire.OpAbort, wire.OpNames,
 	wire.OpHealth, wire.OpStats,
 	wire.OpCreateIndex, wire.OpDropIndex, wire.OpExplain,
-	wire.OpReplicate, wire.OpPromote,
+	wire.OpReplicate, wire.OpPromote, wire.OpTraces,
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -130,15 +137,36 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.replReconnects = reg.Counter("dbpl_repl_reconnects_total")
 	m.replReadOnly = reg.Counter("dbpl_repl_readonly_refusals_total")
 	m.fencedRefusals = reg.Counter("dbpl_repl_fenced_refusals_total")
+	m.replApplyDelay = reg.Histogram("dbpl_repl_apply_delay_seconds",
+		telemetry.UnitDuration, telemetry.DurationBuckets)
+
+	// Operator documentation for the principal families, surfaced as
+	// # HELP lines on the /metrics exposition.
+	for name, help := range map[string]string{
+		"dbpl_server_requests_total":     "requests served, by opcode",
+		"dbpl_server_request_seconds":    "request latency by opcode, admission to response write",
+		"dbpl_server_errors_total":       "error responses, by wire error code",
+		"dbpl_server_commit_seconds":     "commit latency, enqueue (or lock) to durable publication",
+		"dbpl_server_commits_total":      "durable commit groups published",
+		"dbpl_commit_queue_wait_seconds": "time a commit sat queued before its batch began",
+		"dbpl_commit_sync_seconds":       "shared batch fsync latency under group commit",
+		"dbpl_commit_batch_groups":       "commit groups coalesced per shared fsync",
+		"dbpl_repl_apply_delay_seconds":  "follower lag: primary commit wall-clock to local apply",
+		"dbpl_trace_total":               "traces retained in the in-memory ring",
+	} {
+		reg.SetHelp(name, help)
+	}
 	return m
 }
 
 // observe records one answered request: the per-opcode count and
-// latency, and the error code when the response is an error frame.
-func (m *serverMetrics) observe(op byte, d time.Duration, respOp byte, respFields [][]byte) {
+// latency, and the error code when the response is an error frame. A
+// non-zero trace stamps the latency bucket's exemplar so an operator
+// can jump from a histogram outlier to the span tree that produced it.
+func (m *serverMetrics) observe(op byte, d time.Duration, respOp byte, respFields [][]byte, trace uint64) {
 	if int(op) <= lastKnownOp && m.requests[op] != nil {
 		m.requests[op].Inc()
-		m.latency[op].ObserveDuration(d)
+		m.latency[op].ObserveDurationExemplar(d, trace)
 	} else {
 		m.unknown.Inc()
 	}

@@ -15,16 +15,18 @@ import (
 	"net/http/pprof"
 
 	"dbpl/internal/telemetry"
+	rtrace "dbpl/internal/telemetry/trace"
 )
 
 // OpsHandler returns the HTTP handler for the ops endpoint:
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/slowops        JSON array of retained slow operations, newest first
+//	/traces         JSON array of retained span trees, newest first
 //	/debug/pprof/*  the standard runtime profiles
 //
 // The handler is safe for concurrent use and never touches locks a
-// wedged writer could hold — both views are computed from snapshots.
+// wedged writer could hold — all views are computed from snapshots.
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -41,6 +43,16 @@ func (s *Server) OpsHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(ops)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		ds := s.Traces()
+		if ds == nil {
+			ds = []rtrace.Data{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ds)
 	})
 	// pprof's package-level handlers register on http.DefaultServeMux; wire
 	// the explicit funcs instead so the ops mux is self-contained.

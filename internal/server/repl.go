@@ -34,6 +34,7 @@ import (
 	"dbpl/internal/index"
 	"dbpl/internal/persist/intrinsic"
 	"dbpl/internal/server/wire"
+	rtrace "dbpl/internal/telemetry/trace"
 )
 
 // notifyCommit wakes every blocked replication streamer by closing the
@@ -126,7 +127,16 @@ func (s *Server) streamReplicate(conn net.Conn, fields [][]byte, writeTO time.Du
 			if writeTO > 0 {
 				conn.SetWriteDeadline(time.Now().Add(writeTO))
 			}
-			if wire.WriteFrame(conn, maxFrame, wire.OpRepData, wire.ReplDataFields(from, raw, s.store.Epoch())...) != nil {
+			// A chunk whose tail is the most recent commit carries that
+			// commit's trace ID and wall-clock in the 6-field REPDATA form,
+			// so the follower's apply span can link back to the primary's
+			// commit span and measure the shipping delay. Catch-up chunks
+			// (older history, or an untraced commit) use the 4-field form.
+			repFields := wire.ReplDataFields(from, raw, s.store.Epoch())
+			if mk := s.lastCommit.Load(); mk != nil && mk.trace != 0 && mk.end == next {
+				repFields = wire.ReplDataTraceFields(from, raw, s.store.Epoch(), mk.trace, mk.ns)
+			}
+			if wire.WriteFrame(conn, maxFrame, wire.OpRepData, repFields...) != nil {
 				return
 			}
 			from = next
@@ -317,17 +327,17 @@ func (s *Server) followOnce() (progressed bool, err error) {
 			}
 			s.follower.primaryEnd.Store(end)
 		case wire.OpRepData:
-			start, raw, upEpoch, err := wire.DecodeReplData(fields)
+			rd, err := wire.DecodeReplData(fields)
 			if err != nil {
 				// Checksum mismatch or malformed frame: drop the link
 				// without applying anything. The redial resumes from our
 				// durable end, so the damaged group is re-sent intact.
 				return progressed, fmt.Errorf("stream from %s: %w", s.cfg.Follow, err)
 			}
-			if err := s.checkUpstreamEpoch(upEpoch); err != nil {
+			if err := s.checkUpstreamEpoch(rd.Epoch); err != nil {
 				return progressed, err
 			}
-			n, err := s.applyReplicated(start, raw)
+			n, err := s.applyReplicated(rd)
 			if err != nil {
 				return progressed, err
 			}
@@ -406,19 +416,19 @@ func (s *Server) verifyRejoin() error {
 		}
 		switch op {
 		case wire.OpRepData:
-			start, raw, _, err := wire.DecodeReplData(fields)
+			rd, err := wire.DecodeReplData(fields)
 			if err != nil {
 				return fmt.Errorf("rejoin verification: %w", err)
 			}
-			if start != verified {
-				return fmt.Errorf("rejoin verification: frame at offset %d, wanted %d", start, verified)
+			if rd.Start != verified {
+				return fmt.Errorf("rejoin verification: frame at offset %d, wanted %d", rd.Start, verified)
 			}
-			n, err := s.store.VerifyTail(raw, start)
+			n, err := s.store.VerifyTail(rd.Raw, rd.Start)
 			if err != nil {
 				return fmt.Errorf("rejoin refused: %w", err)
 			}
 			verified += n
-			if n < int64(len(raw)) {
+			if n < int64(len(rd.Raw)) {
 				// The new history extends past our durable end and every
 				// local byte matched: we are a clean prefix. The remainder
 				// arrives through the ordinary stream.
@@ -448,7 +458,15 @@ func (s *Server) verifyRejoin() error {
 // append via Store.ApplyGroup, then publish the successor state. It runs
 // under commitMu for the same reason commits do — state publication is
 // serialized — though on a follower it is the only writer.
-func (s *Server) applyReplicated(start int64, raw []byte) (int, error) {
+//
+// A 6-field frame carries the originating commit's trace ID and commit
+// wall-clock: when the follower's sampler keeps that ID (the decision is
+// deterministic in the ID, so both ends agree), the apply gets its own
+// span tree linked to the primary's trace, and the commit-to-apply lag
+// feeds dbpl_repl_apply_delay_seconds with the primary trace as the
+// exemplar.
+func (s *Server) applyReplicated(rd wire.ReplData) (int, error) {
+	start, raw := rd.Start, rd.Raw
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	// A frame already in flight when this server was promoted must not
@@ -456,6 +474,11 @@ func (s *Server) applyReplicated(start int64, raw []byte) (int, error) {
 	// local commits now.
 	if wire.Role(s.role.Load()) == wire.RolePrimary {
 		return 0, fmt.Errorf("promoted to primary at epoch %d; dropping replication stream", s.store.Epoch())
+	}
+	var tr *rtrace.Trace
+	if s.traces != nil && rd.Trace != 0 && s.sampler.Sample(rd.Trace) {
+		tr = rtrace.New(rtrace.NextID(), "REPL-APPLY")
+		tr.SetLink(rd.Trace)
 	}
 	end := s.store.DurableEnd()
 	// Duplicate and overlap handling. Frames arrive in order on one
@@ -480,10 +503,13 @@ func (s *Server) applyReplicated(start int64, raw []byte) (int, error) {
 	if start > end {
 		return 0, fmt.Errorf("replication gap: frame at offset %d, durable end %d", start, end)
 	}
+	asp := tr.Start(0, "apply")
 	delta, err := s.store.ApplyGroup(raw)
+	tr.End(asp)
 	if err != nil {
 		return 0, err
 	}
+	psp := tr.Start(0, "publish")
 	if err := s.publishDelta(delta); err != nil {
 		// The group is durable but the cheap delta publication failed
 		// (a root that does not conform to its declared type — a primary
@@ -497,8 +523,22 @@ func (s *Server) applyReplicated(start int64, raw []byte) (int, error) {
 		s.state.Store(st)
 		s.notifyCommit()
 	}
+	tr.End(psp)
 	s.m.replGroupsApplied.Add(uint64(delta.Groups))
 	s.m.replBytesApplied.Add(uint64(len(raw)))
+	if rd.CommitNS > 0 {
+		// Commit-to-apply lag across two hosts' clocks: an honest lag
+		// indicator, clamped so clock skew cannot go negative.
+		delay := time.Now().UnixNano() - rd.CommitNS
+		if delay < 0 {
+			delay = 0
+		}
+		s.m.replApplyDelay.ObserveExemplar(delay, rd.Trace)
+	}
+	if tr != nil {
+		tr.Finish()
+		s.traces.Record(tr.Data(), false)
+	}
 	// Applying proves the primary's log reaches at least this far.
 	if pe := s.follower.primaryEnd.Load(); delta.End > pe {
 		s.follower.primaryEnd.Store(delta.End)

@@ -64,6 +64,7 @@ import (
 	"dbpl/internal/relation"
 	"dbpl/internal/server/wire"
 	"dbpl/internal/telemetry"
+	rtrace "dbpl/internal/telemetry/trace"
 	"dbpl/internal/types"
 	"dbpl/internal/value"
 )
@@ -148,6 +149,18 @@ type Config struct {
 	// GroupMaxBatch caps the commit groups amortized by one fsync, under
 	// DurGroup/DurAsync; 0 means 64.
 	GroupMaxBatch int
+	// TraceSampleRate is the head-sampling probability for span-based
+	// request tracing: that share of requests (by uniform trace ID)
+	// record a full span tree into the trace ring, fetchable via TRACES
+	// / `dbpl trace` / the ops endpoint's /traces. 0 (the default)
+	// disables tracing entirely — an unsampled request costs one nil
+	// check per span site; >= 1 traces everything. A request slow enough
+	// for the slow-op ring has its trace force-retained regardless of
+	// ring pressure. See docs/OBSERVABILITY.md.
+	TraceSampleRate float64
+	// TraceRingSize bounds the ring of completed trace trees; 0 means
+	// 256, negative disables tracing even with a sample rate set.
+	TraceRingSize int
 }
 
 func (c Config) maxFrame() int {
@@ -230,6 +243,16 @@ func (c Config) groupMaxDelay() time.Duration {
 		return 0
 	}
 	return c.GroupMaxDelay
+}
+
+func (c Config) traceRingSize() int {
+	if c.TraceRingSize == 0 {
+		return 256
+	}
+	if c.TraceRingSize < 0 {
+		return 0 // disabled
+	}
+	return c.TraceRingSize
 }
 
 func timeoutOr(d, def time.Duration) time.Duration {
@@ -322,6 +345,18 @@ type Server struct {
 	slow  *telemetry.SlowLog
 	start time.Time
 
+	// traces is the ring of completed span trees and sampler its head-
+	// sampling decision; traces == nil means tracing is off and every
+	// request carries a nil *rtrace.Trace (each span site then costs one
+	// nil check — the E20 overhead budget).
+	traces  *rtrace.Ring
+	sampler rtrace.Sampler
+	// lastCommit is the most recent durable commit's mark — log end,
+	// originating trace, publication wall-clock — read by replication
+	// streamers to attach trace context to the REPDATA frame that ships
+	// that commit. Stored under commitMu; loaded lock-free.
+	lastCommit atomic.Pointer[commitMark]
+
 	// planModel is the feedback-fed cost model choosing the GET access
 	// path; every executed GET observes its latency back into it.
 	planModel *plan.Model
@@ -371,6 +406,26 @@ type Server struct {
 	// durable end by at most one in-flight batch. Zero (and ignored) in
 	// the synchronous modes, where nothing is acked before it is durable.
 	ackedEnd atomic.Int64
+}
+
+// commitMark records the most recent durable, published commit for the
+// replication plane: the log end it produced, the trace that committed
+// it (0 when the commit was unsampled), and the wall clock at
+// publication. A replication streamer whose next chunk ends exactly at
+// mark.end attaches the trace and timestamp to that REPDATA frame, so
+// the follower can link its apply span to the primary's commit span and
+// measure commit-to-visible delay.
+type commitMark struct {
+	end   int64
+	trace uint64
+	ns    int64
+}
+
+// markCommit publishes the just-committed durable end with its trace
+// context. Called with commitMu held (or from the committer goroutine,
+// which owns the same serialization).
+func (s *Server) markCommit(trace uint64) {
+	s.lastCommit.Store(&commitMark{end: s.store.DurableEnd(), trace: trace, ns: time.Now().UnixNano()})
 }
 
 // stateFromStore derives a published state from the store's committed
@@ -467,6 +522,13 @@ func New(store *intrinsic.Store, cfg Config) (*Server, error) {
 	if n := cfg.slowLogSize(); n > 0 {
 		srv.slow = telemetry.NewSlowLog(n, cfg.slowOpThreshold())
 	}
+	if cfg.TraceSampleRate > 0 {
+		if n := cfg.traceRingSize(); n > 0 {
+			srv.traces = rtrace.NewRing(n)
+			srv.sampler = rtrace.NewSampler(cfg.TraceSampleRate)
+			reg.GaugeFunc("dbpl_trace_total", srv.traces.Total)
+		}
+	}
 	if cfg.Follow != "" {
 		f := &followerState{done: make(chan struct{}), stop: make(chan struct{})}
 		srv.follower = f
@@ -502,6 +564,15 @@ func (s *Server) SlowOps() []telemetry.SlowOp {
 		return nil
 	}
 	return s.slow.Snapshot()
+}
+
+// Traces returns the retained completed trace trees, newest first; nil
+// when tracing is disabled.
+func (s *Server) Traces() []rtrace.Data {
+	if s.traces == nil {
+		return nil
+	}
+	return s.traces.Snapshot()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -643,6 +714,10 @@ type session struct {
 	ops   []txnOp
 	// overlay indexes the last buffered op per name, for read-your-writes.
 	overlay map[string]int
+	// tr is the current request's span tree, nil when the request is
+	// unsampled. Set by serveConn around each dispatch; handlers thread
+	// it into the plan/commit paths.
+	tr *rtrace.Trace
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -698,15 +773,31 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		began := time.Now()
+		// Head sampling: the wire trace ID (or a server-minted one when
+		// the client did not stamp) decides whether this request records
+		// a span tree. The monitoring opcodes are never traced — HEALTH
+		// polls every second on a replica set and TRACES would trace its
+		// own fetch; their span trees are noise that would churn the ring.
+		var tr *rtrace.Trace
+		if s.traces != nil && op != wire.OpHealth && op != wire.OpStats && op != wire.OpTraces {
+			id := trace
+			if id == 0 {
+				id = rtrace.NextID()
+			}
+			if s.sampler.Sample(id) {
+				tr = rtrace.New(id, wire.OpName(op))
+			}
+		}
+		sess.tr = tr
 		var respOp byte
 		var respFields [][]byte
 		// Admission control: a request past the in-flight cap is shed here
 		// — typed refusal with a backoff hint, nothing executed, nothing
 		// queued — so overload cannot grow the server's memory or wedge
-		// its handlers. HEALTH and STATS bypass the gate (and are not
-		// counted): a monitor must get an answer from exactly the server
-		// that is refusing everyone else.
-		if op == wire.OpHealth || op == wire.OpStats {
+		// its handlers. HEALTH, STATS and TRACES bypass the gate (and are
+		// not counted): a monitor must get an answer from exactly the
+		// server that is refusing everyone else.
+		if op == wire.OpHealth || op == wire.OpStats || op == wire.OpTraces {
 			respOp, respFields = s.handle(sess, op, fields)
 		} else if s.admit() {
 			respOp, respFields = s.handle(sess, op, fields)
@@ -719,8 +810,16 @@ func (s *Server) serveConn(conn net.Conn) {
 				RetryAfter: s.cfg.retryAfterHint(),
 			})
 		}
+		sess.tr = nil
 		dur := time.Since(began)
-		s.m.observe(op, dur, respOp, respFields)
+		// The latency exemplar is the sampled trace's ID when there is
+		// one (its span tree is in the ring), else the raw wire trace (an
+		// unsampled but stamped request is still findable client-side).
+		exemplar := tr.ID()
+		if exemplar == 0 {
+			exemplar = trace
+		}
+		s.m.observe(op, dur, respOp, respFields, exemplar)
 		if s.slow != nil && dur >= s.slow.Threshold() {
 			respBytes := 0
 			for _, f := range respFields {
@@ -735,10 +834,18 @@ func (s *Server) serveConn(conn net.Conn) {
 				Op:       wire.OpName(op),
 				Duration: dur,
 				Session:  conn.RemoteAddr().String(),
-				Trace:    trace,
+				Trace:    exemplar,
 				Bytes:    respBytes,
 				Err:      errCode,
 			})
+		}
+		if tr != nil {
+			tr.Finish()
+			// A request slow enough for the slow-op ring has its span
+			// tree force-retained: the trace that explains a slow op must
+			// survive ring churn until an operator fetches it.
+			forced := s.slow != nil && dur >= s.slow.Threshold()
+			s.traces.Record(tr.Data(), forced)
 		}
 		if traced {
 			// Echo the trace so the client can tie this response to its
@@ -816,14 +923,17 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 			respFields = wire.ErrorFields(&wire.WireError{Code: wire.CodeInternal, Msg: fmt.Sprint(r)})
 		}
 	}()
-	// HEALTH and STATS answer before the drain check: a server that is
-	// shutting down (or poisoned) reports its state instead of only
-	// refusing work.
+	// HEALTH, STATS and TRACES answer before the drain check: a server
+	// that is shutting down (or poisoned) reports its state instead of
+	// only refusing work.
 	if op == wire.OpHealth {
 		return s.handleHealth()
 	}
 	if op == wire.OpStats {
 		return s.handleStats(fields)
+	}
+	if op == wire.OpTraces {
+		return s.handleTraces(fields)
 	}
 	if s.draining.Load() {
 		return errResp(&wire.WireError{Code: wire.CodeShutdown, Msg: "server is draining"})
@@ -874,7 +984,7 @@ func (s *Server) handle(sess *session, op byte, fields [][]byte) (respOp byte, r
 		}
 		ops := sess.ops
 		sess.endTxn()
-		if _, err := s.commit(ops, key); err != nil {
+		if _, err := s.commit(ops, key, sess.tr); err != nil {
 			return errResp(toWireError(err))
 		}
 		return wire.OpOK, nil
@@ -991,7 +1101,7 @@ func (s *Server) handleGet(sess *session, fields [][]byte) (byte, [][]byte) {
 	} else {
 		// The lock-free hot path: one atomic load, then the planner-chosen
 		// physical path against that snapshot.
-		packed = s.plannedGet(s.state.Load(), t)
+		packed = s.plannedGet(sess.tr, s.state.Load(), t)
 	}
 	out := make([][]byte, len(packed))
 	for i, p := range packed {
@@ -1026,10 +1136,13 @@ func planInput(st *state, want *types.Interned) plan.GetInput {
 // physical path. All three paths return the same members in insertion
 // order (the plan/index property tests); the choice only affects time,
 // and the observed time feeds back into the model.
-func (s *Server) plannedGet(st *state, t types.Type) []core.Packed {
+func (s *Server) plannedGet(tr *rtrace.Trace, st *state, t types.Type) []core.Packed {
 	want := types.Intern(t)
+	psp := tr.Start(0, "plan")
 	p := s.planModel.PlanGet(planInput(st, want))
+	tr.End(psp)
 	s.m.planChosen[p.Path].Inc()
+	esp := tr.Start(0, "exec:"+p.Path.String())
 	began := time.Now()
 	var packed []core.Packed
 	items := 0
@@ -1053,6 +1166,7 @@ func (s *Server) plannedGet(st *state, t types.Type) []core.Packed {
 		packed = st.db.Get(t)
 		items = p.N
 	}
+	tr.End(esp)
 	s.planModel.Observe(p.Path, time.Since(began), items, len(packed), p.N)
 	return packed
 }
@@ -1196,7 +1310,7 @@ func (s *Server) handlePut(sess *session, fields [][]byte) (byte, [][]byte) {
 	if len(fields) == 3 {
 		key = string(fields[2])
 	}
-	if _, err := s.commit([]txnOp{op}, key); err != nil {
+	if _, err := s.commit([]txnOp{op}, key, sess.tr); err != nil {
 		return errResp(toWireError(err))
 	}
 	return wire.OpOK, nil
@@ -1222,7 +1336,7 @@ func (s *Server) handleDelete(sess *session, fields [][]byte) (byte, [][]byte) {
 	if len(fields) == 2 {
 		key = string(fields[1])
 	}
-	existed, err := s.commit([]txnOp{op}, key)
+	existed, err := s.commit([]txnOp{op}, key, sess.tr)
 	if err != nil {
 		return errResp(toWireError(err))
 	}
@@ -1394,7 +1508,7 @@ func (sess *session) buffer(op txnOp) {
 // the recorded result is returned without touching the store, so a retry
 // applies exactly once. Only durable applications are recorded — a failed
 // commit's retry re-executes.
-func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
+func (s *Server) commit(ops []txnOp, key string, tr *rtrace.Trace) ([]bool, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
@@ -1402,11 +1516,15 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 		// DurGroup/DurAsync: hand the commit to the coalescer, which
 		// batches it with every concurrent writer's under one shared fsync
 		// (see coalesce.go). The serial path below is DurPerCommit.
-		return s.coalescedCommit(ops, key)
+		return s.coalescedCommit(ops, key, tr)
 	}
 	began := time.Now()
+	csp := tr.Start(0, "commit")
+	defer tr.End(csp)
+	lsp := tr.Start(csp, "lock-wait")
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	tr.End(lsp)
 	if s.poisoned != nil {
 		s.m.degraded.Inc()
 		return nil, &wire.WireError{Code: wire.CodeDegraded, Msg: s.poisoned.Error()}
@@ -1426,6 +1544,7 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 	}
 	cur := s.state.Load()
 	existed := make([]bool, len(ops))
+	ssp := tr.Start(csp, "stage")
 	for i, o := range ops {
 		_, existed[i] = cur.roots[o.name]
 		if o.del {
@@ -1437,13 +1556,21 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 			return nil, err
 		}
 	}
+	tr.End(ssp)
+	fsp := tr.Start(csp, "append-fsync")
 	if _, err := s.store.Commit(); err != nil {
 		s.rollback(err)
 		return nil, err
 	}
+	tr.End(fsp)
+	psp := tr.Start(csp, "publish")
 	next, istats := cur.apply(ops)
 	s.state.Store(next)
+	// Mark before the wakeup: a streamer woken by notifyCommit must see
+	// this commit's trace stamp when it ships the group.
+	s.markCommit(tr.ID())
 	s.notifyCommit()
+	tr.End(psp)
 	if key != "" {
 		s.idem.put(key, existed)
 	}
@@ -1453,7 +1580,7 @@ func (s *Server) commit(ops []txnOp, key string) ([]bool, error) {
 	// latency includes the wait for commitMu — queueing behind a slow disk
 	// is exactly what the histogram should expose.
 	s.m.commits.Inc()
-	s.m.commitSeconds.ObserveDuration(time.Since(began))
+	s.m.commitSeconds.ObserveDurationExemplar(time.Since(began), tr.ID())
 	s.m.commitOps.Observe(int64(len(ops)))
 	return existed, nil
 }
@@ -1679,6 +1806,25 @@ func (s *Server) handleStats(fields [][]byte) (byte, [][]byte) {
 	}
 	snap := s.m.reg.Snapshot()
 	return wire.OpOK, [][]byte{snap.AppendBinary(nil)}
+}
+
+// handleTraces answers TRACES: one binary-encoded trace per response
+// field, newest first. A server running with sampling off (or with no
+// ring) answers OpOK with zero fields rather than an error — polling
+// for traces is not a fault.
+func (s *Server) handleTraces(fields [][]byte) (byte, [][]byte) {
+	if len(fields) != 0 {
+		return badReq("TRACES wants 0 fields, got %d", len(fields))
+	}
+	if s.traces == nil {
+		return wire.OpOK, nil
+	}
+	ds := s.traces.Snapshot()
+	out := make([][]byte, len(ds))
+	for i := range ds {
+		out[i] = ds[i].AppendBinary(nil)
+	}
+	return wire.OpOK, out
 }
 
 // Stats reports the server's current committed view, for tests and the

@@ -93,6 +93,29 @@ func FuzzReadFrame(f *testing.F) {
 		return mustFrame(OpRepData, fields...)
 	}())
 	f.Add(mustFrame(OpRepData, []byte{8}, []byte("raw"))) // missing trailer
+	// The trace-carrying six-field REPDATA form, plus damaged variants
+	// (flipped trace ID, flipped commit timestamp, truncated to five
+	// fields) — corrupt trace context must fail the CRC, never leak into
+	// a follower's apply path.
+	f.Add(mustFrame(OpRepData, ReplDataTraceFields(8, []byte("group-bytes-here"), 2, 0xDEADBEEF, 1<<60)...))
+	f.Add(func() []byte { // flipped trace-ID field
+		fields := ReplDataTraceFields(8, []byte("group-bytes-here"), 2, 0xDEADBEEF, 1<<60)
+		fields[3][0] ^= 0x01
+		return mustFrame(OpRepData, fields...)
+	}())
+	f.Add(func() []byte { // flipped commit-time field
+		fields := ReplDataTraceFields(8, []byte("group-bytes-here"), 2, 0xDEADBEEF, 1<<60)
+		fields[4][0] ^= 0x01
+		return mustFrame(OpRepData, fields...)
+	}())
+	f.Add(mustFrame(OpRepData, ReplDataTraceFields(8, []byte("group-bytes-here"), 2, 0xDEADBEEF, 1<<60)[:5]...))
+	// The TRACES opcode: empty request, a response field carrying junk
+	// that the trace decoder must reject gracefully, and a traced TRACES
+	// request (flag + trace ID on the trace-fetch itself).
+	f.Add(mustFrame(OpTraces))
+	f.Add(mustFrame(OpOK, []byte{'T', 1, 0xFF, 0xFF}))
+	tracesOp, tracesFields := AppendTrace(OpTraces, 0xBEEF, nil)
+	f.Add(mustFrame(tracesOp, tracesFields...))
 	f.Add(mustFrame(OpRepHeartbeat, HeartbeatFields(1<<40, 5)...))
 	f.Add(mustFrame(OpRepHeartbeat, UvarintField(64))) // legacy single-field form
 	f.Add(mustFrame(OpRepHeartbeat))

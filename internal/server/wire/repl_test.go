@@ -46,17 +46,47 @@ func TestReplicateReqRoundTrip(t *testing.T) {
 // and the primary's epoch under a CRC-32C that survives encode/decode.
 func TestReplDataRoundTrip(t *testing.T) {
 	raw := []byte("pretend-commit-group-bytes")
-	start, got, epoch, err := DecodeReplData(ReplDataFields(4096, raw, 7))
+	d, err := DecodeReplData(ReplDataFields(4096, raw, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if start != 4096 || !bytes.Equal(got, raw) || epoch != 7 {
-		t.Fatalf("round trip = (%d, %q, %d), want (4096, %q, 7)", start, got, epoch, raw)
+	if d.Start != 4096 || !bytes.Equal(d.Raw, raw) || d.Epoch != 7 {
+		t.Fatalf("round trip = (%d, %q, %d), want (4096, %q, 7)", d.Start, d.Raw, d.Epoch, raw)
+	}
+	if d.Trace != 0 || d.CommitNS != 0 {
+		t.Fatalf("untraced frame decoded trace context: %+v", d)
 	}
 	// Empty payload is legal (it cannot happen on a live stream, but the
 	// decoder must not care).
-	if _, got, _, err = DecodeReplData(ReplDataFields(8, nil, 0)); err != nil || len(got) != 0 {
-		t.Fatalf("empty round trip = (%q, %v)", got, err)
+	if d, err = DecodeReplData(ReplDataFields(8, nil, 0)); err != nil || len(d.Raw) != 0 {
+		t.Fatalf("empty round trip = (%q, %v)", d.Raw, err)
+	}
+}
+
+// TestReplDataTraceForm: the six-field frame carries the originating
+// commit's trace ID and publication time under the widened CRC, and a
+// flipped bit in either new field is caught.
+func TestReplDataTraceForm(t *testing.T) {
+	raw := []byte("group-bytes")
+	fields := ReplDataTraceFields(4096, raw, 7, 0xabcdef, 1722222222000000000)
+	if len(fields) != 6 {
+		t.Fatalf("traced REPDATA has %d fields, want 6", len(fields))
+	}
+	d, err := DecodeReplData(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Start != 4096 || !bytes.Equal(d.Raw, raw) || d.Epoch != 7 ||
+		d.Trace != 0xabcdef || d.CommitNS != 1722222222000000000 {
+		t.Fatalf("traced round trip = %+v", d)
+	}
+	for _, field := range []int{3, 4} {
+		fields := ReplDataTraceFields(4096, raw, 7, 0xabcdef, 1722222222000000000)
+		fields[field] = append([]byte(nil), fields[field]...)
+		fields[field][0] ^= 0x01
+		if _, err := DecodeReplData(fields); !errors.Is(err, ErrRemoteCorrupt) {
+			t.Errorf("flipped field %d decoded to %v, want ErrRemoteCorrupt", field, err)
+		}
 	}
 }
 
@@ -67,12 +97,12 @@ func TestReplDataLegacyForm(t *testing.T) {
 	modern := ReplDataFields(4096, []byte("group-bytes"), 0)
 	// Rebuild the legacy frame: offset, raw, CRC over those two alone.
 	legacy := legacyReplDataFields(4096, []byte("group-bytes"))
-	start, raw, epoch, err := DecodeReplData(legacy)
+	d, err := DecodeReplData(legacy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if start != 4096 || string(raw) != "group-bytes" || epoch != 0 {
-		t.Fatalf("legacy decode = (%d, %q, %d)", start, raw, epoch)
+	if d.Start != 4096 || string(d.Raw) != "group-bytes" || d.Epoch != 0 {
+		t.Fatalf("legacy decode = (%d, %q, %d)", d.Start, d.Raw, d.Epoch)
 	}
 	// And the modern frame is not confused for it: 4 fields decode the
 	// epoch under the wider CRC.
@@ -110,7 +140,7 @@ func TestReplDataDetectsCorruption(t *testing.T) {
 		fields := ReplDataFields(4096, raw, 99)
 		fields[flip.field] = append([]byte(nil), fields[flip.field]...)
 		fields[flip.field][0] ^= flip.bit
-		_, _, _, err := DecodeReplData(fields)
+		_, err := DecodeReplData(fields)
 		if !errors.Is(err, ErrRemoteCorrupt) {
 			t.Errorf("flipped %s decoded to %v, want ErrRemoteCorrupt", flip.name, err)
 		}
@@ -125,15 +155,18 @@ func TestReplDataDetectsCorruption(t *testing.T) {
 // never a panic.
 func TestReplDataMalformed(t *testing.T) {
 	good := ReplDataFields(8, []byte("raw"), 1)
+	traced := ReplDataTraceFields(8, []byte("raw"), 1, 2, 3)
 	bad := [][][]byte{
 		{},                                  // no fields
 		good[:2],                            // missing epoch and trailer
 		{good[0], good[1], good[2], {1}},    // short trailer
 		{{0xFF}, good[1], good[2], good[3]}, // unterminated offset
 		{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, good[1], good[2], good[3]}, // oversize offset
+		traced[:5], // five fields is no generation of the frame
+		{traced[0], traced[1], traced[2], {0xFF}, traced[4], traced[5]}, // unterminated trace ID
 	}
 	for i, fields := range bad {
-		if _, _, _, err := DecodeReplData(fields); !errors.Is(err, ErrBadFrame) {
+		if _, err := DecodeReplData(fields); !errors.Is(err, ErrBadFrame) {
 			t.Errorf("malformed frame %d decoded to %v, want ErrBadFrame", i, err)
 		}
 	}

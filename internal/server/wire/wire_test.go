@@ -366,3 +366,43 @@ func TestTraceRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendTracedFrame: the single-pass traced-frame encoder is byte-
+// identical to AppendFrame over AppendTrace's output (so the server's
+// decoder cannot tell which path a client used), refuses oversize frames
+// the same way, and costs zero allocations with a reused buffer — the
+// client's stamping path depends on that (EXPERIMENTS.md E15).
+func TestAppendTracedFrame(t *testing.T) {
+	fields := [][]byte{[]byte("root"), {1, 2, 3, 4}}
+	for _, trace := range []uint64{0, 1, 1 << 20, 1<<64 - 1} {
+		op, tf := AppendTrace(OpPut, trace, fields)
+		want, err := AppendFrame(nil, 0, op, tf...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendTracedFrame(nil, 0, OpPut, trace, fields...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trace %d: AppendTracedFrame differs from AppendFrame∘AppendTrace:\n%x\n%x", trace, got, want)
+		}
+	}
+
+	// Oversize refusal, typed like AppendFrame's.
+	if _, err := AppendTracedFrame(nil, 8, OpPut, 1, bytes.Repeat([]byte{'x'}, 64)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize traced frame: err = %v, want ErrTooLarge", err)
+	}
+
+	// Zero allocations once the destination buffer has capacity.
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		b, err := AppendTracedFrame(buf[:0], 0, OpPut, 0xDEADBEEF, fields...)
+		if err != nil || len(b) == 0 {
+			t.Fatal("encode failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTracedFrame allocates %v times per frame, want 0", allocs)
+	}
+}

@@ -80,10 +80,11 @@ const (
 // everything past the last bound. Observe is lock-free and
 // allocation-free.
 type Histogram struct {
-	unit   Unit
-	bounds []int64 // immutable after construction
-	counts []atomic.Uint64
-	sum    atomic.Int64
+	unit      Unit
+	bounds    []int64 // immutable after construction
+	counts    []atomic.Uint64
+	exemplars []atomic.Uint64 // last trace ID to land in each bucket; 0 = none
+	sum       atomic.Int64
 }
 
 func newHistogram(unit Unit, bounds []int64) *Histogram {
@@ -94,13 +95,25 @@ func newHistogram(unit Unit, bounds []int64) *Histogram {
 			panic("telemetry: histogram bounds must be strictly ascending")
 		}
 	}
-	return &Histogram{unit: unit, bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		unit:      unit,
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Uint64, len(b)+1),
+	}
 }
 
 // Observe records one observation. An observation lands in the first
 // bucket whose bound is >= v (Prometheus "le" semantics); past the last
 // bound it lands in the overflow bucket.
-func (h *Histogram) Observe(v int64) {
+func (h *Histogram) Observe(v int64) { h.ObserveExemplar(v, 0) }
+
+// ObserveExemplar records one observation and, when trace is non-zero,
+// remembers it as the bucket's exemplar — the trace ID of the last
+// request that landed there, so a suspicious p99 bucket points at a
+// concrete span tree (`dbpl trace`) instead of an anonymous count. Still
+// lock-free and allocation-free: the exemplar is one extra atomic store.
+func (h *Histogram) ObserveExemplar(v int64, trace uint64) {
 	idx := len(h.bounds)
 	// Linear scan: bucket counts are small (~20) and the loop is
 	// branch-predictable; a binary search costs more in practice.
@@ -111,12 +124,20 @@ func (h *Histogram) Observe(v int64) {
 		}
 	}
 	h.counts[idx].Add(1)
+	if trace != 0 {
+		h.exemplars[idx].Store(trace)
+	}
 	h.sum.Add(v)
 }
 
 // ObserveDuration records a duration observation (for UnitDuration
 // histograms: the duration in nanoseconds).
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveDurationExemplar is ObserveExemplar for durations.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, trace uint64) {
+	h.ObserveExemplar(int64(d), trace)
+}
 
 // Stat returns the observation count and exact sum without the deep copy
 // a Snapshot performs — cheap enough to call on every request. The two
@@ -156,6 +177,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
+	helps    map[string]string
 }
 
 // NewRegistry builds an empty registry.
@@ -165,7 +187,18 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		gaugeFns: map[string]func() int64{},
 		hists:    map[string]*Histogram{},
+		helps:    map[string]string{},
 	}
+}
+
+// SetHelp records a one-line description for a metric family (the base
+// name, without any {label} suffix); the Prometheus exposition emits it
+// as the family's # HELP line. Help text is registry-local operator
+// documentation — the binary snapshot codec does not carry it.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[name] = help
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -234,12 +267,13 @@ type NamedGauge struct {
 // HistogramSnapshot is one histogram's state: immutable copies of the
 // bounds and bucket counts, the exact sum, and the total count.
 type HistogramSnapshot struct {
-	Name   string
-	Unit   Unit
-	Bounds []int64  // ascending inclusive upper bounds
-	Counts []uint64 // len(Bounds)+1; last is the overflow bucket
-	Sum    int64
-	Count  uint64
+	Name      string
+	Unit      Unit
+	Bounds    []int64  // ascending inclusive upper bounds
+	Counts    []uint64 // len(Bounds)+1; last is the overflow bucket
+	Exemplars []uint64 // per-bucket last trace ID (0 = none); nil when no bucket has one
+	Sum       int64
+	Count     uint64
 }
 
 // Snapshot is a point-in-time copy of a registry, immutable after
@@ -251,6 +285,7 @@ type Snapshot struct {
 	Counters   []NamedCounter      // sorted by name
 	Gauges     []NamedGauge        // sorted by name (includes gauge funcs)
 	Histograms []HistogramSnapshot // sorted by name
+	Helps      map[string]string   // family help text; local only, not wire-encoded
 }
 
 // Snapshot captures every registered metric. Values are copied with one
@@ -285,9 +320,23 @@ func (r *Registry) Snapshot() *Snapshot {
 			hs.Counts[i] = n
 			total += n
 		}
+		for i := range h.exemplars {
+			if ex := h.exemplars[i].Load(); ex != 0 {
+				if hs.Exemplars == nil {
+					hs.Exemplars = make([]uint64, len(h.exemplars))
+				}
+				hs.Exemplars[i] = ex
+			}
+		}
 		hs.Count = total
 		hs.Sum = h.sum.Load()
 		s.Histograms = append(s.Histograms, hs)
+	}
+	if len(r.helps) > 0 {
+		s.Helps = make(map[string]string, len(r.helps))
+		for name, help := range r.helps {
+			s.Helps[name] = help
+		}
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
@@ -363,4 +412,76 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// ExemplarNear returns the exemplar trace ID closest to the q-quantile:
+// the last trace that landed in the bucket holding the target rank, or —
+// when that bucket has none — the nearest lower bucket that has one.
+// Returns 0 when the histogram is empty or carries no exemplars.
+func (h HistogramSnapshot) ExemplarNear(q float64) uint64 {
+	if h.Count == 0 || h.Exemplars == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	target := len(h.Counts) - 1
+	var cum float64
+	for i, n := range h.Counts {
+		cum += float64(n)
+		if cum >= rank && n > 0 {
+			target = i
+			break
+		}
+	}
+	for i := target; i >= 0; i-- {
+		if h.Exemplars[i] != 0 {
+			return h.Exemplars[i]
+		}
+	}
+	return 0
+}
+
+// Delta returns the change from prev to s, for rate displays (`dbpl
+// stats -watch`): counter values and histogram bucket counts/sums become
+// the interval's increments, gauges keep their current (instantaneous)
+// values, and exemplars keep the current snapshot's. A metric absent
+// from prev — or one that shrank, meaning the server restarted between
+// snapshots — passes through whole rather than going negative. TakenAt
+// is s's capture time; the interval length is s.TakenAt−prev.TakenAt.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	d := &Snapshot{TakenAt: s.TakenAt, Helps: s.Helps}
+	d.Counters = make([]NamedCounter, len(s.Counters))
+	for i, c := range s.Counters {
+		if old, ok := prev.Counter(c.Name); ok && old <= c.Value {
+			c.Value -= old
+		}
+		d.Counters[i] = c
+	}
+	d.Gauges = append([]NamedGauge(nil), s.Gauges...)
+	d.Histograms = make([]HistogramSnapshot, len(s.Histograms))
+	for i, h := range s.Histograms {
+		old, ok := prev.Histogram(h.Name)
+		if ok && len(old.Counts) == len(h.Counts) && old.Count <= h.Count {
+			nh := HistogramSnapshot{
+				Name: h.Name, Unit: h.Unit, Bounds: h.Bounds,
+				Exemplars: h.Exemplars,
+				Counts:    make([]uint64, len(h.Counts)),
+				Sum:       h.Sum - old.Sum,
+				Count:     h.Count - old.Count,
+			}
+			for j := range h.Counts {
+				if old.Counts[j] <= h.Counts[j] {
+					nh.Counts[j] = h.Counts[j] - old.Counts[j]
+				}
+			}
+			h = nh
+		}
+		d.Histograms[i] = h
+	}
+	return d
 }

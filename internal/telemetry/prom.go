@@ -11,12 +11,13 @@ import (
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // WriteProm renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4), hand-rolled: one # TYPE line per metric base
-// name, counters and gauges as bare samples, histograms as cumulative
-// _bucket series with an "le" label plus _sum and _count. Registered
-// names may carry a label set ("name{op=\"GET\"}"); the writer splices
-// the "le" label into it for bucket lines. Duration histograms are
-// exposed in seconds, per Prometheus convention.
+// format (version 0.0.4), hand-rolled: one # HELP (when the registry has
+// help text for the family) and one # TYPE line per metric base name,
+// counters and gauges as bare samples, histograms as cumulative _bucket
+// series with an "le" label plus _sum and _count. Registered names may
+// carry a label set ("name{op=\"GET\"}"); the writer splices the "le"
+// label into it for bucket lines. Duration histograms are exposed in
+// seconds, per Prometheus convention.
 func (s *Snapshot) WriteProm(w io.Writer) error {
 	var lastType string
 	typeLine := func(base, kind string) string {
@@ -24,7 +25,11 @@ func (s *Snapshot) WriteProm(w io.Writer) error {
 			return ""
 		}
 		lastType = base
-		return "# TYPE " + base + " " + kind + "\n"
+		var head string
+		if help, ok := s.Helps[base]; ok {
+			head = "# HELP " + base + " " + help + "\n"
+		}
+		return head + "# TYPE " + base + " " + kind + "\n"
 	}
 	for _, c := range s.Counters {
 		base, labels := splitSeries(c.Name)

@@ -1,0 +1,138 @@
+// Wire/binary form of a completed trace, one trace per TRACES response
+// field. Same hardening posture as the telemetry snapshot codec: a
+// hostile or corrupt payload must yield a typed error, never a panic or
+// an unbounded allocation.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+const (
+	traceMagic   = 'T'
+	traceVersion = 1
+
+	maxDecodeSpans   = maxSpans
+	maxDecodeNameLen = 256
+)
+
+// AppendBinary appends the encoded trace to dst and returns the extended
+// slice. Layout: magic, version, id, link, op, begin-unixnano, span
+// count, then per span name/parent/start/dur. All integers are varints
+// (zigzag where the value can be negative).
+func (d Data) AppendBinary(dst []byte) []byte {
+	dst = append(dst, traceMagic, traceVersion)
+	dst = binary.AppendUvarint(dst, d.ID)
+	dst = binary.AppendUvarint(dst, d.Link)
+	dst = appendString(dst, d.Op)
+	dst = binary.AppendVarint(dst, d.Begin.UnixNano())
+	dst = binary.AppendUvarint(dst, uint64(len(d.Spans)))
+	for _, s := range d.Spans {
+		dst = appendString(dst, s.Name)
+		dst = binary.AppendVarint(dst, int64(s.Parent))
+		dst = binary.AppendVarint(dst, int64(s.Start))
+		dst = binary.AppendVarint(dst, int64(s.Dur))
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Decode parses one encoded trace.
+func Decode(b []byte) (Data, error) {
+	var d Data
+	if len(b) < 2 || b[0] != traceMagic {
+		return d, errors.New("trace: bad magic")
+	}
+	if b[1] != traceVersion {
+		return d, fmt.Errorf("trace: unsupported version %d", b[1])
+	}
+	dec := decoder{b: b[2:]}
+	d.ID = dec.uvarint()
+	d.Link = dec.uvarint()
+	d.Op = dec.str()
+	d.Begin = time.Unix(0, dec.varint())
+	n := dec.uvarint()
+	if dec.err == nil && n > maxDecodeSpans {
+		return d, fmt.Errorf("trace: span count %d exceeds limit", n)
+	}
+	if dec.err == nil && n > 0 {
+		d.Spans = make([]Span, 0, n)
+		for i := uint64(0); i < n && dec.err == nil; i++ {
+			var s Span
+			s.Name = dec.str()
+			parent := dec.varint()
+			if dec.err == nil && (parent < int64(NoSpan) || parent >= int64(n)) {
+				return d, fmt.Errorf("trace: span parent %d out of range", parent)
+			}
+			s.Parent = SpanID(parent)
+			s.Start = time.Duration(dec.varint())
+			s.Dur = time.Duration(dec.varint())
+			d.Spans = append(d.Spans, s)
+		}
+	}
+	if dec.err != nil {
+		return Data{}, dec.err
+	}
+	if len(dec.b) != 0 {
+		return Data{}, fmt.Errorf("trace: %d trailing bytes", len(dec.b))
+	}
+	return d, nil
+}
+
+// decoder consumes from the front of b, latching the first error so
+// callers can decode a whole record and check once.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = errors.New("trace: truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = errors.New("trace: truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxDecodeNameLen {
+		d.err = fmt.Errorf("trace: string length %d exceeds limit", n)
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.err = errors.New("trace: truncated string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
